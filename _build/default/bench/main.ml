@@ -1,0 +1,175 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4), printing measured values side by side with the
+   paper's reported numbers, then runs bechamel micro-benchmarks of the core
+   operations.
+
+     dune exec bench/main.exe                 full paper scale (~4 min)
+     dune exec bench/main.exe -- --scale 0.05 quick smoke run
+     dune exec bench/main.exe -- --only fig4  one experiment
+     dune exec bench/main.exe -- --no-micro   skip the bechamel section
+     dune exec bench/main.exe -- --no-ext     skip the extensions section *)
+
+let scale = ref 1.0
+let only = ref None
+let micro = ref true
+let ext = ref true
+let csv_dir = ref None
+let seed = ref 2003
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--only" :: v :: rest ->
+        only := Some v;
+        parse rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        parse rest
+    | "--no-ext" :: rest ->
+        ext := false;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("bench: unknown argument " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: every table and figure                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures () =
+  let cfg =
+    let c = Experiments.Config.paper_default in
+    let c = Experiments.Config.with_seed c !seed in
+    if !scale = 1.0 then c else Experiments.Config.scaled c !scale
+  in
+  Printf.printf "HIERAS reproduction — paper experiment harness\n";
+  Printf.printf "configuration: %s (scale %.3f)\n\n"
+    (Format.asprintf "%a" Experiments.Config.pp cfg)
+    !scale;
+  let emit sections =
+    Experiments.Report.print_all sections;
+    match !csv_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun s -> ignore (Experiments.Report.write_csv s ~dir))
+          sections
+  in
+  match !only with
+  | Some id -> (
+      match Experiments.Figures.by_id id with
+      | Some f -> emit (f cfg)
+      | None ->
+          prerr_endline
+            ("bench: unknown experiment id " ^ id ^ "; known: "
+            ^ String.concat " " Experiments.Figures.ids);
+          exit 2)
+  | None ->
+      (* the paired generators emit both figures of each pair *)
+      List.iter
+        (fun id ->
+          match Experiments.Figures.by_id id with
+          | Some f -> emit (f cfg)
+          | None -> ())
+        [ "table1"; "table2"; "fig2"; "fig4"; "fig6"; "fig8" ]
+
+let run_extensions () =
+  let cfg =
+    let c = Experiments.Config.paper_default in
+    let c = Experiments.Config.with_seed c !seed in
+    (* the algorithm comparison builds six networks: run it at a quarter of
+       the headline size so the whole bench stays a few minutes *)
+    let c = Experiments.Config.scaled c (0.25 *. !scale) in
+    c
+  in
+  print_newline ();
+  print_endline "=== extensions: beyond the paper's figures ===";
+  Printf.printf "configuration: %s\n\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
+  Experiments.Report.print_all (Experiments.Extensions.all cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel micro-benchmarks of the core operations            *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let micro_state () =
+  (* one medium network shared by the routing benchmarks *)
+  let rng = Prng.Rng.create ~seed:11 in
+  let n = 2000 in
+  let lat = Topology.Transit_stub.generate ~hosts:n rng in
+  let space = Hashid.Id.sha1_space in
+  let chord = Chord.Network.build ~space ~hosts:(Array.init n (fun i -> i)) () in
+  let lm = Binning.Landmark.choose_spread lat ~count:6 rng in
+  let hnet = Hieras.Hnetwork.build ~chord ~lat ~landmarks:lm ~depth:2 () in
+  let keys = Array.init 4096 (fun _ -> Hashid.Id.random space rng) in
+  let origins = Array.init 4096 (fun _ -> Prng.Rng.int rng n) in
+  (lat, chord, hnet, keys, origins)
+
+let micro_tests () =
+  let lat, chord, hnet, keys, origins = micro_state () in
+  let counter = ref 0 in
+  let next () =
+    counter := (!counter + 1) land 4095;
+    !counter
+  in
+  let space = Hashid.Id.sha1_space in
+  let payload = String.make 512 'x' in
+  [
+    Test.make ~name:"sha1-512B" (Staged.stage (fun () -> ignore (Hashid.Sha1.digest payload)));
+    Test.make ~name:"id-add-pow2"
+      (Staged.stage (fun () ->
+           let i = next () in
+           ignore (Hashid.Id.add_pow2 space keys.(i) (i land 127))));
+    Test.make ~name:"chord-lookup-2000"
+      (Staged.stage (fun () ->
+           let i = next () in
+           ignore (Chord.Lookup.route_hops_only chord ~origin:origins.(i) ~key:keys.(i))));
+    Test.make ~name:"chord-lookup-latency-2000"
+      (Staged.stage (fun () ->
+           let i = next () in
+           ignore (Chord.Lookup.route chord lat ~origin:origins.(i) ~key:keys.(i))));
+    Test.make ~name:"hieras-lookup-2000"
+      (Staged.stage (fun () ->
+           let i = next () in
+           ignore (Hieras.Hlookup.route hnet ~origin:origins.(i) ~key:keys.(i))));
+    Test.make ~name:"host-latency-query"
+      (Staged.stage (fun () ->
+           let i = next () in
+           ignore (Topology.Latency.host_latency lat origins.(i) origins.((i + 1) land 4095))));
+  ]
+
+let run_micro () =
+  print_newline ();
+  print_endline "=== micro-benchmarks (bechamel) ===";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        analyzed)
+    (micro_tests ())
+
+let () =
+  run_figures ();
+  if !ext && !only = None then run_extensions ();
+  if !micro && !only = None then run_micro ()

@@ -1,0 +1,199 @@
+(* hieras-sim: command-line driver for the HIERAS reproduction.
+
+   Subcommands:
+     figure   reproduce one table/figure of the paper
+     all      reproduce every table and figure
+     topology generate a topology and print its statistics
+     cost     print the HIERAS state/maintenance cost model
+     lookup   trace a single HIERAS lookup hop by hop *)
+
+open Cmdliner
+
+let exit_err msg =
+  prerr_endline ("hieras-sim: " ^ msg);
+  exit 1
+
+(* ---- shared options --------------------------------------------------- *)
+
+let seed_t =
+  Arg.(value & opt int 2003 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let nodes_t default =
+  Arg.(value & opt int default & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of DHT nodes.")
+
+let model_t =
+  let parse s =
+    match Topology.Model.of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %S (ts | inet | brite)" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Topology.Model.name m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Topology.Model.Transit_stub
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Topology model: ts, inet or brite.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~docv:"F"
+        ~doc:"Scale factor on node and request counts (0.05 for a quick run).")
+
+let landmarks_t = Arg.(value & opt int 4 & info [ "landmarks" ] ~docv:"L" ~doc:"Landmark count.")
+let depth_t = Arg.(value & opt int 2 & info [ "depth" ] ~docv:"D" ~doc:"Hierarchy depth (2-4).")
+
+let requests_t =
+  Arg.(value & opt int 100_000 & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per run.")
+
+let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale =
+  let cfg =
+    {
+      Experiments.Config.model;
+      nodes;
+      landmarks;
+      depth;
+      requests;
+      seed;
+      succ_list_len = 8;
+    }
+  in
+  if scale = 1.0 then cfg else Experiments.Config.scaled cfg scale
+
+(* ---- figure ----------------------------------------------------------- *)
+
+let figure_cmd =
+  let id_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id: table1 table2 fig2..fig9.")
+  in
+  let run id model nodes landmarks depth requests seed scale =
+    match Experiments.Figures.by_id id with
+    | None ->
+        exit_err
+          (Printf.sprintf "unknown experiment %S; known: %s" id
+             (String.concat " " Experiments.Figures.ids))
+    | Some f ->
+        let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
+        Experiments.Report.print_all (f cfg)
+  in
+  let term =
+    Term.(
+      const run $ id_t $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t
+      $ seed_t $ scale_t)
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Reproduce one table or figure of the paper") term
+
+(* ---- all -------------------------------------------------------------- *)
+
+let all_cmd =
+  let run model nodes landmarks depth requests seed scale =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
+    Experiments.Report.print_all (Experiments.Figures.all cfg)
+  in
+  let term =
+    Term.(
+      const run $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t $ seed_t
+      $ scale_t)
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure") term
+
+(* ---- topology --------------------------------------------------------- *)
+
+let topology_cmd =
+  let run model nodes seed =
+    let rng = Prng.Rng.create ~seed in
+    let lat =
+      try Topology.Model.build model ~hosts:nodes rng
+      with Invalid_argument m -> exit_err m
+    in
+    let g = Topology.Latency.router_graph lat in
+    Printf.printf "model            %s\n" (Topology.Model.name model);
+    Printf.printf "hosts            %d\n" (Topology.Latency.hosts lat);
+    Printf.printf "routers          %d\n" (Topology.Latency.routers lat);
+    Printf.printf "router links     %d\n" (Topology.Graph.edge_count g);
+    Printf.printf "mean host-host   %.1f ms\n" (Topology.Latency.mean_host_latency lat rng);
+    let lm = Binning.Landmark.choose_spread lat ~count:4 rng in
+    let counts = Hashtbl.create 16 in
+    for h = 0 to Topology.Latency.hosts lat - 1 do
+      let o =
+        Binning.Scheme.order Binning.Scheme.paper_thresholds
+          (Binning.Landmark.measure lat lm ~host:h)
+      in
+      Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
+    done;
+    Printf.printf "layer-2 rings with 4 spread landmarks: %d\n" (Hashtbl.length counts);
+    Hashtbl.fold (fun o c acc -> (o, c) :: acc) counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.iter (fun (o, c) -> Printf.printf "  ring %-6s %6d nodes\n" o c)
+  in
+  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t) in
+  Cmd.v (Cmd.info "topology" ~doc:"Generate a topology and print statistics") term
+
+(* ---- cost ------------------------------------------------------------- *)
+
+let cost_cmd =
+  let run model nodes landmarks depth seed =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 in
+    let env = Experiments.Runner.build_env cfg in
+    let hnet = Experiments.Runner.build_hieras env cfg in
+    let totals = Hieras.Cost.totals hnet ~succ_list_len:cfg.Experiments.Config.succ_list_len in
+    Format.printf "%a@." Hieras.Cost.pp_totals totals
+  in
+  let term = Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t) in
+  Cmd.v (Cmd.info "cost" ~doc:"Print the HIERAS state and maintenance cost model") term
+
+(* ---- lookup ----------------------------------------------------------- *)
+
+let lookup_cmd =
+  let run model nodes landmarks depth seed =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 in
+    let env = Experiments.Runner.build_env cfg in
+    let hnet = Experiments.Runner.build_hieras env cfg in
+    let net = Experiments.Runner.chord_network env in
+    let rng = Prng.Rng.create ~seed:(seed + 1) in
+    let key = Hashid.Id.random Hashid.Id.sha1_space rng in
+    let origin = Prng.Rng.int rng nodes in
+    let r = Hieras.Hlookup.route_checked hnet ~origin ~key in
+    Printf.printf "key    %s\n" (Hashid.Id.to_hex key);
+    Printf.printf "origin node %d (id %s)\n" origin (Hashid.Id.to_hex (Chord.Network.id net origin));
+    List.iter
+      (fun h ->
+        Printf.printf "  L%d  node %-6d -> node %-6d  %7.1f ms\n" h.Hieras.Hlookup.layer
+          h.Hieras.Hlookup.from_node h.Hieras.Hlookup.to_node h.Hieras.Hlookup.latency)
+      r.Hieras.Hlookup.hops;
+    Printf.printf "destination node %d after %d hops, %.1f ms total\n"
+      r.Hieras.Hlookup.destination r.Hieras.Hlookup.hop_count r.Hieras.Hlookup.latency;
+    let rc = Chord.Lookup.route net (Experiments.Runner.latency_oracle env) ~origin ~key in
+    Printf.printf "chord baseline: %d hops, %.1f ms\n" rc.Chord.Lookup.hop_count
+      rc.Chord.Lookup.latency
+  in
+  let term = Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t) in
+  Cmd.v (Cmd.info "lookup" ~doc:"Trace one HIERAS lookup hop by hop") term
+
+(* ---- extensions -------------------------------------------------------- *)
+
+let extensions_cmd =
+  let run model nodes landmarks depth requests seed scale =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
+    Experiments.Report.print_all (Experiments.Extensions.all cfg)
+  in
+  let term =
+    Term.(
+      const run $ model_t $ nodes_t 2500 $ landmarks_t $ depth_t
+      $ Arg.(value & opt int 25_000 & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per run.")
+      $ seed_t $ scale_t)
+  in
+  Cmd.v
+    (Cmd.info "extensions"
+       ~doc:"Run the beyond-the-paper comparisons: Pastry, CAN, ablations")
+    term
+
+let main =
+  let doc = "HIERAS: DHT-based hierarchical P2P routing — paper reproduction" in
+  Cmd.group (Cmd.info "hieras-sim" ~doc)
+    [ figure_cmd; all_cmd; topology_cmd; cost_cmd; lookup_cmd; extensions_cmd ]
+
+let () = exit (Cmd.eval main)

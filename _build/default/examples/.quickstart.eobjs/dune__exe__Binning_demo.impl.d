@@ -1,0 +1,1 @@
+examples/binning_demo.ml: Binning Experiments Printf Prng Topology

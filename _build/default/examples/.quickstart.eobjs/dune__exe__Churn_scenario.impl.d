@@ -1,0 +1,1 @@
+examples/churn_scenario.ml: Array Binning Hashid Hieras List Printf Prng Simnet Topology Workload

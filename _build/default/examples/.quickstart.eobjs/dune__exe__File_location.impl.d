@@ -1,0 +1,1 @@
+examples/file_location.ml: Array Binning Chord Hashid Hieras Printf Prng Stats Topology

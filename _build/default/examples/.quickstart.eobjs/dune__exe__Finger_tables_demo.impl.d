@@ -1,0 +1,1 @@
+examples/finger_tables_demo.ml: Array Binning Chord Experiments Format Hashid Hieras List Prng Topology

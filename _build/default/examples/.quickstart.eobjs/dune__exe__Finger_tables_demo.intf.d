@@ -1,0 +1,1 @@
+examples/finger_tables_demo.mli:

@@ -1,0 +1,1 @@
+examples/latency_comparison.ml: Array Binning Chord Hashid Hieras Printf Prng Stats Topology Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Binning Chord Hashid Hieras List Printf Prng String Topology Workload

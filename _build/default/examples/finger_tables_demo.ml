@@ -1,0 +1,30 @@
+(* Layered finger tables — the paper's Table 2.
+
+   A tiny two-layer HIERAS system on an 8-bit identifier space with three
+   landmark nodes. For one node we print all 8 conceptual fingers with
+   their layer-1 (global) and layer-2 (ring-restricted) successors, each
+   annotated with its layer-2 ring name — the exact format of Table 2.
+
+   Run with: dune exec examples/finger_tables_demo.exe *)
+
+let () =
+  let cfg = Experiments.Config.paper_default in
+  Experiments.Report.print (Experiments.Figures.table2 cfg);
+
+  (* show the ring table of the node's own ring too (paper Table 3) *)
+  let space = Hashid.Id.space ~bits:8 in
+  let rng = Prng.Rng.create ~seed:(cfg.Experiments.Config.seed + 31) in
+  let lat = Topology.Transit_stub.generate ~hosts:24 rng in
+  let chord = Chord.Network.build ~space ~hosts:(Array.init 24 (fun i -> i)) ~salt:"table2" () in
+  let landmarks = Binning.Landmark.choose_spread lat ~count:3 rng in
+  let hnet = Hieras.Hnetwork.build ~chord ~lat ~landmarks ~depth:2 () in
+  print_newline ();
+  List.iter
+    (fun rname ->
+      match Hieras.Hnetwork.ring_table hnet ~layer:2 ~order:(Hieras.Ring_name.order rname) with
+      | Some rt ->
+          Format.printf "%a@." Hieras.Ring_table.pp rt;
+          Format.printf "  stored on node %d (top-layer successor of the hashed ring name)@."
+            (Hieras.Hnetwork.ring_table_manager hnet rname)
+      | None -> ())
+    (Hieras.Hnetwork.ring_names hnet ~layer:2)

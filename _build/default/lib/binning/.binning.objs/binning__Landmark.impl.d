@@ -1,0 +1,1 @@
+lib/binning/landmark.ml: Array Fun Prng Stdlib Topology

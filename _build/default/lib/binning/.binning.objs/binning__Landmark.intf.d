@@ -1,0 +1,1 @@
+lib/binning/landmark.mli: Prng Topology

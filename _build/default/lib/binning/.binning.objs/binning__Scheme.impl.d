@@ -1,0 +1,1 @@
+lib/binning/scheme.ml: Array Char List String

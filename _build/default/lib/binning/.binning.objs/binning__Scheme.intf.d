@@ -1,0 +1,1 @@
+lib/binning/scheme.mli:

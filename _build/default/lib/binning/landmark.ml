@@ -1,0 +1,75 @@
+type t = { routers : int array }
+
+let of_routers routers =
+  if Array.length routers = 0 then invalid_arg "Landmark.of_routers: empty";
+  { routers = Array.copy routers }
+
+let choose_random lat ~count rng =
+  let nr = Topology.Latency.routers lat in
+  if count < 1 || count > nr then invalid_arg "Landmark.choose_random: bad count";
+  { routers = Prng.Dist.sample_without_replacement rng count nr }
+
+let choose_spread lat ~count rng =
+  let nr = Topology.Latency.routers lat in
+  if count < 1 || count > nr then invalid_arg "Landmark.choose_spread: bad count";
+  (* Candidates are well-connected routers (degree above the 60th
+     percentile): "well-known machines" are universities and exchanges, not
+     peripheral leaves. On heavy-tailed topologies an unfiltered
+     farthest-point pick lands on pathological outliers whose latency to
+     everyone is huge, which destroys the binning's discriminative power. *)
+  let g = Topology.Latency.router_graph lat in
+  let degrees = Array.init nr (fun r -> Topology.Graph.degree g r) in
+  let sorted = Array.copy degrees in
+  Array.sort Stdlib.compare sorted;
+  let threshold = sorted.(6 * (nr - 1) / 10) in
+  let candidates =
+    let l = ref [] in
+    for r = nr - 1 downto 0 do
+      if degrees.(r) >= threshold then l := r :: !l
+    done;
+    Array.of_list !l
+  in
+  let candidates = if Array.length candidates >= count then candidates else Array.init nr Fun.id in
+  let nc = Array.length candidates in
+  let chosen = Array.make count 0 in
+  chosen.(0) <- candidates.(Prng.Rng.int rng nc);
+  (* min distance from every candidate to the chosen set, updated incrementally *)
+  let min_dist =
+    Array.map (fun r -> Topology.Latency.router_latency lat chosen.(0) r) candidates
+  in
+  for k = 1 to count - 1 do
+    let best = ref 0 and best_d = ref neg_infinity in
+    for i = 0 to nc - 1 do
+      if min_dist.(i) > !best_d && not (Array.exists (( = ) candidates.(i)) (Array.sub chosen 0 k))
+      then begin
+        best := i;
+        best_d := min_dist.(i)
+      end
+    done;
+    chosen.(k) <- candidates.(!best);
+    for i = 0 to nc - 1 do
+      let d = Topology.Latency.router_latency lat chosen.(k) candidates.(i) in
+      if d < min_dist.(i) then min_dist.(i) <- d
+    done
+  done;
+  { routers = chosen }
+
+let count t = Array.length t.routers
+let routers t = Array.copy t.routers
+
+let drop t i =
+  let n = Array.length t.routers in
+  if i < 0 || i >= n then invalid_arg "Landmark.drop: index out of range";
+  if n = 1 then invalid_arg "Landmark.drop: cannot drop the last landmark";
+  { routers = Array.init (n - 1) (fun j -> if j < i then t.routers.(j) else t.routers.(j + 1)) }
+
+let measure lat t ~host =
+  Array.map (fun r -> Topology.Latency.host_to_router lat host r) t.routers
+
+let measure_jittered lat t ~host ~rng ~spread =
+  if spread < 0.0 || spread >= 1.0 then invalid_arg "Landmark.measure_jittered: bad spread";
+  Array.map
+    (fun r ->
+      let d = Topology.Latency.host_to_router lat host r in
+      d *. Prng.Dist.uniform_float rng ~lo:(1.0 -. spread) ~hi:(1.0 +. spread))
+    t.routers

@@ -1,0 +1,43 @@
+(** Landmark nodes for the distributed binning scheme.
+
+    The paper (following Ratnasamy & Shenker, INFOCOM'02) assumes "a
+    well-known set of machines spread across the Internet". We model
+    landmarks as routers of the underlying topology. Two selection
+    strategies are provided:
+
+    - {!choose_spread} (default in experiments): farthest-point greedy —
+      after a random first pick, each next landmark maximises the minimum
+      distance to those already chosen. This is what "spread across the
+      Internet" means operationally and is what makes the order digits
+      informative.
+    - {!choose_random}: uniform random routers, for sensitivity tests.
+
+    A landmark failure (Section 2.3 of the paper) is modelled by
+    {!drop}: surviving landmarks keep their positions, and nodes binned
+    earlier simply project their order strings (see
+    [Scheme.project_order]). *)
+
+type t
+
+val choose_spread : Topology.Latency.t -> count:int -> Prng.Rng.t -> t
+val choose_random : Topology.Latency.t -> count:int -> Prng.Rng.t -> t
+val of_routers : int array -> t
+(** Explicit router indices (tests, worked examples). *)
+
+val count : t -> int
+val routers : t -> int array
+(** Copy of the landmark router indices, in selection order. *)
+
+val drop : t -> int -> t
+(** [drop t i] removes the [i]-th landmark (failure injection). Raises
+    [Invalid_argument] if out of range or if it would leave no landmarks. *)
+
+val measure : Topology.Latency.t -> t -> host:int -> float array
+(** Exact one-way delays from the host to each landmark — an idealised
+    [ping]. *)
+
+val measure_jittered :
+  Topology.Latency.t -> t -> host:int -> rng:Prng.Rng.t -> spread:float -> float array
+(** Delays perturbed by a multiplicative factor uniform in
+    [\[1-spread, 1+spread\]] — the paper notes ping is "not very accurate";
+    binning must tolerate this. *)

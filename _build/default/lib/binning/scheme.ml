@@ -1,0 +1,55 @@
+type thresholds = float array
+
+let paper_thresholds = [| 20.0; 100.0 |]
+
+let validate t =
+  let n = Array.length t in
+  if n + 1 > 36 then invalid_arg "Scheme.validate: too many levels (max 36)";
+  for i = 0 to n - 1 do
+    if t.(i) < 0.0 then invalid_arg "Scheme.validate: negative boundary";
+    if i > 0 && t.(i) <= t.(i - 1) then invalid_arg "Scheme.validate: boundaries must ascend"
+  done
+
+let level t d =
+  if d < 0.0 then invalid_arg "Scheme.level: negative measurement";
+  let n = Array.length t in
+  (* number of boundaries <= d; n is small (<= 11), linear scan is fine *)
+  let rec go i = if i < n && t.(i) <= d then go (i + 1) else i in
+  go 0
+
+let digit_of_level l =
+  if l < 10 then Char.chr (Char.code '0' + l)
+  else if l < 36 then Char.chr (Char.code 'a' + l - 10)
+  else invalid_arg "Scheme.order: level too large"
+
+let order t dists = String.init (Array.length dists) (fun i -> digit_of_level (level t dists.(i)))
+
+let layer3_thresholds = [| 10.0; 20.0; 40.0; 100.0; 200.0 |]
+let layer4_thresholds = [| 5.0; 10.0; 15.0; 20.0; 30.0; 40.0; 60.0; 100.0; 150.0; 200.0; 300.0 |]
+
+let refinement_chain ~depth =
+  match depth with
+  | 2 -> [| paper_thresholds |]
+  | 3 -> [| paper_thresholds; layer3_thresholds |]
+  | 4 -> [| paper_thresholds; layer3_thresholds; layer4_thresholds |]
+  | _ -> invalid_arg "Scheme.refinement_chain: depth must be in [2, 4]"
+
+let is_refinement ~coarse ~fine =
+  Array.for_all (fun b -> Array.exists (fun b' -> b' = b) fine) coarse
+
+let project_order ~full ~dropped =
+  let n = String.length full in
+  if dropped < 0 || dropped >= n then invalid_arg "Scheme.project_order: index out of range";
+  String.init (n - 1) (fun i -> full.[if i < dropped then i else i + 1])
+
+let ring_names t ~landmarks =
+  let levels = Array.length t + 1 in
+  let rec go k =
+    if k = 0 then [ "" ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map
+        (fun suffix -> List.init levels (fun l -> String.make 1 (digit_of_level l) ^ suffix))
+        rest
+  in
+  go landmarks

@@ -1,0 +1,55 @@
+(** The distributed binning scheme: quantising landmark latency vectors into
+    ring names.
+
+    Each node measures its delay to every landmark and maps each measurement
+    to a {e level} using a set of ascending latency boundaries; the
+    concatenated level digits form the node's {e landmark order} — the name
+    of the lower-layer P2P ring it joins. The paper's Table 1 uses the
+    boundaries [\[20; 100\]] (levels 0/1/2): node A with delays
+    (25, 5, 30, 100) gets order "1012".
+
+    {2 Deeper hierarchies: nested refinement}
+
+    For hierarchy depths beyond 2 the paper does not spell out how layer-3/4
+    rings derive from the same landmark vector. We use {e threshold
+    refinement}: layer [k+1] quantises the {e same} measurement vector with a
+    strictly finer boundary set that is a superset of layer [k]'s. Supersets
+    guarantee {e nesting} — nodes sharing a fine order necessarily share every
+    coarser order — so each deep ring is wholly contained in its parent ring,
+    which is what makes HIERAS's bottom-up multi-loop routing well defined
+    (DESIGN.md §2). *)
+
+type thresholds = float array
+(** Strictly ascending latency boundaries (ms). [k] boundaries induce [k+1]
+    levels: level of [d] = number of boundaries [<= d]. *)
+
+val paper_thresholds : thresholds
+(** [\[|20.; 100.|\]] — the paper's three levels. *)
+
+val level : thresholds -> float -> int
+(** Raises [Invalid_argument] on a negative measurement. *)
+
+val order : thresholds -> float array -> string
+(** Level digit per landmark, concatenated. Levels 0-9 use '0'..'9', further
+    levels 'a'..'z' (a threshold set inducing more than 36 levels is
+    rejected by {!validate}). *)
+
+val validate : thresholds -> unit
+(** Raises [Invalid_argument] unless strictly ascending, non-negative, and
+    inducing at most 36 levels. *)
+
+val refinement_chain : depth:int -> thresholds array
+(** Boundary sets for layers [2 .. depth] (element 0 = layer 2 =
+    {!paper_thresholds}), each a strict superset of the previous. Supports
+    [2 <= depth <= 4], the range evaluated in the paper. *)
+
+val is_refinement : coarse:thresholds -> fine:thresholds -> bool
+(** True when every coarse boundary appears in the fine set. *)
+
+val project_order : full:string -> dropped:int -> string
+(** Order string after landmark [dropped] failed (Section 2.3: survivors keep
+    their digits). *)
+
+val ring_names : thresholds -> landmarks:int -> string list
+(** All syntactically possible ring names (levels^landmarks) — only for
+    small diagnostics/tests. *)

@@ -1,0 +1,1 @@
+lib/can/layered.ml: Array Binning Fun Hashtbl List Network Topology Zone

@@ -1,0 +1,1 @@
+lib/can/layered.mli: Binning Hashid Network Topology

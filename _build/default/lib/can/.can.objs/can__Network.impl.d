@@ -1,0 +1,1 @@
+lib/can/network.ml: Array Char Float Hashid List Printf String Zone

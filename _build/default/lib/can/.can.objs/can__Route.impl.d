@@ -1,0 +1,1 @@
+lib/can/route.ml: List Network Topology Zone

@@ -1,0 +1,1 @@
+lib/can/route.mli: Hashid Network Topology

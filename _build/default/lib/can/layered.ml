@@ -1,0 +1,157 @@
+type ring = {
+  members : int array; (* global node indices, local index = position *)
+  pos_of : (int, int) Hashtbl.t;
+  net : Network.t; (* ring CAN: node i here is members.(i) globally *)
+}
+
+type t = {
+  global : Network.t;
+  lat : Topology.Latency.t;
+  depth : int;
+  orders : string array array; (* orders.(k).(node), k = layer - 2 *)
+  ring_of : ring array array; (* ring_of.(k).(node) *)
+  rings : (string, ring) Hashtbl.t array;
+}
+
+let build ~global ~lat ~landmarks ~depth ?measure () =
+  if depth < 2 then invalid_arg "Can.Layered.build: depth must be >= 2";
+  let n = Network.size global in
+  let measure =
+    match measure with
+    | Some f -> f
+    | None -> fun ~host -> Binning.Landmark.measure lat landmarks ~host
+  in
+  let chain = Binning.Scheme.refinement_chain ~depth in
+  let vectors = Array.init n (fun i -> measure ~host:(Network.host global i)) in
+  let orders =
+    Array.init (depth - 1) (fun k ->
+        Array.init n (fun i -> Binning.Scheme.order chain.(k) vectors.(i)))
+  in
+  let rings = Array.init (depth - 1) (fun _ -> Hashtbl.create 64) in
+  for k = 0 to depth - 2 do
+    let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    for i = n - 1 downto 0 do
+      let o = orders.(k).(i) in
+      match Hashtbl.find_opt groups o with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.replace groups o (ref [ i ])
+    done;
+    Hashtbl.iter
+      (fun o l ->
+        let members = Array.of_list !l in
+        let pos_of = Hashtbl.create (2 * Array.length members) in
+        Array.iteri (fun pos node -> Hashtbl.replace pos_of node pos) members;
+        (* the ring CAN reuses the members' global join points, so a node
+           owns nested zones: the deeper the layer, the fewer members, the
+           larger its zone *)
+        let net =
+          Network.of_points
+            ~hosts:(Array.map (Network.host global) members)
+            ~points:(Array.map (Network.point global) members)
+        in
+        Hashtbl.replace rings.(k) o { members; pos_of; net })
+      groups
+  done;
+  let ring_of =
+    Array.init (depth - 1) (fun k ->
+        Array.init n (fun node -> Hashtbl.find rings.(k) orders.(k).(node)))
+  in
+  { global; lat; depth; orders; ring_of; rings }
+
+let global_can t = t.global
+let depth t = t.depth
+
+let check_layer t layer =
+  if layer < 2 || layer > t.depth then invalid_arg "Can.Layered: layer out of range"
+
+let order_of_node t ~layer node =
+  check_layer t layer;
+  t.orders.(layer - 2).(node)
+
+let ring_count t ~layer =
+  check_layer t layer;
+  Hashtbl.length t.rings.(layer - 2)
+
+let ring_size_of_node t ~layer node =
+  check_layer t layer;
+  Array.length t.ring_of.(layer - 2).(node).members
+
+type hop = { from_node : int; to_node : int; latency : float; layer : int }
+
+type result = {
+  origin : int;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+  hops_per_layer : int array;
+  latency_per_layer : float array;
+}
+
+let route t ~origin ~key =
+  let point = Network.key_point t.global key in
+  let hops = ref [] in
+  let count = ref 0 in
+  let total = ref 0.0 in
+  let per_hops = Array.make t.depth 0 in
+  let per_lat = Array.make t.depth 0.0 in
+  let record ~layer from_node to_node =
+    let l =
+      Topology.Latency.host_latency t.lat (Network.host t.global from_node)
+        (Network.host t.global to_node)
+    in
+    hops := { from_node; to_node; latency = l; layer } :: !hops;
+    incr count;
+    total := !total +. l;
+    per_hops.(layer - 1) <- per_hops.(layer - 1) + 1;
+    per_lat.(layer - 1) <- per_lat.(layer - 1) +. l
+  in
+  (* greedy walk inside one CAN; [to_global] maps local node indices out *)
+  let walk ~layer net ~to_global ~start_local =
+    let current = ref start_local in
+    let steps = ref 0 in
+    let guard = 4 * (Network.size net + 4) in
+    while not (Zone.contains (Network.zone net !current) point) do
+      incr steps;
+      if !steps > guard then failwith "Can.Layered: routing did not terminate";
+      let cur = !current in
+      let best = ref cur and best_d = ref (Zone.torus_distance (Network.zone net cur) point) in
+      List.iter
+        (fun v ->
+          let d = Zone.torus_distance (Network.zone net v) point in
+          if d < !best_d then begin
+            best := v;
+            best_d := d
+          end)
+        (Network.neighbors net cur);
+      if !best = cur then failwith "Can.Layered: greedy dead end";
+      record ~layer (to_global cur) (to_global !best);
+      current := !best
+    done;
+    !current
+  in
+  let current = ref origin in
+  let finished = ref false in
+  (try
+     for layer = t.depth downto 2 do
+       let ring = t.ring_of.(layer - 2).(!current) in
+       let local = Hashtbl.find ring.pos_of !current in
+       let local' = walk ~layer ring.net ~to_global:(fun i -> ring.members.(i)) ~start_local:local in
+       current := ring.members.(local');
+       (* the layer-k owner's global zone may already contain the point *)
+       if Zone.contains (Network.zone t.global !current) point then begin
+         finished := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if not !finished then current := walk ~layer:1 t.global ~to_global:Fun.id ~start_local:!current;
+  {
+    origin;
+    destination = !current;
+    hops = List.rev !hops;
+    hop_count = !count;
+    latency = !total;
+    hops_per_layer = per_hops;
+    latency_per_layer = per_lat;
+  }

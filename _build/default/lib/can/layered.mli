@@ -1,0 +1,48 @@
+(** HIERAS over CAN — the transplant the paper sketches in §3.2.
+
+    "If we use CAN as the underlying algorithm, the whole coordinate space
+    can be divided multiple times in different layers, we can create
+    multilayer neighbor sets accordingly and use these neighbor sets in
+    different loops during a routing procedure."
+
+    Concretely: the members of each lower-layer ring (same distributed
+    binning as the Chord-based HIERAS) tile the {e same} unit torus with
+    their own, coarser CAN; every node therefore owns one zone per layer. A
+    lookup greedily routes inside the originator's most local CAN until that
+    CAN's owner of the key point is reached, then climbs — the owner at layer
+    [k] sits geometrically close to the key, so the layer above starts almost
+    on target, exactly like the Chord variant's ring-predecessor handoff. *)
+
+type t
+
+val build :
+  global:Network.t ->
+  lat:Topology.Latency.t ->
+  landmarks:Binning.Landmark.t ->
+  depth:int ->
+  ?measure:(host:int -> float array) ->
+  unit ->
+  t
+(** [depth >= 2]. Ring membership comes from the same
+    {!Binning.Scheme.refinement_chain} nesting as the Chord-based build. *)
+
+val global_can : t -> Network.t
+val depth : t -> int
+val order_of_node : t -> layer:int -> int -> string
+val ring_count : t -> layer:int -> int
+val ring_size_of_node : t -> layer:int -> int -> int
+
+type hop = { from_node : int; to_node : int; latency : float; layer : int }
+
+type result = {
+  origin : int;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+  hops_per_layer : int array;  (** index 0 = global *)
+  latency_per_layer : float array;
+}
+
+val route : t -> origin:int -> key:Hashid.Id.t -> result
+(** Ends at the global CAN owner of the key's point. *)

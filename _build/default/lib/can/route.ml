@@ -1,0 +1,53 @@
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  point : float array;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+let route net lat ~origin ~point =
+  let hops = ref [] in
+  let count = ref 0 in
+  let total = ref 0.0 in
+  let record from_node to_node =
+    let l =
+      Topology.Latency.host_latency lat (Network.host net from_node) (Network.host net to_node)
+    in
+    hops := { from_node; to_node; latency = l } :: !hops;
+    incr count;
+    total := !total +. l
+  in
+  let current = ref origin in
+  let steps = ref 0 in
+  let guard = 4 * (Network.size net + 4) in
+  while not (Zone.contains (Network.zone net !current) point) do
+    incr steps;
+    if !steps > guard then failwith "Can.Route: routing did not terminate";
+    let cur = !current in
+    let best = ref cur and best_d = ref (Zone.torus_distance (Network.zone net cur) point) in
+    List.iter
+      (fun v ->
+        let d = Zone.torus_distance (Network.zone net v) point in
+        if d < !best_d then begin
+          best := v;
+          best_d := d
+        end)
+      (Network.neighbors net cur);
+    if !best = cur then failwith "Can.Route: greedy dead end";
+    record cur !best;
+    current := !best
+  done;
+  {
+    origin;
+    point;
+    destination = !current;
+    hops = List.rev !hops;
+    hop_count = !count;
+    latency = !total;
+  }
+
+let route_key net lat ~origin ~key = route net lat ~origin ~point:(Network.key_point net key)

@@ -1,0 +1,21 @@
+(** CAN greedy routing with hop and latency accounting.
+
+    Forward to the neighbor whose zone is closest (toroidal box distance) to
+    the key's point until the current zone contains it. *)
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  point : float array;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+val route :
+  Network.t -> Topology.Latency.t -> origin:int -> point:float array -> result
+
+val route_key :
+  Network.t -> Topology.Latency.t -> origin:int -> key:Hashid.Id.t -> result

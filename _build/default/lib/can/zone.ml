@@ -1,0 +1,96 @@
+type t = { lo : float array; hi : float array }
+
+let dims t = Array.length t.lo
+let unit d =
+  if d < 1 then invalid_arg "Zone.unit: need at least one dimension";
+  { lo = Array.make d 0.0; hi = Array.make d 1.0 }
+
+let lo t k = t.lo.(k)
+let hi t k = t.hi.(k)
+
+let volume t =
+  let v = ref 1.0 in
+  for k = 0 to dims t - 1 do
+    v := !v *. (t.hi.(k) -. t.lo.(k))
+  done;
+  !v
+
+let contains t p =
+  let ok = ref true in
+  for k = 0 to dims t - 1 do
+    if not (t.lo.(k) <= p.(k) && p.(k) < t.hi.(k)) then ok := false
+  done;
+  !ok
+
+let widest_dim t =
+  let best = ref 0 and best_w = ref (t.hi.(0) -. t.lo.(0)) in
+  for k = 1 to dims t - 1 do
+    let w = t.hi.(k) -. t.lo.(k) in
+    if w > !best_w +. 1e-12 then begin
+      best := k;
+      best_w := w
+    end
+  done;
+  !best
+
+let split t =
+  let k = widest_dim t in
+  let mid = 0.5 *. (t.lo.(k) +. t.hi.(k)) in
+  let lower = { lo = Array.copy t.lo; hi = Array.copy t.hi } in
+  let upper = { lo = Array.copy t.lo; hi = Array.copy t.hi } in
+  lower.hi.(k) <- mid;
+  upper.lo.(k) <- mid;
+  (lower, upper)
+
+(* intervals [a_lo, a_hi) and [b_lo, b_hi) overlap in more than a point *)
+let overlaps a_lo a_hi b_lo b_hi = Float.max a_lo b_lo < Float.min a_hi b_hi -. 1e-12
+
+(* abutting along dimension k, directly or across the torus seam *)
+let abuts a b k =
+  let touch x y = Float.abs (x -. y) < 1e-12 in
+  touch a.hi.(k) b.lo.(k)
+  || touch b.hi.(k) a.lo.(k)
+  || (touch a.hi.(k) 1.0 && touch b.lo.(k) 0.0)
+  || (touch b.hi.(k) 1.0 && touch a.lo.(k) 0.0)
+
+let adjacent a b =
+  let d = dims a in
+  if d <> dims b then invalid_arg "Zone.adjacent: dimension mismatch";
+  let abutting = ref 0 and overlapping = ref 0 in
+  for k = 0 to d - 1 do
+    (* an overlapping dimension is never "abutting", even when an interval
+       spans the whole [0,1) circle and also touches the seam *)
+    if overlaps a.lo.(k) a.hi.(k) b.lo.(k) b.hi.(k) then incr overlapping
+    else if abuts a b k then incr abutting
+  done;
+  (* exactly one abutting dimension (two would be corner contact); all
+     others must properly overlap *)
+  !abutting = 1 && !overlapping = d - 1
+
+let torus_distance t p =
+  let acc = ref 0.0 in
+  for k = 0 to dims t - 1 do
+    let x = p.(k) in
+    let d =
+      if t.lo.(k) <= x && x < t.hi.(k) then 0.0
+      else begin
+        let circ a b =
+          let v = Float.abs (a -. b) in
+          Float.min v (1.0 -. v)
+        in
+        Float.min (circ x t.lo.(k)) (circ x t.hi.(k))
+      end
+    in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let center t = Array.init (dims t) (fun k -> 0.5 *. (t.lo.(k) +. t.hi.(k)))
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  for k = 0 to dims t - 1 do
+    if k > 0 then Format.fprintf fmt " x ";
+    Format.fprintf fmt "%.3f,%.3f" t.lo.(k) t.hi.(k)
+  done;
+  Format.fprintf fmt "]"

@@ -1,0 +1,37 @@
+(** Zones of the CAN coordinate space: axis-aligned boxes partitioning the
+    [d]-dimensional unit torus [\[0,1)^d].
+
+    Zones never wrap individually (they arise from recursive halving of the
+    unit box), but adjacency and distance are toroidal, as in the CAN paper:
+    the faces at 0 and 1 of each dimension touch. *)
+
+type t
+
+val dims : t -> int
+val unit : int -> t
+(** The whole space (the first node's zone). *)
+
+val lo : t -> int -> float
+val hi : t -> int -> float
+val volume : t -> float
+
+val contains : t -> float array -> bool
+(** Membership with half-open bounds [\[lo, hi)]. *)
+
+val widest_dim : t -> int
+(** Dimension of maximal extent (lowest index on ties) — the CAN split
+    rule. *)
+
+val split : t -> t * t
+(** Halve along {!widest_dim}; returns (lower, upper). *)
+
+val adjacent : t -> t -> bool
+(** Toroidal CAN adjacency: abutting along exactly one dimension (possibly
+    across the 0/1 seam) and overlapping in all others. *)
+
+val torus_distance : t -> float array -> float
+(** Euclidean distance on the torus from the box to a point (0 if the point
+    is inside) — the greedy routing metric. *)
+
+val center : t -> float array
+val pp : Format.formatter -> t -> unit

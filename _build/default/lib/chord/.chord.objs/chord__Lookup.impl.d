@@ -1,0 +1,1 @@
+lib/chord/lookup.ml: Finger_table Hashid List Network Topology

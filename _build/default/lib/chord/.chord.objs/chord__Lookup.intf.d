@@ -1,0 +1,1 @@
+lib/chord/lookup.mli: Hashid Network Topology

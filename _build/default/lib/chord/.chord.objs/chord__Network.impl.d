@@ -1,0 +1,1 @@
+lib/chord/network.ml: Array Finger_table Hashid Hashtbl Printf

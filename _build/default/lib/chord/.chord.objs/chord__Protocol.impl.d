@@ -1,0 +1,1 @@
+lib/chord/protocol.ml: Array Hashid Hashtbl List Option Simnet Stdlib

@@ -1,0 +1,1 @@
+lib/chord/protocol.mli: Hashid Simnet

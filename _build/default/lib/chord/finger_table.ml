@@ -1,0 +1,73 @@
+module Id = Hashid.Id
+
+type t = {
+  owner : int;
+  exps : int array; (* ascending; exps.(k) is the first exponent of segment k *)
+  nodes : int array; (* aligned: the finger node for that segment *)
+  bits : int;
+}
+
+(* index of the first member id >= key, circularly (i.e. the key's successor
+   position in the sorted member array) *)
+let successor_pos member_ids key =
+  let n = Array.length member_ids in
+  let rec search lo hi =
+    (* invariant: ids below lo are < key, ids at/after hi are >= key *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Id.compare member_ids.(mid) key < 0 then search (mid + 1) hi else search lo mid
+  in
+  let pos = search 0 n in
+  if pos = n then 0 else pos
+
+let build sp ~owner ~owner_id ~member_ids ~member_nodes =
+  let n = Array.length member_ids in
+  if n = 0 then invalid_arg "Finger_table.build: no members";
+  if n <> Array.length member_nodes then invalid_arg "Finger_table.build: misaligned arrays";
+  let bits = Id.bits sp in
+  let exps = ref [] and nodes = ref [] in
+  let last = ref (-1) in
+  for i = 0 to bits - 1 do
+    let start = Id.add_pow2 sp owner_id i in
+    let node = member_nodes.(successor_pos member_ids start) in
+    if node <> !last then begin
+      exps := i :: !exps;
+      nodes := node :: !nodes;
+      last := node
+    end
+  done;
+  {
+    owner;
+    exps = Array.of_list (List.rev !exps);
+    nodes = Array.of_list (List.rev !nodes);
+    bits;
+  }
+
+let owner t = t.owner
+
+let segments t = Array.init (Array.length t.exps) (fun k -> (t.exps.(k), t.nodes.(k)))
+
+let finger t i =
+  if i < 0 || i >= t.bits then invalid_arg "Finger_table.finger: index out of range";
+  (* last segment whose first exponent <= i *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if t.exps.(mid) <= i then search mid hi else search lo (mid - 1)
+  in
+  t.nodes.(search 0 (Array.length t.exps - 1))
+
+let distinct_count t = Array.length t.exps
+
+let closest_preceding t ~id_of ~self ~key =
+  (* scan segments from the farthest finger down; first one in (self, key) wins *)
+  let rec go k =
+    if k < 0 then None
+    else
+      let node = t.nodes.(k) in
+      let id = id_of node in
+      if Id.in_oo id ~lo:self ~hi:key then Some node else go (k - 1)
+  in
+  go (Array.length t.nodes - 1)

@@ -1,0 +1,42 @@
+(** Chord finger tables, run-length deduplicated.
+
+    Conceptually a node [n] keeps [bits] fingers, finger [i] being the
+    successor of [n + 2^i]. Consecutive fingers usually coincide (the paper's
+    Table 2 shows it: node 121's 8 fingers name only 5 distinct peers), so we
+    store one {e segment} per distinct successor: [(exp, node)] meaning
+    "fingers [exp] up to the next segment's exponent all point at [node]".
+    HIERAS keeps one such table per layer; restricting the candidate member
+    set to a lower-layer ring is just building the table over that ring's
+    members. *)
+
+type t
+
+val build :
+  Hashid.Id.space ->
+  owner:int ->
+  owner_id:Hashid.Id.t ->
+  member_ids:Hashid.Id.t array ->
+  member_nodes:int array ->
+  t
+(** [build sp ~owner ~owner_id ~member_ids ~member_nodes]: [member_ids] must
+    be sorted ascending and aligned with [member_nodes] (global node
+    indices); the owner must be among the members. Finger [i] is the first
+    member clockwise from [owner_id + 2^i]. *)
+
+val owner : t -> int
+
+val segments : t -> (int * int) array
+(** [(exp, node)] segments in ascending exponent order. *)
+
+val finger : t -> int -> int
+(** [finger t i] resolves conceptual finger [i] (0-based). *)
+
+val distinct_count : t -> int
+(** Number of stored segments = distinct finger values — the table's real
+    memory footprint (used by the cost model). *)
+
+val closest_preceding :
+  t -> id_of:(int -> Hashid.Id.t) -> self:Hashid.Id.t -> key:Hashid.Id.t -> int option
+(** The farthest finger strictly inside [(self, key)] on the circle — the
+    next hop of Chord's greedy routing. [None] when no finger makes
+    progress. *)

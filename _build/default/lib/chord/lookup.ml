@@ -1,0 +1,70 @@
+module Id = Hashid.Id
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+(* Greedy walk shared by both entry points. [record] accumulates hops. *)
+let walk net ~origin ~key ~record =
+  let sp = Network.space net in
+  let n = Network.size net in
+  let id_of i = Network.id net i in
+  (* the originator knows its predecessor: if it owns the key, 0 hops *)
+  if Id.in_oc key ~lo:(id_of (Network.predecessor net origin)) ~hi:(id_of origin) then origin
+  else begin
+    let current = ref origin in
+    let steps = ref 0 in
+    let guard = 4 * (Id.bits sp + n) in
+    let finished = ref false in
+    while not !finished do
+      incr steps;
+      if !steps > guard then failwith "Chord.Lookup: routing did not terminate";
+      let cur = !current in
+      let succ = Network.successor net cur in
+      if Id.in_oc key ~lo:(id_of cur) ~hi:(id_of succ) then begin
+        (* the successor owns the key: final hop *)
+        record cur succ;
+        current := succ;
+        finished := true
+      end
+      else begin
+        let next =
+          match
+            Finger_table.closest_preceding (Network.finger_table net cur) ~id_of
+              ~self:(id_of cur) ~key
+          with
+          | Some next when next <> cur -> next
+          | _ -> succ
+        in
+        record cur next;
+        current := next
+      end
+    done;
+    !current
+  end
+
+let route net lat ~origin ~key =
+  let hops = ref [] in
+  let total = ref 0.0 in
+  let count = ref 0 in
+  let record from_node to_node =
+    let l = Topology.Latency.host_latency lat (Network.host net from_node) (Network.host net to_node) in
+    hops := { from_node; to_node; latency = l } :: !hops;
+    total := !total +. l;
+    incr count
+  in
+  let destination = walk net ~origin ~key ~record in
+  { origin; key; destination; hops = List.rev !hops; hop_count = !count; latency = !total }
+
+let route_hops_only net ~origin ~key =
+  let count = ref 0 in
+  let record _ _ = incr count in
+  let destination = walk net ~origin ~key ~record in
+  (!count, destination)

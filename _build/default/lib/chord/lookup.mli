@@ -1,0 +1,26 @@
+(** Chord greedy routing with hop and latency accounting.
+
+    This is the baseline algorithm of every experiment in the paper: from the
+    originator, repeatedly forward to the closest preceding finger until the
+    key falls between the current node and its successor, then hop to that
+    successor — the key's owner. Every traversed overlay edge counts as one
+    hop and contributes the host-to-host delay of the underlying topology. *)
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;  (** the key's successor — where the lookup ends *)
+  hops : hop list;  (** in travel order; empty when the origin owns the key *)
+  hop_count : int;
+  latency : float;  (** total one-way routing latency, ms *)
+}
+
+val route : Network.t -> Topology.Latency.t -> origin:int -> key:Hashid.Id.t -> result
+(** Raises [Failure] only on internal invariant violation (non-termination
+    guard); a well-formed network always terminates in [O(log n)] hops. *)
+
+val route_hops_only : Network.t -> origin:int -> key:Hashid.Id.t -> int * int
+(** [(hop_count, destination)] without latency bookkeeping — for pure
+    hop-count experiments and property tests (no topology needed). *)

@@ -1,0 +1,79 @@
+module Id = Hashid.Id
+
+type t = {
+  space : Id.space;
+  ids : Id.t array; (* sorted ascending; node i has ids.(i) *)
+  hosts : int array;
+  fingers : Finger_table.t array;
+  succ_lists : int array array;
+  by_id : (Id.t, int) Hashtbl.t;
+}
+
+let mk ~space ~ids ~hosts ~succ_list_len =
+  let n = Array.length ids in
+  if n = 0 then invalid_arg "Chord.Network: empty network";
+  if Array.length hosts <> n then invalid_arg "Chord.Network: ids/hosts misaligned";
+  (* sort peers by identifier, keeping host alignment *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Id.compare ids.(a) ids.(b)) order;
+  let sorted_ids = Array.map (fun i -> ids.(i)) order in
+  let sorted_hosts = Array.map (fun i -> hosts.(i)) order in
+  for i = 1 to n - 1 do
+    if Id.equal sorted_ids.(i) sorted_ids.(i - 1) then
+      invalid_arg "Chord.Network: duplicate identifiers"
+  done;
+  let member_nodes = Array.init n (fun i -> i) in
+  let fingers =
+    Array.init n (fun i ->
+        Finger_table.build space ~owner:i ~owner_id:sorted_ids.(i) ~member_ids:sorted_ids
+          ~member_nodes)
+  in
+  let r = min succ_list_len (n - 1) in
+  let succ_lists = Array.init n (fun i -> Array.init r (fun k -> (i + k + 1) mod n)) in
+  let by_id = Hashtbl.create (2 * n) in
+  Array.iteri (fun i id -> Hashtbl.replace by_id id i) sorted_ids;
+  { space; ids = sorted_ids; hosts = sorted_hosts; fingers; succ_lists; by_id }
+
+let of_ids ~space ~ids ~hosts ?(succ_list_len = 8) () = mk ~space ~ids ~hosts ~succ_list_len
+
+let build ~space ~hosts ?(succ_list_len = 8) ?(salt = "chord-peer") () =
+  let n = Array.length hosts in
+  let seen = Hashtbl.create (2 * n) in
+  let ids =
+    Array.init n (fun i ->
+        (* regenerate on collision: only reachable in tiny test spaces *)
+        let rec fresh attempt =
+          let id = Id.of_hash space (Printf.sprintf "%s:%d:%d" salt i attempt) in
+          if Hashtbl.mem seen id then fresh (attempt + 1)
+          else begin
+            Hashtbl.replace seen id ();
+            id
+          end
+        in
+        fresh 0)
+  in
+  mk ~space ~ids ~hosts ~succ_list_len
+
+let space t = t.space
+let size t = Array.length t.ids
+let id t i = t.ids.(i)
+let host t i = t.hosts.(i)
+let successor t i = (i + 1) mod Array.length t.ids
+let predecessor t i = (i + Array.length t.ids - 1) mod Array.length t.ids
+let successor_list t i = Array.copy t.succ_lists.(i)
+let finger_table t i = t.fingers.(i)
+let find_node t key = Hashtbl.find_opt t.by_id key
+
+let successor_of_key t key =
+  let n = Array.length t.ids in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Id.compare t.ids.(mid) key < 0 then search (mid + 1) hi else search lo mid
+  in
+  let pos = search 0 n in
+  if pos = n then 0 else pos
+
+let total_finger_segments t =
+  Array.fold_left (fun acc ft -> acc + Finger_table.distinct_count ft) 0 t.fingers

@@ -1,0 +1,55 @@
+(** Oracle-built Chord networks.
+
+    [build] computes, directly from the sorted identifier array, exactly the
+    state a correct, fully-stabilized Chord deployment converges to: sorted
+    successor relationships, finger tables and successor lists. The
+    message-level protocol in {!Protocol} is tested to converge to this same
+    fixpoint; large-scale routing experiments start from it (building a
+    10 000-node network through simulated joins would dominate runtime
+    without changing any measured quantity — see DESIGN.md §5).
+
+    Nodes are dense indices [0 .. size-1] ordered by identifier; node
+    [(i+1) mod size] is node [i]'s ring successor. Each node carries the
+    index of the topology end-host it runs on. *)
+
+type t
+
+val build :
+  space:Hashid.Id.space ->
+  hosts:int array ->
+  ?succ_list_len:int ->
+  ?salt:string ->
+  unit ->
+  t
+(** One peer per element of [hosts] (the topology host each peer runs on).
+    Peer identifiers are [Id.of_hash space (salt ^ index)], regenerated with
+    a different suffix on the (tiny-space) event of a collision.
+    [succ_list_len] defaults to 8 (Chord's [r] parameter). *)
+
+val of_ids :
+  space:Hashid.Id.space ->
+  ids:Hashid.Id.t array ->
+  hosts:int array ->
+  ?succ_list_len:int ->
+  unit ->
+  t
+(** Explicit identifiers (worked examples, tests). Raises [Invalid_argument]
+    on duplicates or misaligned arrays. *)
+
+val space : t -> Hashid.Id.space
+val size : t -> int
+val id : t -> int -> Hashid.Id.t
+val host : t -> int -> int
+val successor : t -> int -> int
+val predecessor : t -> int -> int
+val successor_list : t -> int -> int array
+val finger_table : t -> int -> Finger_table.t
+
+val find_node : t -> Hashid.Id.t -> int option
+(** Node with exactly this identifier. *)
+
+val successor_of_key : t -> Hashid.Id.t -> int
+(** The node that owns a key: first node clockwise from it (inclusive). *)
+
+val total_finger_segments : t -> int
+(** Sum of distinct finger-table entries over all nodes (cost model). *)

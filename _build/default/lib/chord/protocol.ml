@@ -1,0 +1,368 @@
+module Id = Hashid.Id
+module Engine = Simnet.Engine
+
+type config = {
+  space : Id.space;
+  stabilize_every : float;
+  fix_fingers_every : float;
+  check_pred_every : float;
+  fingers_per_round : int;
+  succ_list_len : int;
+  rpc_timeout : float;
+  lookup_retries : int;
+}
+
+let default_config space =
+  {
+    space;
+    stabilize_every = 500.0;
+    fix_fingers_every = 500.0;
+    check_pred_every = 1000.0;
+    fingers_per_round = 8;
+    succ_list_len = 4;
+    rpc_timeout = 2000.0;
+    lookup_retries = 3;
+  }
+
+type peer = { paddr : int; pid : Id.t }
+
+type pnode = {
+  addr : int;
+  id : Id.t;
+  mutable pred : peer option;
+  mutable succs : peer list; (* head = immediate successor; never empty once live *)
+  fingers : peer option array;
+  mutable next_finger : int;
+  mutable anchor : int;
+      (* a long-lived re-entry point (the bootstrap peer): a node that loses
+         its whole successor list to failures/loss re-joins through it
+         instead of staying marooned in a self-ring *)
+  mutable stabilize_rounds : int;
+  mutable succ_suspect : int;
+      (* consecutive stabilize timeouts against the current successor; a
+         single lost reply must not expunge a healthy peer *)
+}
+
+type t = { cfg : config; eng : Engine.t; nodes : (int, pnode) Hashtbl.t }
+
+let create cfg eng = { cfg; eng; nodes = Hashtbl.create 64 }
+let engine t = t.eng
+let config t = t.cfg
+
+let self_peer pn = { paddr = pn.addr; pid = pn.id }
+let get t addr = Hashtbl.find t.nodes addr
+
+let is_member t addr = Hashtbl.mem t.nodes addr && Engine.is_alive t.eng addr
+let node_id t addr = (get t addr).id
+
+let successor_addr t addr =
+  match (get t addr).succs with [] -> None | s :: _ -> Some s.paddr
+
+let predecessor_addr t addr = Option.map (fun p -> p.paddr) (get t addr).pred
+let successor_list_addrs t addr = List.map (fun p -> p.paddr) (get t addr).succs
+let finger_addrs t addr = Array.map (Option.map (fun p -> p.paddr)) (get t addr).fingers
+
+let live_members t =
+  Hashtbl.fold (fun addr _ acc -> if Engine.is_alive t.eng addr then addr :: acc else acc) t.nodes []
+  |> List.sort Stdlib.compare
+
+let ring_from t start =
+  let guard = 2 * (Hashtbl.length t.nodes + 1) in
+  let rec go addr acc n =
+    if n > guard then List.rev acc
+    else
+      match successor_addr t addr with
+      | None -> List.rev acc
+      | Some s when s = start -> List.rev acc
+      | Some s -> go s (s :: acc) (n + 1)
+  in
+  go start [ start ] 0
+
+(* --- message plumbing ------------------------------------------------- *)
+
+(* Request/response with timeout. [service] runs at [dst] against its node
+   state and must call its continuation exactly once with the response;
+   the response value travels back in a second message. A timer at the
+   requester fires [on_timeout] if the response has not arrived. *)
+let ask t ~src ~dst ~(service : pnode -> 'a) ~(ok : 'a -> unit) ~(timeout : unit -> unit) =
+  let settled = ref false in
+  Engine.send t.eng ~src ~dst (fun () ->
+      match Hashtbl.find_opt t.nodes dst with
+      | None -> ()
+      | Some pn ->
+          let response = service pn in
+          Engine.send t.eng ~src:dst ~dst:src (fun () ->
+              if not !settled then begin
+                settled := true;
+                ok response
+              end));
+  Engine.timer t.eng ~node:src ~delay:t.cfg.rpc_timeout (fun () ->
+      if not !settled then begin
+        settled := true;
+        timeout ()
+      end)
+
+(* Split-ring healing: parallel rings (formed under heavy loss or
+   simultaneous joins) never merge through stabilize alone, because no
+   notify crosses rings. Periodically each node asks its anchor's ring for
+   its own successor and adopts the answer when it is closer than the
+   current one; since every join anchors at the same long-lived peer, that
+   ring is authoritative and stray rings drain into it. *)
+let anchor_crosscheck_period = 8
+
+(* Remove a peer everywhere it appears in local state (it timed out). *)
+let expunge pn bad =
+  pn.succs <- List.filter (fun p -> p.paddr <> bad) pn.succs;
+  (match pn.pred with Some p when p.paddr = bad -> pn.pred <- None | _ -> ());
+  Array.iteri
+    (fun i f -> match f with Some p when p.paddr = bad -> pn.fingers.(i) <- None | _ -> ())
+    pn.fingers
+
+let current_successor pn = match pn.succs with [] -> self_peer pn | s :: _ -> s
+
+(* Best known next hop strictly inside (self, key): scan fingers from the
+   top, then the successor list; fall back to the immediate successor. *)
+let closest_preceding pn ~key =
+  let best = ref None in
+  let consider p =
+    if p.paddr <> pn.addr && Id.in_oo p.pid ~lo:pn.id ~hi:key then
+      match !best with
+      | Some b when Id.in_oo p.pid ~lo:b.pid ~hi:key -> best := Some p
+      | Some _ -> ()
+      | None -> best := Some p
+  in
+  Array.iter (function Some p -> consider p | None -> ()) pn.fingers;
+  List.iter consider pn.succs;
+  match !best with Some p -> p | None -> current_successor pn
+
+(* --- find_successor: recursive forwarding with direct reply ----------- *)
+
+let rec handle_find_successor t pn ~key ~hops ~reply_to ~(reply : peer -> int -> unit) =
+  let succ = current_successor pn in
+  if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then
+    (* reply travels straight back to the requester *)
+    Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () -> reply succ (hops + 1))
+  else begin
+    let next = closest_preceding pn ~key in
+    Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+        match Hashtbl.find_opt t.nodes next.paddr with
+        | None -> ()
+        | Some pn' -> handle_find_successor t pn' ~key ~hops:(hops + 1) ~reply_to ~reply)
+  end
+
+(* find_successor issued from [src] with timeout/retry *)
+let find_successor t ~src ~key ~retries ~(ok : peer -> int -> unit) ~(failed : unit -> unit) =
+  let rec attempt n =
+    let settled = ref false in
+    (match Hashtbl.find_opt t.nodes src with
+    | None -> ()
+    | Some pn ->
+        handle_find_successor t pn ~key ~hops:(-1) ~reply_to:src ~reply:(fun p h ->
+            if not !settled then begin
+              settled := true;
+              ok p h
+            end));
+    Engine.timer t.eng ~node:src ~delay:t.cfg.rpc_timeout (fun () ->
+        if not !settled then begin
+          settled := true;
+          if n > 0 then attempt (n - 1) else failed ()
+        end)
+  in
+  attempt retries
+
+(* --- periodic maintenance --------------------------------------------- *)
+
+(* Successor-list hygiene: drop ourselves, dedup by address (keeping the
+   first = closest occurrence), cap at the configured length. *)
+let truncate_succs cfg pn l =
+  let seen = Hashtbl.create 8 in
+  let deduped =
+    List.filter
+      (fun p ->
+        if p.paddr = pn.addr || Hashtbl.mem seen p.paddr then false
+        else begin
+          Hashtbl.replace seen p.paddr ();
+          true
+        end)
+      l
+  in
+  List.filteri (fun i _ -> i < cfg.succ_list_len) deduped
+
+let rec stabilize t pn =
+  let succ = current_successor pn in
+  if succ.paddr = pn.addr then begin
+    (* self-ring: adopt our predecessor as successor once one shows up;
+       failing that, re-enter the ring through the anchor *)
+    (match pn.pred with
+    | Some p when p.paddr <> pn.addr -> pn.succs <- [ p ]
+    | _ ->
+        if pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then
+          Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+              match Hashtbl.find_opt t.nodes pn.anchor with
+              | None -> ()
+              | Some apn ->
+                  handle_find_successor t apn ~key:pn.id ~hops:0 ~reply_to:pn.addr
+                    ~reply:(fun p _ ->
+                      if (current_successor pn).paddr = pn.addr && p.paddr <> pn.addr then
+                        pn.succs <- [ p ])));
+    schedule_stabilize t pn
+  end
+  else
+    ask t ~src:pn.addr ~dst:succ.paddr
+      ~service:(fun spn -> (spn.pred, self_peer spn :: spn.succs))
+      ~ok:(fun (spred, slist) ->
+        pn.succ_suspect <- 0;
+        (match spred with
+        | Some x when x.paddr <> pn.addr && Id.in_oo x.pid ~lo:pn.id ~hi:succ.pid ->
+            (* a closer successor exists between us and our successor *)
+            pn.succs <- truncate_succs t.cfg pn (x :: slist)
+        | _ ->
+            (* refresh our successor list from the successor's *)
+            pn.succs <- truncate_succs t.cfg pn slist);
+        pn.stabilize_rounds <- pn.stabilize_rounds + 1;
+        if
+          pn.stabilize_rounds mod anchor_crosscheck_period = 0
+          && pn.anchor <> pn.addr
+          && Engine.is_alive t.eng pn.anchor
+        then
+          Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+              match Hashtbl.find_opt t.nodes pn.anchor with
+              | None -> ()
+              | Some apn ->
+                  handle_find_successor t apn ~key:pn.id ~hops:0 ~reply_to:pn.addr
+                    ~reply:(fun p _ ->
+                      let cur = current_successor pn in
+                      if
+                        p.paddr <> pn.addr
+                        && (cur.paddr = pn.addr || Id.in_oo p.pid ~lo:pn.id ~hi:cur.pid)
+                      then pn.succs <- truncate_succs t.cfg pn (p :: pn.succs)));
+        let new_succ = current_successor pn in
+        (* notify: we believe we are their predecessor *)
+        Engine.send t.eng ~src:pn.addr ~dst:new_succ.paddr (fun () ->
+            match Hashtbl.find_opt t.nodes new_succ.paddr with
+            | None -> ()
+            | Some spn -> (
+                let candidate = self_peer pn in
+                match spn.pred with
+                | None -> spn.pred <- Some candidate
+                | Some p when Id.in_oo candidate.pid ~lo:p.pid ~hi:spn.id ->
+                    spn.pred <- Some candidate
+                | Some _ -> ()));
+        schedule_stabilize t pn)
+      ~timeout:(fun () ->
+        (* only declare the successor dead after two consecutive silent
+           rounds — one lost reply is routine under message loss *)
+        pn.succ_suspect <- pn.succ_suspect + 1;
+        if pn.succ_suspect >= 2 && (current_successor pn).paddr = succ.paddr then begin
+          pn.succ_suspect <- 0;
+          expunge pn succ.paddr;
+          if pn.succs = [] then pn.succs <- [ self_peer pn ]
+        end;
+        schedule_stabilize t pn)
+
+and schedule_stabilize t pn =
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.stabilize_every (fun () -> stabilize t pn)
+
+let rec fix_fingers t pn =
+  let bits = Id.bits t.cfg.space in
+  let batch = min t.cfg.fingers_per_round bits in
+  let rec fix k =
+    if k = 0 then ()
+    else begin
+      let i = pn.next_finger in
+      pn.next_finger <- (pn.next_finger + 1) mod bits;
+      let start = Id.add_pow2 t.cfg.space pn.id i in
+      find_successor t ~src:pn.addr ~key:start ~retries:0
+        ~ok:(fun p _ -> pn.fingers.(i) <- Some p)
+        ~failed:(fun () -> ());
+      fix (k - 1)
+    end
+  in
+  fix batch;
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.fix_fingers_every (fun () -> fix_fingers t pn)
+
+let rec check_predecessor t pn =
+  (match pn.pred with
+  | None -> ()
+  | Some p ->
+      if p.paddr <> pn.addr then
+        ask t ~src:pn.addr ~dst:p.paddr
+          ~service:(fun _ -> ())
+          ~ok:(fun () -> ())
+          ~timeout:(fun () ->
+            match pn.pred with
+            | Some q when q.paddr = p.paddr -> pn.pred <- None
+            | _ -> ()));
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.check_pred_every (fun () -> check_predecessor t pn)
+
+let start_maintenance t pn =
+  schedule_stabilize t pn;
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.fix_fingers_every (fun () -> fix_fingers t pn);
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.check_pred_every (fun () -> check_predecessor t pn)
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let fresh_node t ~addr ~id =
+  if Hashtbl.mem t.nodes addr then invalid_arg "Chord.Protocol: address already in use";
+  let pn =
+    {
+      addr;
+      id;
+      pred = None;
+      succs = [];
+      fingers = Array.make (Id.bits t.cfg.space) None;
+      next_finger = 0;
+      anchor = addr;
+      stabilize_rounds = 0;
+      succ_suspect = 0;
+    }
+  in
+  Hashtbl.replace t.nodes addr pn;
+  pn
+
+let spawn t ~addr ~id =
+  let pn = fresh_node t ~addr ~id in
+  pn.succs <- [ self_peer pn ];
+  start_maintenance t pn
+
+let join t ~addr ~id ~bootstrap =
+  let pn = fresh_node t ~addr ~id in
+  pn.anchor <- bootstrap;
+  let rec attempt n =
+    (* route the join query through the bootstrap node *)
+    let settled = ref false in
+    Engine.send t.eng ~src:addr ~dst:bootstrap (fun () ->
+        match Hashtbl.find_opt t.nodes bootstrap with
+        | None -> ()
+        | Some bpn ->
+            handle_find_successor t bpn ~key:id ~hops:0 ~reply_to:addr ~reply:(fun p _ ->
+                if not !settled then begin
+                  settled := true;
+                  pn.succs <- [ p ];
+                  start_maintenance t pn
+                end));
+    Engine.timer t.eng ~node:addr ~delay:t.cfg.rpc_timeout (fun () ->
+        if not !settled then begin
+          settled := true;
+          (* a node that never joins is lost forever: keep retrying, with a
+             longer pause once the initial retry budget is spent *)
+          let backoff = if n > 0 then 0.0 else 4.0 *. t.cfg.rpc_timeout in
+          Engine.timer t.eng ~node:addr ~delay:backoff (fun () -> attempt (max 0 (n - 1)))
+        end)
+  in
+  attempt t.cfg.lookup_retries
+
+let fail_node t addr =
+  if not (Hashtbl.mem t.nodes addr) then invalid_arg "Chord.Protocol.fail_node: unknown node";
+  Engine.kill t.eng addr
+
+type lookup_outcome = { owner_addr : int; owner_id : Id.t; hops : int; retries : int }
+
+let lookup t ~origin ~key k =
+  let rec attempt budget tries =
+    find_successor t ~src:origin ~key ~retries:0
+      ~ok:(fun p hops ->
+        k (Some { owner_addr = p.paddr; owner_id = p.pid; hops; retries = tries }))
+      ~failed:(fun () -> if budget > 0 then attempt (budget - 1) (tries + 1) else k None)
+  in
+  attempt t.cfg.lookup_retries 0

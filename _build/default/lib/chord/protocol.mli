@@ -1,0 +1,72 @@
+(** Message-level Chord protocol (join / stabilize / notify / fix-fingers /
+    check-predecessor) running on {!Simnet.Engine}.
+
+    This is the dynamic counterpart of the oracle builder in {!Network}: real
+    Chord as in Stoica et al., driven entirely by simulated messages and
+    timers, with successor lists for fault tolerance. Nodes join through a
+    bootstrap peer, periodically stabilize, and survive silent node failures
+    (the engine drops messages to dead nodes; requesters detect loss by
+    timeout and route around).
+
+    Tests assert that a protocol-built ring converges to exactly the
+    fixpoint {!Network.build} computes directly, and that lookups keep
+    succeeding under churn and message loss. *)
+
+type config = {
+  space : Hashid.Id.space;
+  stabilize_every : float;  (** ms between stabilize rounds *)
+  fix_fingers_every : float;
+  check_pred_every : float;
+  fingers_per_round : int;  (** finger slots refreshed per fix-fingers round *)
+  succ_list_len : int;
+  rpc_timeout : float;  (** ms before a request is considered lost *)
+  lookup_retries : int;
+}
+
+val default_config : Hashid.Id.space -> config
+
+type t
+
+val create : config -> Simnet.Engine.t -> t
+val engine : t -> Simnet.Engine.t
+val config : t -> config
+
+val spawn : t -> addr:int -> id:Hashid.Id.t -> unit
+(** Create the first node: a one-node ring (its own successor), maintenance
+    timers started. *)
+
+val join : t -> addr:int -> id:Hashid.Id.t -> bootstrap:int -> unit
+(** Schedule a join through [bootstrap] (which must eventually answer). The
+    node is live once its first [find_successor] reply arrives. *)
+
+val fail_node : t -> int -> unit
+(** Silent fail: the node stops responding (engine-level kill). *)
+
+type lookup_outcome = {
+  owner_addr : int;
+  owner_id : Hashid.Id.t;
+  hops : int;  (** overlay forwarding steps, as counted in the paper *)
+  retries : int;
+}
+
+val lookup :
+  t -> origin:int -> key:Hashid.Id.t -> (lookup_outcome option -> unit) -> unit
+(** Asynchronous lookup; the callback gets [None] after all retries time
+    out. *)
+
+(** {2 Introspection (tests and examples)} *)
+
+val is_member : t -> int -> bool
+(** Spawned/joined and currently alive. *)
+
+val node_id : t -> int -> Hashid.Id.t
+val successor_addr : t -> int -> int option
+val predecessor_addr : t -> int -> int option
+val successor_list_addrs : t -> int -> int list
+val finger_addrs : t -> int -> int option array
+
+val ring_from : t -> int -> int list
+(** Follow successor pointers from a node until the cycle closes (or a
+    length guard trips) — the current ring order as this node sees it. *)
+
+val live_members : t -> int list

@@ -1,0 +1,1 @@
+lib/core/hlookup.ml: Array Chord Hashid Hnetwork List Topology

@@ -1,0 +1,1 @@
+lib/core/hlookup.mli: Hashid Hnetwork

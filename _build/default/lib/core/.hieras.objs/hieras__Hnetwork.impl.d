@@ -1,0 +1,1 @@
+lib/core/hnetwork.ml: Array Binning Chord Hashid Hashtbl List Option Prng Ring_name Ring_table Topology

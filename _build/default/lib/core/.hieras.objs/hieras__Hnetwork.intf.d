@@ -1,0 +1,1 @@
+lib/core/hnetwork.mli: Binning Chord Prng Ring_name Ring_table Topology

@@ -1,0 +1,1 @@
+lib/core/hprotocol.ml: Array Binning Float Hashid Hashtbl List Option Ring_name Ring_table Simnet Stdlib Topology

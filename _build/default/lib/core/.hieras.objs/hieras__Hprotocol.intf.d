@@ -1,0 +1,1 @@
+lib/core/hprotocol.mli: Binning Hashid Ring_name Ring_table Simnet Topology

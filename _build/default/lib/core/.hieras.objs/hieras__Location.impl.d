@@ -1,0 +1,1 @@
+lib/core/location.ml: Chord Hashid Hashtbl Hlookup Hnetwork List Option Topology

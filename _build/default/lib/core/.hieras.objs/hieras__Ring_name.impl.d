@@ -1,0 +1,1 @@
+lib/core/ring_name.ml: Format Hashid Printf Stdlib String

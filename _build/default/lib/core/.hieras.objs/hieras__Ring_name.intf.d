@@ -1,0 +1,1 @@
+lib/core/ring_name.mli: Format Hashid

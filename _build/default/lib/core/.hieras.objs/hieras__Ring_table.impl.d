@@ -1,0 +1,1 @@
+lib/core/ring_table.ml: Format Hashid List Ring_name

@@ -1,0 +1,1 @@
+lib/core/ring_table.mli: Format Hashid Ring_name

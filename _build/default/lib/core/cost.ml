@@ -1,0 +1,102 @@
+type node_cost = {
+  finger_segments : int array;
+  successor_lists : int;
+  ring_tables_stored : int;
+  state_bytes : int;
+}
+
+type totals = {
+  nodes : int;
+  depth : int;
+  mean_finger_segments_per_layer : float array;
+  mean_state_bytes : float;
+  chord_mean_state_bytes : float;
+  state_overhead_ratio : float;
+  ring_tables : int;
+  mean_stabilize_link_latency_per_layer : float array;
+}
+
+let entry_bytes space = Hashid.Id.bytes space + 6 (* id + IPv4 addr + port *)
+
+let per_node hnet ~succ_list_len node =
+  let depth = Hnetwork.depth hnet in
+  let net = Hnetwork.chord hnet in
+  let eb = entry_bytes (Chord.Network.space net) in
+  let finger_segments =
+    Array.init depth (fun k ->
+        Chord.Finger_table.distinct_count (Hnetwork.finger_table hnet ~layer:(k + 1) node))
+  in
+  let ring_tables_stored =
+    let stored = ref 0 in
+    for layer = 2 to depth do
+      List.iter
+        (fun rname -> if Hnetwork.ring_table_manager hnet rname = node then incr stored)
+        (Hnetwork.ring_names hnet ~layer)
+    done;
+    !stored
+  in
+  let fingers_total = Array.fold_left ( + ) 0 finger_segments in
+  let state_bytes =
+    eb
+    * (fingers_total + (depth * succ_list_len) + 1 (* predecessor *)
+      + (4 * ring_tables_stored))
+  in
+  { finger_segments; successor_lists = depth; ring_tables_stored; state_bytes }
+
+let totals hnet ~succ_list_len =
+  let n = Hnetwork.size hnet in
+  let depth = Hnetwork.depth hnet in
+  let net = Hnetwork.chord hnet in
+  let lat = Hnetwork.latency_oracle hnet in
+  let eb = entry_bytes (Chord.Network.space net) in
+  let seg_sum = Array.make depth 0 in
+  let state_sum = ref 0 in
+  let rt_total = ref 0 in
+  for node = 0 to n - 1 do
+    let c = per_node hnet ~succ_list_len node in
+    Array.iteri (fun k s -> seg_sum.(k) <- seg_sum.(k) + s) c.finger_segments;
+    state_sum := !state_sum + c.state_bytes;
+    rt_total := !rt_total + c.ring_tables_stored
+  done;
+  let chord_mean =
+    float_of_int (eb * (Chord.Network.total_finger_segments net + (n * (succ_list_len + 1))))
+    /. float_of_int n
+  in
+  let mean_state = float_of_int !state_sum /. float_of_int n in
+  (* stabilize cost: the node -> ring-successor link latency per layer *)
+  let stab = Array.make depth 0.0 in
+  for node = 0 to n - 1 do
+    for k = 0 to depth - 1 do
+      let layer = k + 1 in
+      let succ =
+        if layer = 1 then Chord.Network.successor net node
+        else Hnetwork.ring_successor hnet ~layer node
+      in
+      stab.(k) <-
+        stab.(k)
+        +. Topology.Latency.host_latency lat (Chord.Network.host net node)
+             (Chord.Network.host net succ)
+    done
+  done;
+  {
+    nodes = n;
+    depth;
+    mean_finger_segments_per_layer =
+      Array.map (fun s -> float_of_int s /. float_of_int n) seg_sum;
+    mean_state_bytes = mean_state;
+    chord_mean_state_bytes = chord_mean;
+    state_overhead_ratio = mean_state /. chord_mean;
+    ring_tables = !rt_total;
+    mean_stabilize_link_latency_per_layer =
+      Array.map (fun s -> s /. float_of_int n) stab;
+  }
+
+let pp_totals fmt t =
+  Format.fprintf fmt "@[<v>nodes=%d depth=%d@," t.nodes t.depth;
+  Array.iteri
+    (fun k s ->
+      Format.fprintf fmt "layer %d: mean finger segments %.2f, stabilize link %.2f ms@," (k + 1)
+        s t.mean_stabilize_link_latency_per_layer.(k))
+    t.mean_finger_segments_per_layer;
+  Format.fprintf fmt "state: %.0f B/node (chord %.0f B/node, x%.2f), %d ring tables@]"
+    t.mean_state_bytes t.chord_mean_state_bytes t.state_overhead_ratio t.ring_tables

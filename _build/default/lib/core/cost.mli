@@ -1,0 +1,39 @@
+(** Cost model for HIERAS's extra state and maintenance (paper §3.4, and the
+    "quantitative analysis of overheads" named as future work).
+
+    Quantifies what a node pays for the hierarchy:
+    - extra finger-table entries (one table per layer, but lower tables are
+      smaller — distinct-successor segments shrink with ring size);
+    - extra successor lists (one per layer);
+    - ring tables stored on behalf of the system;
+    - maintenance traffic cost, weighted by the latency of the links the
+      periodic stabilize/ping messages travel (the paper's argument is that
+      lower-layer maintenance is cheap {e because} those peers are close). *)
+
+type node_cost = {
+  finger_segments : int array;  (** distinct finger entries per layer, index 0 = global *)
+  successor_lists : int;  (** number of successor lists = depth *)
+  ring_tables_stored : int;  (** ring tables this node manages *)
+  state_bytes : int;  (** estimated routing-state footprint *)
+}
+
+type totals = {
+  nodes : int;
+  depth : int;
+  mean_finger_segments_per_layer : float array;
+  mean_state_bytes : float;
+  chord_mean_state_bytes : float;  (** same network, plain Chord *)
+  state_overhead_ratio : float;  (** HIERAS / Chord *)
+  ring_tables : int;
+  mean_stabilize_link_latency_per_layer : float array;
+      (** mean delay of the node -> ring-successor link per layer: the cost
+          of one stabilization round trip is proportional to this *)
+}
+
+val entry_bytes : Hashid.Id.space -> int
+(** Bytes per routing entry: identifier plus an IPv4 address and port. *)
+
+val per_node : Hnetwork.t -> succ_list_len:int -> int -> node_cost
+val totals : Hnetwork.t -> succ_list_len:int -> totals
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,36 @@
+(** Hierarchical HIERAS routing (paper §3.2) with per-layer accounting.
+
+    A lookup runs [depth] Chord loops: first inside the originator's most
+    local ring using that ring's finger table, stopping at the ring member
+    whose identifier is closest to the key (its ring-level successor); if
+    that member is not the key's global owner the procedure climbs one layer
+    and repeats, finishing — at the latest — on the global ring, where
+    Chord's guarantee applies. Ring nesting (see {!Hnetwork}) ensures every
+    intermediate node of a layer-[k] loop owns a finger table for that very
+    ring.
+
+    Each hop is tagged with the layer whose finger table chose it; Figures
+    4–7 of the paper are computed from exactly this decomposition. *)
+
+type hop = { from_node : int; to_node : int; latency : float; layer : int }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;
+  hops : hop list;  (** in travel order *)
+  hop_count : int;
+  latency : float;  (** ms, total *)
+  hops_per_layer : int array;  (** index 0 = layer 1 (global) ... *)
+  latency_per_layer : float array;
+  finished_at_layer : int;
+      (** the layer whose loop reached the global owner (depth = most local;
+          1 = needed the global ring) *)
+}
+
+val route : Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
+
+val route_checked : Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
+(** Like {!route} but asserts the destination equals the Chord owner of the
+    key — used by tests; routing correctness must never depend on binning
+    quality. *)

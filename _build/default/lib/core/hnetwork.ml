@@ -1,0 +1,180 @@
+module Id = Hashid.Id
+
+type ring = {
+  rname : Ring_name.t;
+  members : int array; (* node indices, ascending by identifier *)
+  pos_of : (int, int) Hashtbl.t; (* node -> position in members *)
+  fingers : Chord.Finger_table.t array; (* aligned with members *)
+  table : Ring_table.t;
+}
+
+type t = {
+  chord : Chord.Network.t;
+  lat : Topology.Latency.t;
+  landmarks : Binning.Landmark.t;
+  depth : int;
+  orders : string array array; (* orders.(k).(node), k = layer - 2 *)
+  rings : (string, ring) Hashtbl.t array; (* rings.(k) : order -> ring *)
+  ring_of : ring array array; (* ring_of.(k).(node) *)
+}
+
+let build ~chord ~lat ~landmarks ~depth ?measure () =
+  if depth < 2 then invalid_arg "Hnetwork.build: depth must be >= 2";
+  let n = Chord.Network.size chord in
+  let space = Chord.Network.space chord in
+  let measure =
+    match measure with
+    | Some f -> f
+    | None -> fun ~host -> Binning.Landmark.measure lat landmarks ~host
+  in
+  let chain = Binning.Scheme.refinement_chain ~depth in
+  (* one measurement vector per node, quantised once per layer *)
+  let orders =
+    let vectors = Array.init n (fun i -> measure ~host:(Chord.Network.host chord i)) in
+    Array.init (depth - 1) (fun k ->
+        Array.init n (fun i -> Binning.Scheme.order chain.(k) vectors.(i)))
+  in
+  let rings = Array.init (depth - 1) (fun _ -> Hashtbl.create 64) in
+  for k = 0 to depth - 2 do
+    (* group nodes by order; iterating 0..n-1 keeps members id-sorted because
+       chord node indices are id-ordered *)
+    let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    for i = n - 1 downto 0 do
+      let o = orders.(k).(i) in
+      match Hashtbl.find_opt groups o with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.replace groups o (ref [ i ])
+    done;
+    Hashtbl.iter
+      (fun o l ->
+        let members = Array.of_list !l in
+        let rname = Ring_name.make ~layer:(k + 2) ~order:o in
+        let member_ids = Array.map (Chord.Network.id chord) members in
+        let fingers =
+          Array.mapi
+            (fun pos node ->
+              Chord.Finger_table.build space ~owner:node
+                ~owner_id:member_ids.(pos) ~member_ids ~member_nodes:members)
+            members
+        in
+        let pos_of = Hashtbl.create (2 * Array.length members) in
+        Array.iteri (fun pos node -> Hashtbl.replace pos_of node pos) members;
+        let table =
+          Ring_table.of_members space rname
+            (Array.to_list
+               (Array.mapi
+                  (fun pos node -> { Ring_table.node; id = member_ids.(pos) })
+                  members))
+        in
+        let ring = { rname; members; pos_of; fingers; table } in
+        Hashtbl.replace rings.(k) o ring)
+      groups
+  done;
+  (* every node belongs to exactly one ring per lower layer *)
+  let ring_of =
+    Array.init (depth - 1) (fun k ->
+        Array.init n (fun node -> Hashtbl.find rings.(k) orders.(k).(node)))
+  in
+  { chord; lat; landmarks; depth; orders; rings; ring_of }
+
+let chord t = t.chord
+let latency_oracle t = t.lat
+let depth t = t.depth
+let landmarks t = t.landmarks
+let size t = Chord.Network.size t.chord
+
+let check_layer t layer =
+  if layer < 2 || layer > t.depth then invalid_arg "Hnetwork: layer out of range"
+
+let order_of_node t ~layer node =
+  check_layer t layer;
+  t.orders.(layer - 2).(node)
+
+let ring_name_of_node t ~layer node =
+  Ring_name.make ~layer ~order:(order_of_node t ~layer node)
+
+let ring_count t ~layer =
+  check_layer t layer;
+  Hashtbl.length t.rings.(layer - 2)
+
+let ring_names t ~layer =
+  check_layer t layer;
+  Hashtbl.fold (fun _ r acc -> r.rname :: acc) t.rings.(layer - 2) []
+  |> List.sort Ring_name.compare
+
+let ring_members t ~layer ~order =
+  check_layer t layer;
+  match Hashtbl.find_opt t.rings.(layer - 2) order with
+  | None -> [||]
+  | Some r -> Array.copy r.members
+
+let ring_of_node t ~layer node =
+  check_layer t layer;
+  t.ring_of.(layer - 2).(node)
+
+let ring_size_of_node t ~layer node = Array.length (ring_of_node t ~layer node).members
+
+let ring_successor t ~layer node =
+  let r = ring_of_node t ~layer node in
+  let pos = Hashtbl.find r.pos_of node in
+  r.members.((pos + 1) mod Array.length r.members)
+
+let ring_predecessor t ~layer node =
+  let r = ring_of_node t ~layer node in
+  let pos = Hashtbl.find r.pos_of node in
+  let m = Array.length r.members in
+  r.members.((pos + m - 1) mod m)
+
+let finger_table t ~layer node =
+  if layer = 1 then Chord.Network.finger_table t.chord node
+  else begin
+    let r = ring_of_node t ~layer node in
+    r.fingers.(Hashtbl.find r.pos_of node)
+  end
+
+let ring_table t ~layer ~order =
+  check_layer t layer;
+  Option.map (fun r -> r.table) (Hashtbl.find_opt t.rings.(layer - 2) order)
+
+let ring_table_manager t rname =
+  let rid = Ring_name.ring_id (Chord.Network.space t.chord) rname in
+  Chord.Network.successor_of_key t.chord rid
+
+let nesting_ok t =
+  let n = size t in
+  let ok = ref true in
+  (* two nodes sharing a deep ring must share every shallower ring; checking
+     per node that its deep ring members all carry its shallow order *)
+  for k = 1 to t.depth - 2 do
+    for node = 0 to n - 1 do
+      let deep = t.ring_of.(k).(node) in
+      let shallow_order = t.orders.(k - 1).(node) in
+      Array.iter
+        (fun m -> if t.orders.(k - 1).(m) <> shallow_order then ok := false)
+        deep.members
+    done
+  done;
+  !ok
+
+let mean_ring_link_latency t ~layer ~samples rng =
+  check_layer t layer;
+  let n = size t in
+  let acc = ref 0.0 and cnt = ref 0 in
+  let attempts = ref 0 in
+  while !cnt < samples && !attempts < 50 * samples do
+    incr attempts;
+    let node = Prng.Rng.int rng n in
+    let r = ring_of_node t ~layer node in
+    let m = Array.length r.members in
+    if m >= 2 then begin
+      let a = r.members.(Prng.Rng.int rng m) and b = r.members.(Prng.Rng.int rng m) in
+      if a <> b then begin
+        acc :=
+          !acc
+          +. Topology.Latency.host_latency t.lat (Chord.Network.host t.chord a)
+               (Chord.Network.host t.chord b);
+        incr cnt
+      end
+    end
+  done;
+  if !cnt = 0 then 0.0 else !acc /. float_of_int !cnt

@@ -1,0 +1,65 @@
+(** Oracle-built HIERAS networks: the stabilized multi-ring state.
+
+    A HIERAS network wraps a Chord network (the top-layer, "biggest" ring)
+    and adds [depth - 1] lower layers. Each node measures its latency to the
+    landmark set once; layer [k]'s ring name is that vector quantised with
+    the layer's thresholds ({!Binning.Scheme.refinement_chain} — deeper
+    layers use strictly finer boundaries, so each deep ring nests inside its
+    parent). Per layer, every node keeps a Chord finger table restricted to
+    its ring's members, plus ring successor/predecessor; each ring also gets
+    the {!Ring_table} the top layer stores for it.
+
+    Layer indexing follows the paper: layer 1 is the global ring, layer
+    [depth] the most local one. *)
+
+type t
+
+val build :
+  chord:Chord.Network.t ->
+  lat:Topology.Latency.t ->
+  landmarks:Binning.Landmark.t ->
+  depth:int ->
+  ?measure:(host:int -> float array) ->
+  unit ->
+  t
+(** [depth >= 2] (a depth-1 HIERAS system {e is} Chord; build that directly).
+    [measure] overrides the landmark measurement (e.g. jittered pings);
+    default is the exact oracle measurement. The Chord network's hosts must
+    be hosts of [lat]. *)
+
+val chord : t -> Chord.Network.t
+val latency_oracle : t -> Topology.Latency.t
+val depth : t -> int
+val landmarks : t -> Binning.Landmark.t
+val size : t -> int
+
+val order_of_node : t -> layer:int -> int -> string
+(** Ring name (order string) of a node at a layer in [2 .. depth]. *)
+
+val ring_name_of_node : t -> layer:int -> int -> Ring_name.t
+
+val ring_count : t -> layer:int -> int
+val ring_names : t -> layer:int -> Ring_name.t list
+val ring_members : t -> layer:int -> order:string -> int array
+(** Member node indices sorted by identifier; empty if no such ring. *)
+
+val ring_size_of_node : t -> layer:int -> int -> int
+val ring_successor : t -> layer:int -> int -> int
+val ring_predecessor : t -> layer:int -> int -> int
+val finger_table : t -> layer:int -> int -> Chord.Finger_table.t
+(** Layer 1 returns the Chord table; layers 2.. return the ring-restricted
+    table. *)
+
+val ring_table : t -> layer:int -> order:string -> Ring_table.t option
+val ring_table_manager : t -> Ring_name.t -> int
+(** The node storing a ring's table: successor of the hashed ring id on the
+    top layer. *)
+
+val nesting_ok : t -> bool
+(** Every node's layer-[k+1] ring is a subset of its layer-[k] ring (checked
+    over order strings via threshold refinement) — the invariant hierarchical
+    routing relies on. *)
+
+val mean_ring_link_latency : t -> layer:int -> samples:int -> Prng.Rng.t -> float
+(** Monte-Carlo mean latency between two random members of the same ring at
+    the given layer (diagnostic for "lower rings are tighter"). *)

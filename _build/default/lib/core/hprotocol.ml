@@ -1,0 +1,741 @@
+module Id = Hashid.Id
+module Engine = Simnet.Engine
+
+type config = {
+  space : Id.space;
+  depth : int;
+  stabilize_every : float;
+  fix_fingers_every : float;
+  check_pred_every : float;
+  fingers_per_round : int;
+  succ_list_len : int;
+  rpc_timeout : float;
+  lookup_retries : int;
+  ring_check_every : float;
+}
+
+let default_config space ~depth =
+  {
+    space;
+    depth;
+    stabilize_every = 500.0;
+    fix_fingers_every = 500.0;
+    check_pred_every = 1000.0;
+    fingers_per_round = 8;
+    succ_list_len = 4;
+    rpc_timeout = 2000.0;
+    lookup_retries = 3;
+    ring_check_every = 2000.0;
+  }
+
+type peer = { paddr : int; pid : Id.t }
+
+type layer_state = {
+  mutable pred : peer option;
+  mutable succs : peer list;
+  fingers : peer option array;
+  mutable next_finger : int;
+  mutable succ_suspect : int;
+      (* consecutive stabilize timeouts against the current successor *)
+}
+
+type pnode = {
+  addr : int;
+  id : Id.t;
+  orders : string array; (* orders.(k-1) = ring name digits at paper layer k+1 *)
+  layers : layer_state array; (* layers.(0) = global *)
+  stored : (string, Ring_table.t) Hashtbl.t; (* key = Ring_name.to_string *)
+  replicas : (string, Ring_table.t) Hashtbl.t;
+      (* backup copies pushed by the table's manager ("duplicated on several
+         nodes for fault tolerance", paper §3.1); promoted to [stored] when
+         ownership of the hashed ring name passes to this node *)
+  mutable anchor : int;
+      (* re-entry point (bootstrap) for recovering from a marooned global
+         self-ring; lower layers recover through ring_refresh instead *)
+  mutable stabilize_rounds : int;
+}
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  lat : Topology.Latency.t;
+  landmarks : Binning.Landmark.t;
+  chain : Binning.Scheme.thresholds array;
+  nodes : (int, pnode) Hashtbl.t;
+}
+
+let create cfg eng ~lat ~landmarks =
+  if cfg.depth < 2 then invalid_arg "Hprotocol.create: depth must be >= 2";
+  {
+    cfg;
+    eng;
+    lat;
+    landmarks;
+    chain = Binning.Scheme.refinement_chain ~depth:cfg.depth;
+    nodes = Hashtbl.create 64;
+  }
+
+let engine t = t.eng
+let config t = t.cfg
+let self_peer pn = { paddr = pn.addr; pid = pn.id }
+let get t addr = Hashtbl.find t.nodes addr
+let is_member t addr = Hashtbl.mem t.nodes addr && Engine.is_alive t.eng addr
+let node_id t addr = (get t addr).id
+
+let check_layer t layer =
+  if layer < 1 || layer > t.cfg.depth then invalid_arg "Hprotocol: layer out of range"
+
+let order_of t addr ~layer =
+  check_layer t layer;
+  if layer = 1 then invalid_arg "Hprotocol.order_of: the global ring has no order";
+  (get t addr).orders.(layer - 2)
+
+let layer_state pn ~layer = pn.layers.(layer - 1)
+
+let successor_addr t addr ~layer =
+  check_layer t layer;
+  match (layer_state (get t addr) ~layer).succs with [] -> None | s :: _ -> Some s.paddr
+
+let predecessor_addr t addr ~layer =
+  check_layer t layer;
+  Option.map (fun p -> p.paddr) (layer_state (get t addr) ~layer).pred
+
+let ring_from t start ~layer =
+  let guard = 2 * (Hashtbl.length t.nodes + 1) in
+  let rec go addr acc n =
+    if n > guard then List.rev acc
+    else
+      match successor_addr t addr ~layer with
+      | None -> List.rev acc
+      | Some s when s = start -> List.rev acc
+      | Some s -> go s (s :: acc) (n + 1)
+  in
+  go start [ start ] 0
+
+let stored_ring_tables t addr =
+  Hashtbl.fold (fun _ rt acc -> rt :: acc) (get t addr).stored []
+
+let replica_ring_tables t addr =
+  Hashtbl.fold (fun _ rt acc -> rt :: acc) (get t addr).replicas []
+
+let find_ring_table t rname =
+  let key = Ring_name.to_string rname in
+  Hashtbl.fold
+    (fun addr pn acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Engine.is_alive t.eng addr then
+            Option.map (fun rt -> (addr, rt)) (Hashtbl.find_opt pn.stored key)
+          else None)
+    t.nodes None
+
+let live_members t =
+  Hashtbl.fold (fun a _ acc -> if Engine.is_alive t.eng a then a :: acc else acc) t.nodes []
+  |> List.sort Stdlib.compare
+
+(* ---- generic request/response with timeout --------------------------- *)
+
+let ask t ~src ~dst ~service ~ok ~timeout =
+  let settled = ref false in
+  Engine.send t.eng ~src ~dst (fun () ->
+      match Hashtbl.find_opt t.nodes dst with
+      | None -> ()
+      | Some pn ->
+          let response = service pn in
+          Engine.send t.eng ~src:dst ~dst:src (fun () ->
+              if not !settled then begin
+                settled := true;
+                ok response
+              end));
+  Engine.timer t.eng ~node:src ~delay:t.cfg.rpc_timeout (fun () ->
+      if not !settled then begin
+        settled := true;
+        timeout ()
+      end)
+
+let expunge_layer ls bad =
+  ls.succs <- List.filter (fun p -> p.paddr <> bad) ls.succs;
+  (match ls.pred with Some p when p.paddr = bad -> ls.pred <- None | _ -> ());
+  Array.iteri
+    (fun i f -> match f with Some p when p.paddr = bad -> ls.fingers.(i) <- None | _ -> ())
+    ls.fingers
+
+let current_successor pn ls = match ls.succs with [] -> self_peer pn | s :: _ -> s
+
+let closest_preceding pn ls ~key =
+  let best = ref None in
+  let consider p =
+    if p.paddr <> pn.addr && Id.in_oo p.pid ~lo:pn.id ~hi:key then
+      match !best with
+      | Some b when Id.in_oo p.pid ~lo:b.pid ~hi:key -> best := Some p
+      | Some _ -> ()
+      | None -> best := Some p
+  in
+  Array.iter (function Some p -> consider p | None -> ()) ls.fingers;
+  List.iter consider ls.succs;
+  match !best with Some p -> p | None -> current_successor pn ls
+
+(* ---- per-layer find_successor (recursive forwarding) ------------------ *)
+
+let rec handle_find_successor t pn ~layer ~key ~hops ~reply_to ~reply =
+  let ls = layer_state pn ~layer in
+  let succ = current_successor pn ls in
+  if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then
+    Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () -> reply succ (hops + 1))
+  else begin
+    let next = closest_preceding pn ls ~key in
+    Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+        match Hashtbl.find_opt t.nodes next.paddr with
+        | None -> ()
+        | Some pn' -> handle_find_successor t pn' ~layer ~key ~hops:(hops + 1) ~reply_to ~reply)
+  end
+
+let find_successor t ~src ~layer ~key ~retries ~ok ~failed =
+  let rec attempt n =
+    let settled = ref false in
+    (match Hashtbl.find_opt t.nodes src with
+    | None -> ()
+    | Some pn ->
+        handle_find_successor t pn ~layer ~key ~hops:(-1) ~reply_to:src ~reply:(fun p h ->
+            if not !settled then begin
+              settled := true;
+              ok p h
+            end));
+    Engine.timer t.eng ~node:src ~delay:t.cfg.rpc_timeout (fun () ->
+        if not !settled then begin
+          settled := true;
+          if n > 0 then attempt (n - 1) else failed ()
+        end)
+  in
+  attempt retries
+
+(* ---- per-layer maintenance -------------------------------------------- *)
+
+(* see Chord.Protocol: periodic cross-check against the anchor's view of
+   the global ring merges parallel rings that stabilize alone cannot *)
+let anchor_crosscheck_period = 8
+
+let truncate_succs cfg pn l =
+  let seen = Hashtbl.create 8 in
+  let deduped =
+    List.filter
+      (fun p ->
+        if p.paddr = pn.addr || Hashtbl.mem seen p.paddr then false
+        else begin
+          Hashtbl.replace seen p.paddr ();
+          true
+        end)
+      l
+  in
+  List.filteri (fun i _ -> i < cfg.succ_list_len) deduped
+
+let rec stabilize t pn ~layer =
+  let ls = layer_state pn ~layer in
+  let succ = current_successor pn ls in
+  if succ.paddr = pn.addr then begin
+    (match ls.pred with
+    | Some p when p.paddr <> pn.addr -> ls.succs <- [ p ]
+    | _ ->
+        (* global-layer self-ring with no predecessor: re-join via anchor *)
+        if layer = 1 && pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then
+          Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+              match Hashtbl.find_opt t.nodes pn.anchor with
+              | None -> ()
+              | Some apn ->
+                  handle_find_successor t apn ~layer:1 ~key:pn.id ~hops:0 ~reply_to:pn.addr
+                    ~reply:(fun p _ ->
+                      let gls = layer_state pn ~layer:1 in
+                      if (current_successor pn gls).paddr = pn.addr && p.paddr <> pn.addr then
+                        gls.succs <- [ p ])));
+    schedule_stabilize t pn ~layer
+  end
+  else
+    ask t ~src:pn.addr ~dst:succ.paddr
+      ~service:(fun spn ->
+        let sls = layer_state spn ~layer in
+        (sls.pred, self_peer spn :: sls.succs))
+      ~ok:(fun (spred, slist) ->
+        ls.succ_suspect <- 0;
+        (match spred with
+        | Some x when x.paddr <> pn.addr && Id.in_oo x.pid ~lo:pn.id ~hi:succ.pid ->
+            ls.succs <- truncate_succs t.cfg pn (x :: slist)
+        | _ -> ls.succs <- truncate_succs t.cfg pn slist);
+        if layer = 1 then begin
+          pn.stabilize_rounds <- pn.stabilize_rounds + 1;
+          if
+            pn.stabilize_rounds mod anchor_crosscheck_period = 0
+            && pn.anchor <> pn.addr
+            && Engine.is_alive t.eng pn.anchor
+          then
+            Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+                match Hashtbl.find_opt t.nodes pn.anchor with
+                | None -> ()
+                | Some apn ->
+                    handle_find_successor t apn ~layer:1 ~key:pn.id ~hops:0 ~reply_to:pn.addr
+                      ~reply:(fun p _ ->
+                        let gls = layer_state pn ~layer:1 in
+                        let cur = current_successor pn gls in
+                        if
+                          p.paddr <> pn.addr
+                          && (cur.paddr = pn.addr || Id.in_oo p.pid ~lo:pn.id ~hi:cur.pid)
+                        then gls.succs <- truncate_succs t.cfg pn (p :: gls.succs)))
+        end;
+        let new_succ = current_successor pn ls in
+        Engine.send t.eng ~src:pn.addr ~dst:new_succ.paddr (fun () ->
+            match Hashtbl.find_opt t.nodes new_succ.paddr with
+            | None -> ()
+            | Some spn -> (
+                let sls = layer_state spn ~layer in
+                let candidate = self_peer pn in
+                match sls.pred with
+                | None -> sls.pred <- Some candidate
+                | Some p when Id.in_oo candidate.pid ~lo:p.pid ~hi:spn.id ->
+                    sls.pred <- Some candidate
+                | Some _ -> ()));
+        schedule_stabilize t pn ~layer)
+      ~timeout:(fun () ->
+        ls.succ_suspect <- ls.succ_suspect + 1;
+        if ls.succ_suspect >= 2 && (current_successor pn ls).paddr = succ.paddr then begin
+          ls.succ_suspect <- 0;
+          expunge_layer ls succ.paddr;
+          if ls.succs = [] then ls.succs <- [ self_peer pn ]
+        end;
+        schedule_stabilize t pn ~layer)
+
+and schedule_stabilize t pn ~layer =
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.stabilize_every (fun () -> stabilize t pn ~layer)
+
+let rec fix_fingers t pn ~layer =
+  let ls = layer_state pn ~layer in
+  let bits = Id.bits t.cfg.space in
+  for _ = 1 to min t.cfg.fingers_per_round bits do
+    let i = ls.next_finger in
+    ls.next_finger <- (ls.next_finger + 1) mod bits;
+    let start = Id.add_pow2 t.cfg.space pn.id i in
+    find_successor t ~src:pn.addr ~layer ~key:start ~retries:0
+      ~ok:(fun p _ -> ls.fingers.(i) <- Some p)
+      ~failed:(fun () -> ())
+  done;
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.fix_fingers_every (fun () ->
+      fix_fingers t pn ~layer)
+
+let rec check_predecessor t pn ~layer =
+  let ls = layer_state pn ~layer in
+  (match ls.pred with
+  | None -> ()
+  | Some p ->
+      if p.paddr <> pn.addr then
+        ask t ~src:pn.addr ~dst:p.paddr
+          ~service:(fun _ -> ())
+          ~ok:(fun () -> ())
+          ~timeout:(fun () ->
+            match ls.pred with
+            | Some q when q.paddr = p.paddr -> ls.pred <- None
+            | _ -> ()));
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.check_pred_every (fun () ->
+      check_predecessor t pn ~layer)
+
+(* ---- ring-table duties -------------------------------------------------- *)
+
+let ring_name_of _t pn ~layer = Ring_name.make ~layer ~order:pn.orders.(layer - 2)
+
+let store_ring_table _t pn rt =
+  Hashtbl.replace pn.stored (Ring_name.to_string (Ring_table.name rt)) rt
+
+(* lookup in [stored], falling back to promoting a replica: get_ring_table
+   requests are routed to the current top-layer owner of the ring id, so
+   being asked while holding only a replica means the old manager is gone
+   and this node inherited the key space *)
+let stored_table pn key =
+  match Hashtbl.find_opt pn.stored key with
+  | Some rt -> Some rt
+  | None -> (
+      match Hashtbl.find_opt pn.replicas key with
+      | Some replica ->
+          Hashtbl.remove pn.replicas key;
+          Hashtbl.replace pn.stored key replica;
+          Some replica
+      | None -> None)
+
+
+(* The manager checks liveness of recorded nodes, refills from a survivor's
+   ring successor list, and migrates tables whose top-layer owner changed. *)
+let rec ring_table_duty t pn =
+  let tables = Hashtbl.fold (fun k v acc -> (k, v) :: acc) pn.stored [] in
+  List.iter
+    (fun (key, rt) ->
+      (* liveness of recorded entries *)
+      List.iter
+        (fun e ->
+          if e.Ring_table.node <> pn.addr then
+            ask t ~src:pn.addr ~dst:e.Ring_table.node
+              ~service:(fun _ -> ())
+              ~ok:(fun () -> ())
+              ~timeout:(fun () ->
+                ignore (Ring_table.remove rt e.Ring_table.node);
+                (* refill: ask a survivor for its ring successors *)
+                match Ring_table.any_member rt with
+                | None -> ()
+                | Some survivor ->
+                    let layer = Ring_name.layer (Ring_table.name rt) in
+                    ask t ~src:pn.addr ~dst:survivor.Ring_table.node
+                      ~service:(fun spn ->
+                        let sls = layer_state spn ~layer in
+                        self_peer spn :: sls.succs)
+                      ~ok:(fun members ->
+                        List.iter
+                          (fun p ->
+                            ignore
+                              (Ring_table.register rt
+                                 { Ring_table.node = p.paddr; id = p.pid }))
+                          members)
+                      ~timeout:(fun () -> ())))
+        (Ring_table.entries rt);
+      (* replication: push a snapshot to the global successor so the table
+         survives this manager's silent failure *)
+      (let gls = layer_state pn ~layer:1 in
+       let succ = current_successor pn gls in
+       if succ.paddr <> pn.addr then begin
+         let snapshot = Ring_table.copy rt in
+         Engine.send t.eng ~src:pn.addr ~dst:succ.paddr (fun () ->
+             match Hashtbl.find_opt t.nodes succ.paddr with
+             | None -> ()
+             | Some spn ->
+                 if not (Hashtbl.mem spn.stored key) then
+                   Hashtbl.replace spn.replicas key snapshot)
+       end);
+      (* migration: is this node still the rightful manager? *)
+      let rid = Ring_table.ring_id rt in
+      find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:0
+        ~ok:(fun owner _ ->
+          if owner.paddr <> pn.addr then begin
+            Engine.send t.eng ~src:pn.addr ~dst:owner.paddr (fun () ->
+                match Hashtbl.find_opt t.nodes owner.paddr with
+                | None -> ()
+                | Some opn ->
+                    let merged =
+                      match Hashtbl.find_opt opn.stored key with
+                      | None -> rt
+                      | Some existing ->
+                          List.iter
+                            (fun e -> ignore (Ring_table.register existing e))
+                            (Ring_table.entries rt);
+                          existing
+                    in
+                    Hashtbl.replace opn.stored key merged);
+            Hashtbl.remove pn.stored key
+          end)
+        ~failed:(fun () -> ()))
+    tables;
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.ring_check_every (fun () -> ring_table_duty t pn)
+
+(* Ring unification: concurrent joiners may read a stale ring table and boot
+   a private one-node ring. Periodically every node re-reads its rings'
+   tables, adopts any recorded member that lies between itself and its
+   current ring successor (stabilize then merges the loops), and re-registers
+   itself so the table tracks the live extremes. The paper assumes joins are
+   sequential and tables current; this duty removes that assumption. *)
+let rec ring_refresh t pn =
+  for layer = 2 to t.cfg.depth do
+    let rname = ring_name_of t pn ~layer in
+    let key = Ring_name.to_string rname in
+    let rid = Ring_name.ring_id t.cfg.space rname in
+    find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:0
+      ~ok:(fun manager _ ->
+        ask t ~src:pn.addr ~dst:manager.paddr
+          ~service:(fun mpn ->
+            match stored_table mpn key with
+            | Some rt ->
+                let changed =
+                  Ring_table.register rt { Ring_table.node = pn.addr; id = pn.id }
+                in
+                ignore changed;
+                Ring_table.entries rt
+            | None ->
+                let rt =
+                  Ring_table.of_members t.cfg.space rname
+                    [ { Ring_table.node = pn.addr; id = pn.id } ]
+                in
+                store_ring_table t mpn rt;
+                [])
+          ~ok:(fun entries ->
+            let ls = layer_state pn ~layer in
+            List.iter
+              (fun e ->
+                if e.Ring_table.node <> pn.addr then begin
+                  let succ = current_successor pn ls in
+                  if
+                    succ.paddr = pn.addr
+                    || Id.in_oo e.Ring_table.id ~lo:pn.id ~hi:succ.pid
+                  then
+                    ls.succs <-
+                      truncate_succs t.cfg pn
+                        ({ paddr = e.Ring_table.node; pid = e.Ring_table.id } :: ls.succs)
+                end)
+              entries)
+          ~timeout:(fun () -> ()))
+      ~failed:(fun () -> ())
+  done;
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.ring_check_every (fun () -> ring_refresh t pn)
+
+(* ---- lifecycle ---------------------------------------------------------- *)
+
+let start_maintenance t pn =
+  for layer = 1 to t.cfg.depth do
+    schedule_stabilize t pn ~layer;
+    Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.fix_fingers_every (fun () ->
+        fix_fingers t pn ~layer);
+    Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.check_pred_every (fun () ->
+        check_predecessor t pn ~layer)
+  done;
+  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.ring_check_every (fun () -> ring_table_duty t pn);
+  Engine.timer t.eng ~node:pn.addr ~delay:(1.5 *. t.cfg.ring_check_every) (fun () ->
+      ring_refresh t pn)
+
+let measure_orders t ~addr =
+  let dists = Binning.Landmark.measure t.lat t.landmarks ~host:addr in
+  Array.map (fun thr -> Binning.Scheme.order thr dists) t.chain
+
+let fresh_node t ~addr ~id =
+  if Hashtbl.mem t.nodes addr then invalid_arg "Hprotocol: address already in use";
+  let bits = Id.bits t.cfg.space in
+  let pn =
+    {
+      addr;
+      id;
+      orders = measure_orders t ~addr;
+      layers =
+        Array.init t.cfg.depth (fun _ ->
+            {
+              pred = None;
+              succs = [];
+              fingers = Array.make bits None;
+              next_finger = 0;
+              succ_suspect = 0;
+            });
+      stored = Hashtbl.create 4;
+      replicas = Hashtbl.create 4;
+      anchor = addr;
+      stabilize_rounds = 0;
+    }
+  in
+  Hashtbl.replace t.nodes addr pn;
+  pn
+
+let spawn t ~addr ~id =
+  let pn = fresh_node t ~addr ~id in
+  Array.iter (fun ls -> ls.succs <- [ self_peer pn ]) pn.layers;
+  (* first node stores the ring tables of all of its own rings *)
+  for layer = 2 to t.cfg.depth do
+    let rname = ring_name_of t pn ~layer in
+    let rt =
+      Ring_table.of_members t.cfg.space rname [ { Ring_table.node = addr; id } ]
+    in
+    store_ring_table t pn rt
+  done;
+  start_maintenance t pn
+
+(* Join one lower layer (paper §3.3): locate the ring table through the top
+   layer, ask a recorded member for our ring-level successor, register
+   ourselves in the table if we displace an extreme. *)
+let join_lower_layer t pn ~layer ~and_then =
+  let rname = ring_name_of t pn ~layer in
+  let key = Ring_name.to_string rname in
+  let rid = Ring_name.ring_id t.cfg.space rname in
+  let ls = layer_state pn ~layer in
+  let register_with manager_addr =
+    Engine.send t.eng ~src:pn.addr ~dst:manager_addr (fun () ->
+        match Hashtbl.find_opt t.nodes manager_addr with
+        | None -> ()
+        | Some mpn -> (
+            match stored_table mpn key with
+            | Some rt -> ignore (Ring_table.register rt { Ring_table.node = pn.addr; id = pn.id })
+            | None ->
+                let rt =
+                  Ring_table.of_members t.cfg.space rname
+                    [ { Ring_table.node = pn.addr; id = pn.id } ]
+                in
+                store_ring_table t mpn rt))
+  in
+  (* route to the manager of this ring's table on the top layer *)
+  find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:t.cfg.lookup_retries
+    ~ok:(fun manager _ ->
+      ask t ~src:pn.addr ~dst:manager.paddr
+        ~service:(fun mpn -> Option.map Ring_table.entries (stored_table mpn key))
+        ~ok:(fun entries ->
+          let members =
+            match entries with
+            | Some (_ :: _ as es) ->
+                List.filter (fun e -> e.Ring_table.node <> pn.addr) es
+            | _ -> []
+          in
+          match members with
+          | [] ->
+              (* first member of this ring: one-node ring, create the table *)
+              ls.succs <- [ self_peer pn ];
+              register_with manager.paddr;
+              and_then ()
+          | first :: rest ->
+              (* ask a recorded member for our ring-level successor *)
+              let rec try_members m ms =
+                let settled = ref false in
+                Engine.send t.eng ~src:pn.addr ~dst:m.Ring_table.node (fun () ->
+                    match Hashtbl.find_opt t.nodes m.Ring_table.node with
+                    | None -> ()
+                    | Some ppn ->
+                        handle_find_successor t ppn ~layer ~key:pn.id ~hops:0
+                          ~reply_to:pn.addr ~reply:(fun succ _ ->
+                            if not !settled then begin
+                              settled := true;
+                              ls.succs <- [ succ ];
+                              if Ring_table.should_register
+                                   (Ring_table.of_members t.cfg.space rname
+                                      (match entries with Some es -> es | None -> []))
+                                   pn.id
+                              then register_with manager.paddr;
+                              and_then ()
+                            end));
+                Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.rpc_timeout (fun () ->
+                    if not !settled then begin
+                      settled := true;
+                      match ms with
+                      | next :: more -> try_members next more
+                      | [] ->
+                          (* everyone recorded is dead: start a fresh ring *)
+                          ls.succs <- [ self_peer pn ];
+                          register_with manager.paddr;
+                          and_then ()
+                    end)
+              in
+              try_members first rest)
+        ~timeout:(fun () ->
+          ls.succs <- [ self_peer pn ];
+          and_then ()))
+    ~failed:(fun () ->
+      ls.succs <- [ self_peer pn ];
+      and_then ())
+
+let join t ~addr ~id ~bootstrap =
+  let pn = fresh_node t ~addr ~id in
+  pn.anchor <- bootstrap;
+  (* step 1-2: fetch the landmark table from the bootstrap and ping the
+     landmarks; we charge one RTT to the farthest landmark before the
+     overlay join proceeds. The fetch retries forever — losing it must not
+     strand the node before it even enters the overlay. *)
+  let ping_delay =
+    Array.fold_left
+      (fun acc r -> Float.max acc (2.0 *. Topology.Latency.host_to_router t.lat addr r))
+      0.0
+      (Binning.Landmark.routers t.landmarks)
+  in
+  let rec fetch_landmark_table () =
+    ask t ~src:addr ~dst:bootstrap
+      ~service:(fun _ -> ())
+      ~ok:(fun () ->
+      Engine.timer t.eng ~node:addr ~delay:ping_delay (fun () ->
+          (* step 3: top-layer Chord join through the bootstrap *)
+          let rec attempt n =
+            let settled = ref false in
+            Engine.send t.eng ~src:addr ~dst:bootstrap (fun () ->
+                match Hashtbl.find_opt t.nodes bootstrap with
+                | None -> ()
+                | Some bpn ->
+                    handle_find_successor t bpn ~layer:1 ~key:id ~hops:0 ~reply_to:addr
+                      ~reply:(fun p _ ->
+                        if not !settled then begin
+                          settled := true;
+                          (layer_state pn ~layer:1).succs <- [ p ];
+                          (* step 4: join each lower layer in turn *)
+                          let rec lower layer =
+                            if layer > t.cfg.depth then start_maintenance t pn
+                            else
+                              join_lower_layer t pn ~layer ~and_then:(fun () ->
+                                  lower (layer + 1))
+                          in
+                          lower 2
+                        end));
+            Engine.timer t.eng ~node:addr ~delay:t.cfg.rpc_timeout (fun () ->
+                if not !settled then begin
+                  settled := true;
+                  (* never abandon the join: a node that gives up is lost *)
+                  let backoff = if n > 0 then 0.0 else 4.0 *. t.cfg.rpc_timeout in
+                  Engine.timer t.eng ~node:addr ~delay:backoff (fun () ->
+                      attempt (max 0 (n - 1)))
+                end)
+          in
+          attempt t.cfg.lookup_retries))
+      ~timeout:(fun () -> fetch_landmark_table ())
+  in
+  fetch_landmark_table ()
+
+let fail_node t addr =
+  if not (Hashtbl.mem t.nodes addr) then invalid_arg "Hprotocol.fail_node: unknown node";
+  Engine.kill t.eng addr
+
+(* ---- hierarchical lookup ------------------------------------------------ *)
+
+type lookup_outcome = { owner_addr : int; owner_id : Id.t; hops : int; lower_hops : int }
+
+(* Route to the ring-level closest preceding node at [layer], then either
+   early-exit through the global successor check or descend to the next
+   layer. Runs as a chain of forwarded messages; the final owner replies
+   straight to the originator. *)
+let rec hroute t pn ~layer ~key ~hops ~lower_hops ~reply_to ~reply =
+  if layer >= 2 then begin
+    let ls = layer_state pn ~layer in
+    let succ = current_successor pn ls in
+    if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then begin
+      (* ring-level predecessor reached: early exit if our global successor
+         owns the key, otherwise climb one layer *)
+      let gls = layer_state pn ~layer:1 in
+      let gsucc = current_successor pn gls in
+      if gsucc.paddr <> pn.addr && Id.in_oc key ~lo:pn.id ~hi:gsucc.pid then
+        Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () ->
+            reply gsucc (hops + 1) lower_hops)
+      else hroute t pn ~layer:(layer - 1) ~key ~hops ~lower_hops ~reply_to ~reply
+    end
+    else begin
+      let next = closest_preceding pn ls ~key in
+      Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+          match Hashtbl.find_opt t.nodes next.paddr with
+          | None -> ()
+          | Some pn' ->
+              hroute t pn' ~layer ~key ~hops:(hops + 1) ~lower_hops:(lower_hops + 1)
+                ~reply_to ~reply)
+    end
+  end
+  else begin
+    let ls = layer_state pn ~layer:1 in
+    let succ = current_successor pn ls in
+    if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then
+      Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () -> reply succ (hops + 1) lower_hops)
+    else begin
+      let next = closest_preceding pn ls ~key in
+      Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+          match Hashtbl.find_opt t.nodes next.paddr with
+          | None -> ()
+          | Some pn' ->
+              hroute t pn' ~layer:1 ~key ~hops:(hops + 1) ~lower_hops ~reply_to ~reply)
+    end
+  end
+
+let lookup t ~origin ~key k =
+  let rec attempt budget =
+    let settled = ref false in
+    (match Hashtbl.find_opt t.nodes origin with
+    | None -> ()
+    | Some pn ->
+        hroute t pn ~layer:t.cfg.depth ~key ~hops:(-1) ~lower_hops:0 ~reply_to:origin
+          ~reply:(fun p hops lower_hops ->
+            if not !settled then begin
+              settled := true;
+              k (Some { owner_addr = p.paddr; owner_id = p.pid; hops; lower_hops })
+            end));
+    Engine.timer t.eng ~node:origin ~delay:t.cfg.rpc_timeout (fun () ->
+        if not !settled then begin
+          settled := true;
+          if budget > 0 then attempt (budget - 1) else k None
+        end)
+  in
+  attempt t.cfg.lookup_retries

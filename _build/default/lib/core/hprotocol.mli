@@ -1,0 +1,102 @@
+(** Message-level HIERAS protocol on {!Simnet.Engine} (paper §3.3).
+
+    The dynamic counterpart of {!Hnetwork}: every node keeps one Chord-style
+    state block (predecessor, successor list, fingers) {e per layer}, and the
+    system additionally maintains {!Ring_table}s, stored on the top-layer
+    node whose identifier is closest to the hashed ring name.
+
+    A node joins by: fetching the landmark table from its bootstrap peer,
+    measuring its distance to every landmark (simulated pings through the
+    latency oracle), quantising the vector into one ring name per lower
+    layer, joining the top layer with an ordinary Chord join, and then, for
+    every lower layer, locating the ring's table through a top-layer lookup,
+    asking a recorded member for its ring-level successor, and finally
+    registering itself in the table if its identifier displaces one of the
+    four extremes — exactly the sequence of §3.3. The first node of a ring
+    creates the ring table.
+
+    Maintenance: per-layer stabilize / notify / fix-fingers / check-
+    predecessor (as in {!Chord.Protocol}, including failure suspicion and
+    anchor-based split-ring healing), plus three ring-table duties on every
+    node that stores tables: a liveness check that expunges dead entries and
+    refills from a surviving member's successor list; replication of each
+    table to the global successor ("duplicated on several nodes for fault
+    tolerance", §3.1) with promotion when ownership passes to the replica
+    holder; and a migration check that re-routes each table to the currently
+    responsible top-layer node as churn moves ownership. A periodic
+    ring-refresh duty re-reads each ring's table and merges the private
+    rings that concurrent joins with stale tables can create. *)
+
+type config = {
+  space : Hashid.Id.space;
+  depth : int;  (** >= 2 *)
+  stabilize_every : float;
+  fix_fingers_every : float;
+  check_pred_every : float;
+  fingers_per_round : int;
+  succ_list_len : int;
+  rpc_timeout : float;
+  lookup_retries : int;
+  ring_check_every : float;  (** ring-table liveness / migration period *)
+}
+
+val default_config : Hashid.Id.space -> depth:int -> config
+
+type t
+
+val create :
+  config ->
+  Simnet.Engine.t ->
+  lat:Topology.Latency.t ->
+  landmarks:Binning.Landmark.t ->
+  t
+(** Engine addresses must be topology host indices (the landmark "pings" of
+    joining nodes are answered from the latency oracle). *)
+
+val engine : t -> Simnet.Engine.t
+val config : t -> config
+
+val spawn : t -> addr:int -> id:Hashid.Id.t -> unit
+(** First node: creates every layer as a one-node ring plus the ring tables
+    for its own rings. *)
+
+val join : t -> addr:int -> id:Hashid.Id.t -> bootstrap:int -> unit
+val fail_node : t -> int -> unit
+
+type lookup_outcome = {
+  owner_addr : int;
+  owner_id : Hashid.Id.t;
+  hops : int;
+  lower_hops : int;  (** hops taken on layers >= 2 *)
+}
+
+val lookup :
+  t -> origin:int -> key:Hashid.Id.t -> (lookup_outcome option -> unit) -> unit
+(** Hierarchical lookup: lower-ring loops first, early-exit via the global
+    successor check, global loop last. [None] after all retries time out. *)
+
+(** {2 Introspection (tests and examples)} *)
+
+val is_member : t -> int -> bool
+val node_id : t -> int -> Hashid.Id.t
+val order_of : t -> int -> layer:int -> string
+(** Ring name digits of a node at a paper layer in [2 .. depth]. *)
+
+val successor_addr : t -> int -> layer:int -> int option
+(** Successor at a paper layer (1 = global). *)
+
+val predecessor_addr : t -> int -> layer:int -> int option
+val ring_from : t -> int -> layer:int -> int list
+(** Follow layer-successor pointers from a node until the cycle closes. *)
+
+val stored_ring_tables : t -> int -> Ring_table.t list
+(** Ring tables currently stored on a node. *)
+
+val replica_ring_tables : t -> int -> Ring_table.t list
+(** Backup copies this node holds for other managers' tables. *)
+
+val find_ring_table : t -> Ring_name.t -> (int * Ring_table.t) option
+(** Scan all live nodes for a ring's table (oracle-side test helper):
+    returns the storing node and the table. *)
+
+val live_members : t -> int list

@@ -1,0 +1,77 @@
+type t = {
+  hnet : Hnetwork.t;
+  records : (string, int list ref) Hashtbl.t; (* name -> advertisers, newest first *)
+  load : (int, int) Hashtbl.t; (* owner node -> record count *)
+}
+
+let create hnet = { hnet; records = Hashtbl.create 64; load = Hashtbl.create 64 }
+let network t = t.hnet
+
+let key_of t name =
+  Hashid.Id.of_hash (Chord.Network.space (Hnetwork.chord t.hnet)) ("file:" ^ name)
+
+let response_latency t ~owner ~origin =
+  let net = Hnetwork.chord t.hnet in
+  Topology.Latency.host_latency
+    (Hnetwork.latency_oracle t.hnet)
+    (Chord.Network.host net owner) (Chord.Network.host net origin)
+
+type publish_result = { route : Hlookup.result; owner : int; total_latency : float }
+
+let publish t ~from ~name =
+  let route = Hlookup.route t.hnet ~origin:from ~key:(key_of t name) in
+  let owner = route.Hlookup.destination in
+  (match Hashtbl.find_opt t.records name with
+  | Some l -> if not (List.mem from !l) then l := from :: !l
+  | None ->
+      Hashtbl.replace t.records name (ref [ from ]);
+      Hashtbl.replace t.load owner (1 + Option.value ~default:0 (Hashtbl.find_opt t.load owner)));
+  {
+    route;
+    owner;
+    total_latency = route.Hlookup.latency +. response_latency t ~owner ~origin:from;
+  }
+
+type query_result = {
+  route : Hlookup.result;
+  owner : int;
+  locations : int list;
+  response_latency : float;
+  total_latency : float;
+}
+
+let lookup t ~from ~name =
+  let route = Hlookup.route t.hnet ~origin:from ~key:(key_of t name) in
+  let owner = route.Hlookup.destination in
+  let locations =
+    match Hashtbl.find_opt t.records name with Some l -> !l | None -> []
+  in
+  let response_latency = response_latency t ~owner ~origin:from in
+  {
+    route;
+    owner;
+    locations;
+    response_latency;
+    total_latency = route.Hlookup.latency +. response_latency;
+  }
+
+let unpublish t ~from ~name =
+  match Hashtbl.find_opt t.records name with
+  | None -> false
+  | Some l ->
+      if List.mem from !l then begin
+        l := List.filter (fun n -> n <> from) !l;
+        if !l = [] then begin
+          Hashtbl.remove t.records name;
+          let owner =
+            Chord.Network.successor_of_key (Hnetwork.chord t.hnet) (key_of t name)
+          in
+          match Hashtbl.find_opt t.load owner with
+          | Some c -> Hashtbl.replace t.load owner (max 0 (c - 1))
+          | None -> ()
+        end;
+        true
+      end
+      else false
+
+let stored_on t node = Option.value ~default:0 (Hashtbl.find_opt t.load node)

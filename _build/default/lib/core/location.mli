@@ -1,0 +1,42 @@
+(** The file-location service HIERAS routes for (paper §3.2: "After the
+    message arrives the destination node, the node returns the location
+    information of the requested file to the originator").
+
+    Location records — (file name, nodes advertising a copy) — are stored on
+    the key's global successor, found with hierarchical routing. A query's
+    user-visible latency is the forward routing latency plus the direct
+    response hop from the owner back to the originator. *)
+
+type t
+
+val create : Hnetwork.t -> t
+(** An empty location index over the given network. *)
+
+val network : t -> Hnetwork.t
+
+type publish_result = {
+  route : Hlookup.result;  (** path of the publish message *)
+  owner : int;  (** node now holding the record *)
+  total_latency : float;  (** forward route + response acknowledgement *)
+}
+
+val publish : t -> from:int -> name:string -> publish_result
+(** Advertise that node [from] holds a copy of [name]. Idempotent per
+    (name, node) pair. *)
+
+type query_result = {
+  route : Hlookup.result;
+  owner : int;
+  locations : int list;  (** advertisers, most recent first; [] = not found *)
+  response_latency : float;  (** owner -> originator, direct *)
+  total_latency : float;
+}
+
+val lookup : t -> from:int -> name:string -> query_result
+
+val unpublish : t -> from:int -> name:string -> bool
+(** Withdraw an advertisement locally (no routing modelled); true if it
+    existed. *)
+
+val stored_on : t -> int -> int
+(** Number of records a node currently stores (load diagnostics). *)

@@ -1,0 +1,17 @@
+type t = { layer : int; order : string }
+
+let make ~layer ~order =
+  if layer < 2 then invalid_arg "Ring_name.make: lower-layer rings start at layer 2";
+  if order = "" then invalid_arg "Ring_name.make: empty order";
+  { layer; order }
+
+let layer t = t.layer
+let order t = t.order
+let equal a b = a.layer = b.layer && String.equal a.order b.order
+
+let compare a b =
+  match Stdlib.compare a.layer b.layer with 0 -> String.compare a.order b.order | c -> c
+
+let ring_id space t = Hashid.Id.of_hash space (Printf.sprintf "ring:%d:%s" t.layer t.order)
+let to_string t = Printf.sprintf "L%d/%s" t.layer t.order
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,89 @@
+module Id = Hashid.Id
+
+type entry = { node : int; id : Id.t }
+
+type t = {
+  name : Ring_name.t;
+  rid : Id.t;
+  mutable members : entry list; (* sorted ascending by id, at most 4: 2 smallest + 2 largest *)
+}
+
+let name t = t.name
+let ring_id t = t.rid
+
+let create space nm = { name = nm; rid = Ring_name.ring_id space nm; members = [] }
+
+(* Keep only the extremes: first two and last two of the sorted distinct list. *)
+let squeeze sorted =
+  let n = List.length sorted in
+  if n <= 4 then sorted
+  else
+    List.filteri (fun i _ -> i < 2 || i >= n - 2) sorted
+
+let insert_sorted e l =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest as all ->
+        let c = Id.compare e.id x.id in
+        if c < 0 then e :: all
+        else if c = 0 then all (* same identifier: already represented *)
+        else x :: go rest
+  in
+  go l
+
+let of_members space nm entries =
+  let t = create space nm in
+  let sorted = List.fold_left (fun acc e -> insert_sorted e acc) [] entries in
+  t.members <- squeeze sorted;
+  t
+
+let copy t = { t with members = t.members }
+let entries t = t.members
+let is_empty t = t.members = []
+let any_member t = match t.members with [] -> None | e :: _ -> Some e
+
+let should_register t id =
+  let n = List.length t.members in
+  if n < 4 then not (List.exists (fun e -> Id.equal e.id id) t.members)
+  else
+    match t.members with
+    | [ _; second_smallest; second_largest; _ ] ->
+        Id.compare id second_smallest.id < 0 || Id.compare id second_largest.id > 0
+    | _ -> true
+
+let register t e =
+  let before = t.members in
+  let after = squeeze (insert_sorted e before) in
+  if after = before then false
+  else begin
+    t.members <- after;
+    true
+  end
+
+let remove t node =
+  let before = t.members in
+  let after = List.filter (fun e -> e.node <> node) before in
+  if List.length after = List.length before then false
+  else begin
+    t.members <- after;
+    true
+  end
+
+let slots t =
+  match List.rev t.members with
+  | [] -> (None, None, None, None)
+  | [ only ] -> (Some only, None, Some only, None)
+  | largest :: second_largest :: _ -> (
+      match t.members with
+      | smallest :: second_smallest :: _ ->
+          (Some largest, Some second_largest, Some smallest, Some second_smallest)
+      | _ -> (Some largest, Some second_largest, None, None))
+
+let pp fmt t =
+  let l, l2, s, s2 = slots t in
+  let pe fmt = function
+    | None -> Format.pp_print_string fmt "-"
+    | Some e -> Format.fprintf fmt "%a(n%d)" Id.pp e.id e.node
+  in
+  Format.fprintf fmt "ring %a [largest=%a 2nd-largest=%a smallest=%a 2nd-smallest=%a]"
+    Ring_name.pp t.name pe l pe l2 pe s pe s2

@@ -1,0 +1,55 @@
+(** Ring tables (paper §3.1, Table 3).
+
+    A ring table is the rendezvous record for one lower-layer ring: it names
+    four member nodes — the two largest and two smallest identifiers in the
+    ring — and is stored on the node whose identifier is closest to the
+    ring's hashed name in the {e top-layer} DHT. A joining node retrieves it
+    (by an ordinary top-layer Chord lookup on the ring id) to learn a member
+    of the ring it must join; it updates it when its own identifier displaces
+    one of the four extremes.
+
+    Keeping extremes rather than arbitrary members makes the update rule
+    purely local: a newcomer can decide from the table alone whether it must
+    write back ("larger than the second largest or smaller than the second
+    smallest", §3.3). *)
+
+type entry = { node : int; id : Hashid.Id.t }
+
+type t
+
+val name : t -> Ring_name.t
+val ring_id : t -> Hashid.Id.t
+
+val create : Hashid.Id.space -> Ring_name.t -> t
+(** Empty table (a ring about to gain its first member). *)
+
+val of_members : Hashid.Id.space -> Ring_name.t -> entry list -> t
+(** Table summarising an existing member set. *)
+
+val copy : t -> t
+(** Independent copy (replication snapshots). *)
+
+val entries : t -> entry list
+(** At most 4 distinct entries: largest, second largest, smallest, second
+    smallest (deduplicated for rings with < 4 members), unspecified order. *)
+
+val is_empty : t -> bool
+val any_member : t -> entry option
+
+val should_register : t -> Hashid.Id.t -> bool
+(** Would inserting this identifier change the table? True exactly when the
+    paper's modification message must be sent (also true on an empty or
+    underfull table). *)
+
+val register : t -> entry -> bool
+(** Insert a member; returns whether the table changed. *)
+
+val remove : t -> int -> bool
+(** Remove a (failed) node from the slots; true if it was present. The
+    manager then refills the table via lookups (protocol layer). *)
+
+val slots : t -> entry option * entry option * entry option * entry option
+(** (largest, second-largest, smallest, second-smallest) — the paper's
+    Table 3 columns; for tests and pretty-printing. *)
+
+val pp : Format.formatter -> t -> unit

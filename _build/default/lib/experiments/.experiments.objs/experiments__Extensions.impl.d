@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Array Binning Can Chord Config Expected Hashid Hieras List Pastry Printf Prng Report Runner Stats String Tapestry

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Binning Char Chord Config Expected Float Hashid Hieras List Printf Prng Report Runner Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Filename List Printf Stats String Sys

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Binning Chord Config Hashid Hieras Printf Prng Stats Topology Workload

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Chord Config Hieras Stats Topology

@@ -1,0 +1,46 @@
+type t = {
+  model : Topology.Model.kind;
+  nodes : int;
+  landmarks : int;
+  depth : int;
+  requests : int;
+  seed : int;
+  succ_list_len : int;
+}
+
+let paper_default =
+  {
+    model = Topology.Model.Transit_stub;
+    nodes = 10_000;
+    landmarks = 4;
+    depth = 2;
+    requests = 100_000;
+    seed = 2003;
+    succ_list_len = 8;
+  }
+
+let with_model t model = { t with model }
+let with_nodes t nodes = { t with nodes }
+let with_landmarks t landmarks = { t with landmarks }
+let with_depth t depth = { t with depth }
+let with_requests t requests = { t with requests }
+let with_seed t seed = { t with seed }
+
+let scaled t f =
+  if f <= 0.0 then invalid_arg "Config.scaled: factor must be positive";
+  {
+    t with
+    nodes = max 64 (int_of_float (float_of_int t.nodes *. f));
+    requests = max 100 (int_of_float (float_of_int t.requests *. f));
+  }
+
+let network_sizes t =
+  let min_n = Topology.Model.min_hosts t.model in
+  let scale = float_of_int t.nodes /. 10_000.0 in
+  List.init 10 (fun i -> (i + 1) * 1000)
+  |> List.filter (fun n -> n >= min_n)
+  |> List.map (fun n -> max 64 (int_of_float (float_of_int n *. scale)))
+
+let pp fmt t =
+  Format.fprintf fmt "%s n=%d lm=%d depth=%d req=%d seed=%d"
+    (Topology.Model.name t.model) t.nodes t.landmarks t.depth t.requests t.seed

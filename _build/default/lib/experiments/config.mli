@@ -1,0 +1,37 @@
+(** Experiment configuration.
+
+    Defaults reproduce the paper's setup: GT-ITM Transit-Stub topology,
+    two-layer HIERAS with 4 landmarks, 100 000 uniform random routing
+    requests, network sizes 1000..10000 (Inet starting at 3000). A [scale]
+    factor shrinks sizes and request counts proportionally for quick runs
+    (tests and smoke benches). *)
+
+type t = {
+  model : Topology.Model.kind;
+  nodes : int;
+  landmarks : int;
+  depth : int;
+  requests : int;
+  seed : int;
+  succ_list_len : int;
+}
+
+val paper_default : t
+(** TS, 10000 nodes, 4 landmarks, depth 2, 100 000 requests, seed 2003. *)
+
+val with_model : t -> Topology.Model.kind -> t
+val with_nodes : t -> int -> t
+val with_landmarks : t -> int -> t
+val with_depth : t -> int -> t
+val with_requests : t -> int -> t
+val with_seed : t -> int -> t
+
+val scaled : t -> float -> t
+(** [scaled cfg f] multiplies node and request counts by [f] (minimum 64
+    nodes / 100 requests) — used for fast test configurations. *)
+
+val network_sizes : t -> int list
+(** The paper's sweep 1000..10000 (step 1000), clipped to the model's
+    minimum (3000 for Inet), scaled like [scaled]. *)
+
+val pp : Format.formatter -> t -> unit

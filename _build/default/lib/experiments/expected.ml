@@ -1,0 +1,30 @@
+let fig2_hop_overhead_range = (0.0078, 0.034)
+let fig2_hop_growth_1000_to_10000 = 0.32
+
+let fig3_latency_ratio = function
+  | Topology.Model.Transit_stub -> 0.518
+  | Topology.Model.Inet -> 0.5341
+  | Topology.Model.Brite -> 0.6247
+
+let fig4_chord_mean_hops = 6.4933
+let fig4_hieras_mean_hops = 6.5937
+let fig4_hop_overhead = 0.0155
+let fig4_top_layer_hops = 1.887
+let fig4_lower_hop_share = 0.7138
+
+let fig5_chord_mean_latency = 511.47
+let fig5_hieras_mean_latency = 276.53
+let fig5_latency_ratio = 0.5407
+let fig5_top_link_latency = 79.0
+let fig5_lower_link_latency = 27.758
+let fig5_lower_latency_share = 0.4724
+
+let fig7_two_landmark_gain = 0.0712
+let fig7_best_landmarks = 8
+let fig7_best_latency_ratio = 0.4331
+
+let fig8_depth_hop_overhead_range = (0.0029, 0.0165)
+let fig9_depth3_gain_range = (0.0964, 0.1615)
+let fig9_depth4_gain_range = (0.0212, 0.0542)
+
+let pct r = Printf.sprintf "%.2f%%" (100.0 *. r)

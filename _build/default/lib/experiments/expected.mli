@@ -1,0 +1,45 @@
+(** The paper's reported numbers, for side-by-side comparison in reports.
+
+    Values transcribed from Sections 4.2–4.5 of the paper; [None] where the
+    paper gives only a curve without a number. *)
+
+val fig2_hop_overhead_range : float * float
+(** HIERAS takes 0.78%..3.40% more hops than Chord (TS model, all sizes). *)
+
+val fig2_hop_growth_1000_to_10000 : float
+(** Average hops grow ~32% from 1000 to 10000 nodes. *)
+
+val fig3_latency_ratio : Topology.Model.kind -> float
+(** HIERAS latency as a fraction of Chord: TS 0.518, Inet 0.5341,
+    BRITE 0.6247. *)
+
+val fig4_chord_mean_hops : float (* 6.4933 *)
+val fig4_hieras_mean_hops : float (* 6.5937 *)
+val fig4_hop_overhead : float (* 0.0155 *)
+val fig4_top_layer_hops : float (* 1.887 *)
+val fig4_lower_hop_share : float (* 0.7138 *)
+
+val fig5_chord_mean_latency : float (* 511.47 ms *)
+val fig5_hieras_mean_latency : float (* 276.53 ms *)
+val fig5_latency_ratio : float (* 0.5407 *)
+val fig5_top_link_latency : float (* 79 ms *)
+val fig5_lower_link_latency : float (* 27.758 ms *)
+val fig5_lower_latency_share : float (* 0.4724 *)
+
+val fig7_two_landmark_gain : float
+(** With 2 landmarks HIERAS is only 7.12% below Chord. *)
+
+val fig7_best_landmarks : int (* 8 *)
+val fig7_best_latency_ratio : float (* 0.4331 *)
+
+val fig8_depth_hop_overhead_range : float * float
+(** 4-layer vs 2-layer hops: +0.29%..+1.65%. *)
+
+val fig9_depth3_gain_range : float * float
+(** Latency reduction 2->3 layers: 9.64%..16.15%. *)
+
+val fig9_depth4_gain_range : float * float
+(** Latency reduction 3->4 layers: 2.12%..5.42% (can be negative). *)
+
+val pct : float -> string
+(** Format a ratio as a percentage with 2 decimals. *)

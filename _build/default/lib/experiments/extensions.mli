@@ -1,0 +1,19 @@
+(** Beyond the paper's figures: the comparisons and ablations its
+    conclusions and future-work section call for.
+
+    - {!algorithms}: Chord vs Pastry (with proximity neighbor selection) vs
+      HIERAS (2/3 layers) vs flat CAN vs HIERAS-over-CAN — the paper's
+      future work names the Pastry comparison, and §3.2 sketches the CAN
+      transplant.
+    - {!landmark_ablation}: how much of HIERAS's gain comes from {e where}
+      landmarks sit (farthest-point spread vs uniform random) and how robust
+      binning is to ping jitter (§2.2 says ping is "not very accurate").
+    - {!cost_ablation}: the quantitative overhead analysis (state bytes,
+      ring tables, per-layer stabilize link cost) the paper defers to future
+      work, across hierarchy depths. *)
+
+val algorithms : Config.t -> Report.section
+val landmark_ablation : Config.t -> Report.section
+val cost_ablation : Config.t -> Report.section
+
+val all : Config.t -> Report.section list

@@ -1,0 +1,46 @@
+type section = {
+  id : string;
+  title : string;
+  table : Stats.Text_table.t;
+  notes : string list;
+}
+
+let render s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" s.id s.title);
+  Buffer.add_string buf (Stats.Text_table.render s.table);
+  List.iter (fun n -> Buffer.add_string buf ("  * " ^ n ^ "\n")) s.notes;
+  Buffer.contents buf
+
+let print s = print_string (render s)
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv s =
+  let buf = Buffer.create 256 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  emit (Stats.Text_table.headers s.table);
+  List.iter emit (Stats.Text_table.rows s.table);
+  List.iter (fun n -> Buffer.add_string buf ("# " ^ n ^ "\n")) s.notes;
+  Buffer.contents buf
+
+let write_csv s ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (s.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv s);
+  close_out oc;
+  path
+
+let print_all sections =
+  List.iter
+    (fun s ->
+      print s;
+      print_newline ())
+    sections

@@ -1,0 +1,128 @@
+module Summary = Stats.Summary
+module Histogram = Stats.Histogram
+
+type env = {
+  cfg : Config.t;
+  lat : Topology.Latency.t;
+  chord : Chord.Network.t;
+}
+
+let space = Hashid.Id.sha1_space
+
+let build_env cfg =
+  let rng = Prng.Rng.create ~seed:cfg.Config.seed in
+  let topo_rng = Prng.Rng.split rng in
+  let lat = Topology.Model.build cfg.Config.model ~hosts:cfg.Config.nodes topo_rng in
+  let hosts = Array.init cfg.Config.nodes (fun i -> i) in
+  let chord =
+    Chord.Network.build ~space ~hosts ~succ_list_len:cfg.Config.succ_list_len
+      ~salt:(Printf.sprintf "peer-%d" cfg.Config.seed)
+      ()
+  in
+  { cfg; lat; chord }
+
+let latency_oracle env = env.lat
+let chord_network env = env.chord
+
+let build_hieras env cfg =
+  let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 7919) in
+  let landmarks =
+    Binning.Landmark.choose_spread env.lat ~count:cfg.Config.landmarks rng
+  in
+  Hieras.Hnetwork.build ~chord:env.chord ~lat:env.lat ~landmarks ~depth:cfg.Config.depth ()
+
+type metrics = {
+  config : Config.t;
+  chord_hops : Summary.t;
+  chord_latency : Summary.t;
+  hieras_hops : Summary.t;
+  hieras_latency : Summary.t;
+  lower_hops : Summary.t;
+  top_hops : Summary.t;
+  lower_latency : Summary.t;
+  top_latency : Summary.t;
+  chord_hop_pdf : Histogram.t;
+  hieras_hop_pdf : Histogram.t;
+  lower_hop_pdf : Histogram.t;
+  chord_latency_hist : Histogram.t;
+  hieras_latency_hist : Histogram.t;
+  hops_per_layer : float array;
+  latency_per_layer : float array;
+}
+
+let measure env hnet cfg =
+  let n = Chord.Network.size env.chord in
+  let depth = Hieras.Hnetwork.depth hnet in
+  let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 104729) in
+  let m =
+    {
+      config = cfg;
+      chord_hops = Summary.create ();
+      chord_latency = Summary.create ();
+      hieras_hops = Summary.create ();
+      hieras_latency = Summary.create ();
+      lower_hops = Summary.create ();
+      top_hops = Summary.create ();
+      lower_latency = Summary.create ();
+      top_latency = Summary.create ();
+      chord_hop_pdf = Histogram.create_ints ~max:31;
+      hieras_hop_pdf = Histogram.create_ints ~max:31;
+      lower_hop_pdf = Histogram.create_ints ~max:31;
+      chord_latency_hist = Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:200;
+      hieras_latency_hist = Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:200;
+      hops_per_layer = Array.make depth 0.0;
+      latency_per_layer = Array.make depth 0.0;
+    }
+  in
+  let spec = Workload.Requests.paper_default ~count:cfg.Config.requests in
+  Workload.Requests.iter spec ~nodes:n ~space rng (fun { origin; key } ->
+      let rc = Chord.Lookup.route env.chord env.lat ~origin ~key in
+      let rh = Hieras.Hlookup.route hnet ~origin ~key in
+      if rc.Chord.Lookup.destination <> rh.Hieras.Hlookup.destination then
+        failwith "Runner.measure: HIERAS and Chord disagree on a key's owner";
+      Summary.add m.chord_hops (float_of_int rc.Chord.Lookup.hop_count);
+      Summary.add m.chord_latency rc.Chord.Lookup.latency;
+      Summary.add m.hieras_hops (float_of_int rh.Hieras.Hlookup.hop_count);
+      Summary.add m.hieras_latency rh.Hieras.Hlookup.latency;
+      let low_h = ref 0 and low_l = ref 0.0 in
+      Array.iteri
+        (fun k h ->
+          m.hops_per_layer.(k) <- m.hops_per_layer.(k) +. float_of_int h;
+          m.latency_per_layer.(k) <- m.latency_per_layer.(k) +. rh.Hieras.Hlookup.latency_per_layer.(k);
+          if k > 0 then begin
+            low_h := !low_h + h;
+            low_l := !low_l +. rh.Hieras.Hlookup.latency_per_layer.(k)
+          end)
+        rh.Hieras.Hlookup.hops_per_layer;
+      Summary.add m.lower_hops (float_of_int !low_h);
+      Summary.add m.lower_latency !low_l;
+      Summary.add m.top_hops (float_of_int rh.Hieras.Hlookup.hops_per_layer.(0));
+      Summary.add m.top_latency rh.Hieras.Hlookup.latency_per_layer.(0);
+      Histogram.add m.chord_hop_pdf (float_of_int rc.Chord.Lookup.hop_count);
+      Histogram.add m.hieras_hop_pdf (float_of_int rh.Hieras.Hlookup.hop_count);
+      Histogram.add m.lower_hop_pdf (float_of_int !low_h);
+      Histogram.add m.chord_latency_hist rc.Chord.Lookup.latency;
+      Histogram.add m.hieras_latency_hist rh.Hieras.Hlookup.latency);
+  let req = float_of_int (max cfg.Config.requests 1) in
+  Array.iteri (fun k v -> m.hops_per_layer.(k) <- v /. req) (Array.copy m.hops_per_layer);
+  Array.iteri (fun k v -> m.latency_per_layer.(k) <- v /. req) (Array.copy m.latency_per_layer);
+  m
+
+let run cfg =
+  let env = build_env cfg in
+  let hnet = build_hieras env cfg in
+  measure env hnet cfg
+
+let latency_ratio m = Summary.mean m.hieras_latency /. Summary.mean m.chord_latency
+let hop_overhead m = (Summary.mean m.hieras_hops /. Summary.mean m.chord_hops) -. 1.0
+let lower_hop_share m = Summary.mean m.lower_hops /. Summary.mean m.hieras_hops
+let lower_latency_share m = Summary.mean m.lower_latency /. Summary.mean m.hieras_latency
+let mean_link_latency_chord m = Summary.mean m.chord_latency /. Summary.mean m.chord_hops
+
+let mean_link_latency_lower m =
+  let h = Summary.mean m.lower_hops in
+  if h = 0.0 then 0.0 else Summary.mean m.lower_latency /. h
+
+let mean_link_latency_top m =
+  let h = Summary.mean m.top_hops in
+  if h = 0.0 then 0.0 else Summary.mean m.top_latency /. h

@@ -1,0 +1,65 @@
+(** The measurement engine behind every figure.
+
+    An {!env} bundles one generated topology with a Chord network built on
+    it; HIERAS overlays (which depend on landmark count and depth) are built
+    per variant on top, so parameter sweeps (Figures 6–9) reuse the expensive
+    substrate. {!measure} replays one request stream through {e both}
+    algorithms — paired sampling, so per-request differences are never masked
+    by workload noise. *)
+
+type env
+
+val build_env : Config.t -> env
+(** Generates the topology (model, size and seed from the config) and the
+    Chord network. *)
+
+val latency_oracle : env -> Topology.Latency.t
+val chord_network : env -> Chord.Network.t
+
+val build_hieras : env -> Config.t -> Hieras.Hnetwork.t
+(** HIERAS overlay with the config's landmark count and depth (landmarks are
+    chosen with the spread heuristic from the config seed). *)
+
+(** Everything the paper's figures read off a run. *)
+type metrics = {
+  config : Config.t;
+  chord_hops : Stats.Summary.t;
+  chord_latency : Stats.Summary.t;
+  hieras_hops : Stats.Summary.t;
+  hieras_latency : Stats.Summary.t;
+  lower_hops : Stats.Summary.t;  (** per request: hops on layers >= 2 *)
+  top_hops : Stats.Summary.t;  (** per request: hops on the global ring *)
+  lower_latency : Stats.Summary.t;
+  top_latency : Stats.Summary.t;
+  chord_hop_pdf : Stats.Histogram.t;
+  hieras_hop_pdf : Stats.Histogram.t;
+  lower_hop_pdf : Stats.Histogram.t;
+  chord_latency_hist : Stats.Histogram.t;
+  hieras_latency_hist : Stats.Histogram.t;
+  hops_per_layer : float array;  (** mean hops by layer, index 0 = global *)
+  latency_per_layer : float array;
+}
+
+val measure : env -> Hieras.Hnetwork.t -> Config.t -> metrics
+(** Runs [config.requests] paired lookups. Raises [Failure] if any HIERAS
+    lookup reaches a node other than the Chord owner (routing correctness is
+    asserted on every request). *)
+
+val run : Config.t -> metrics
+(** [build_env] + [build_hieras] + [measure] in one step. *)
+
+(** {2 Derived quantities} *)
+
+val latency_ratio : metrics -> float
+(** HIERAS mean latency / Chord mean latency. *)
+
+val hop_overhead : metrics -> float
+(** HIERAS mean hops / Chord mean hops - 1. *)
+
+val lower_hop_share : metrics -> float
+(** Fraction of HIERAS hops taken on lower layers. *)
+
+val lower_latency_share : metrics -> float
+val mean_link_latency_chord : metrics -> float
+val mean_link_latency_lower : metrics -> float
+val mean_link_latency_top : metrics -> float

@@ -1,0 +1,1 @@
+lib/hash/id.ml: Buffer Bytes Char Format Printf Prng Sha1 String

@@ -1,0 +1,1 @@
+lib/hash/id.mli: Format Prng

@@ -1,0 +1,82 @@
+(** Ring identifiers: fixed-width unsigned integers on the Chord circle.
+
+    A {!space} fixes the identifier width [m] (bits); identifiers live in
+    [\[0, 2^m)] and all arithmetic wraps modulo [2^m]. The paper uses the full
+    160-bit SHA-1 space for real networks and an 8-bit space for its worked
+    examples (Table 2); both are supported by the same representation
+    (big-endian byte strings with the top byte masked).
+
+    Interval membership follows Chord's conventions on the circle:
+    an interval [(a, a)] (resp. [(a, a\]]) denotes the whole circle — that is
+    what makes [find_successor] terminate when only one node exists. *)
+
+type space
+(** An identifier space of a given bit width. *)
+
+type t
+(** An identifier. Only comparable within the same space. *)
+
+val space : bits:int -> space
+(** [space ~bits] with [1 <= bits <= 160]. *)
+
+val bits : space -> int
+val bytes : space -> int
+(** Number of bytes in the representation: [ceil (bits / 8)]. *)
+
+val sha1_space : space
+(** The standard 160-bit space. *)
+
+val zero : space -> t
+val of_int : space -> int -> t
+(** [of_int sp n] for [0 <= n]; reduced modulo [2^bits]. *)
+
+val to_int : space -> t -> int
+(** Exact value; raises [Failure] if the space has more than 62 bits. *)
+
+val of_hash : space -> string -> t
+(** SHA-1 of the argument truncated (big-endian prefix, top bits masked) to
+    the space width — the paper's "collision-free" id assignment. *)
+
+val random : space -> Prng.Rng.t -> t
+(** Uniform identifier. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add_pow2 : space -> t -> int -> t
+(** [add_pow2 sp x i] is [x + 2^i mod 2^bits]; requires [0 <= i < bits].
+    This generates Chord finger starts. *)
+
+val succ : space -> t -> t
+(** [x + 1 mod 2^bits]. *)
+
+val pred : space -> t -> t
+(** [x - 1 mod 2^bits]. *)
+
+val in_oo : t -> lo:t -> hi:t -> bool
+(** Circle membership in the open interval [(lo, hi)]. [(a, a)] is the whole
+    circle minus [a]. *)
+
+val in_oc : t -> lo:t -> hi:t -> bool
+(** Circle membership in [(lo, hi\]]. [(a, a\]] is the whole circle. *)
+
+val in_co : t -> lo:t -> hi:t -> bool
+(** Circle membership in [\[lo, hi)]. [\[a, a)] is the whole circle. *)
+
+val distance_cw : space -> t -> t -> float
+(** Clockwise distance from the first to the second id, as a float fraction
+    of the circle in [\[0, 1)]. Approximate for wide spaces (53-bit mantissa);
+    used only for diagnostics and tests. *)
+
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+(** Hex for wide spaces, decimal for spaces of at most 16 bits (matching the
+    paper's small worked examples). *)
+
+val digit4 : space -> t -> int -> int
+(** [digit4 sp x i] is the [i]-th 4-bit digit of [x], big-endian (digit 0 is
+    the most significant nibble) — the digit decomposition Pastry-style
+    prefix routing uses. Requires a space whose width is a multiple of 4. *)
+
+val digit_count4 : space -> int
+(** Number of 4-bit digits in the space ([bits / 4]). *)

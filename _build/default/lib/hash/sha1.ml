@@ -1,0 +1,84 @@
+(* SHA-1 over 32-bit words. OCaml's native int is 63-bit here, so we keep
+   words in ints masked to 32 bits; this avoids Int32 boxing entirely. *)
+
+let mask32 = 0xFFFFFFFF
+
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let digest s =
+  let len = String.length s in
+  (* message + 0x80 + zero padding + 64-bit big-endian bit length,
+     total a multiple of 64 bytes *)
+  let padded_len =
+    let base = len + 1 + 8 in
+    (base + 63) / 64 * 64
+  in
+  let msg = Bytes.make padded_len '\000' in
+  Bytes.blit_string s 0 msg 0 len;
+  Bytes.set msg len '\x80';
+  let bitlen = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set msg (padded_len - 1 - i) (Char.chr ((bitlen lsr (8 * i)) land 0xFF))
+  done;
+  let h0 = ref 0x67452301
+  and h1 = ref 0xEFCDAB89
+  and h2 = ref 0x98BADCFE
+  and h3 = ref 0x10325476
+  and h4 = ref 0xC3D2E1F0 in
+  let w = Array.make 80 0 in
+  let nblocks = padded_len / 64 in
+  for b = 0 to nblocks - 1 do
+    let base = b * 64 in
+    for t = 0 to 15 do
+      let o = base + (t * 4) in
+      w.(t) <-
+        (Char.code (Bytes.get msg o) lsl 24)
+        lor (Char.code (Bytes.get msg (o + 1)) lsl 16)
+        lor (Char.code (Bytes.get msg (o + 2)) lsl 8)
+        lor Char.code (Bytes.get msg (o + 3))
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl32 (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+    done;
+    let a = ref !h0 and b' = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then (!b' land !c) lor (lnot !b' land !d land mask32), 0x5A827999
+        else if t < 40 then !b' lxor !c lxor !d, 0x6ED9EBA1
+        else if t < 60 then (!b' land !c) lor (!b' land !d) lor (!c land !d), 0x8F1BBCDC
+        else !b' lxor !c lxor !d, 0xCA62C1D6
+      in
+      let tmp = (rotl32 !a 5 + (f land mask32) + !e + k + w.(t)) land mask32 in
+      e := !d;
+      d := !c;
+      c := rotl32 !b' 30;
+      b' := !a;
+      a := tmp
+    done;
+    h0 := (!h0 + !a) land mask32;
+    h1 := (!h1 + !b') land mask32;
+    h2 := (!h2 + !c) land mask32;
+    h3 := (!h3 + !d) land mask32;
+    h4 := (!h4 + !e) land mask32
+  done;
+  let out = Bytes.create 20 in
+  let put i v =
+    Bytes.set out i (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out (i + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out (i + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out (i + 3) (Char.chr (v land 0xFF))
+  in
+  put 0 !h0;
+  put 4 !h1;
+  put 8 !h2;
+  put 12 !h3;
+  put 16 !h4;
+  Bytes.unsafe_to_string out
+
+let hex s =
+  let d = digest s in
+  let buf = Buffer.create 40 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let digest_int n = digest (string_of_int n)

@@ -1,0 +1,16 @@
+(** SHA-1 (FIPS 180-1), implemented from scratch.
+
+    HIERAS, like Chord/Pastry/Tapestry/CAN, derives node and ring identifiers
+    from a collision-free hash; the paper names SHA-1. This is a
+    straightforward, allocation-light implementation sufficient for
+    simulation-scale hashing (millions of digests per second). *)
+
+val digest : string -> string
+(** [digest s] is the 20-byte binary SHA-1 digest of [s]. *)
+
+val hex : string -> string
+(** [hex s] is the 40-character lowercase hexadecimal digest of [s]. *)
+
+val digest_int : int -> string
+(** Digest of the decimal representation of an int — convenient for
+    generating node identifiers from dense indices. *)

@@ -1,0 +1,1 @@
+lib/pastry/network.ml: Array Buffer Char Hashid Hashtbl List Printf Prng String Topology

@@ -1,0 +1,1 @@
+lib/pastry/network.mli: Hashid Prng Topology

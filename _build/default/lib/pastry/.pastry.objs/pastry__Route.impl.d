@@ -1,0 +1,1 @@
+lib/pastry/route.ml: Array Float Hashid List Network

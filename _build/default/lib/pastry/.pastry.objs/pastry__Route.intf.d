@@ -1,0 +1,1 @@
+lib/pastry/route.mli: Hashid Network

@@ -1,0 +1,91 @@
+module Id = Hashid.Id
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+(* circular numerical distance |a - key| as a fraction of the circle *)
+let num_dist sp a key =
+  let d = Id.distance_cw sp a key in
+  Float.min d (1.0 -. d)
+
+let route net ~origin ~key =
+  let sp = Network.space net in
+  let n = Network.size net in
+  let root = Network.root_of_key net key in
+  let id_of i = Network.id net i in
+  let hops = ref [] in
+  let count = ref 0 in
+  let total = ref 0.0 in
+  let record from_node to_node latency =
+    hops := { from_node; to_node; latency } :: !hops;
+    incr count;
+    total := !total +. latency
+  in
+  let current = ref origin in
+  let steps = ref 0 in
+  let guard = 8 * (Id.digit_count4 sp + n) in
+  while !current <> root do
+    incr steps;
+    if !steps > guard then failwith "Pastry.Route: routing did not terminate";
+    let cur = !current in
+    let cur_id = id_of cur in
+    let leaves = Network.leaf_set net cur in
+    (* 1. leaf-set delivery: if the root is in our leaf set (or the key sits
+       within the leaf range), jump straight to the numerically closest *)
+    let next =
+      if Array.exists (( = ) root) leaves then root
+      else begin
+        let row = Network.shared_prefix_len net cur_id key in
+        let col = Id.digit4 sp key row in
+        match Network.table_entry net cur ~row ~col with
+        | Some entry -> entry
+        | None ->
+            (* rare case: any known node with >= equal prefix and strictly
+               smaller numerical distance *)
+            let my_dist = num_dist sp cur_id key in
+            let best = ref (-1) and best_d = ref my_dist in
+            let consider cand =
+              if cand <> cur then begin
+                let cid = id_of cand in
+                if Network.shared_prefix_len net cid key >= row then begin
+                  let d = num_dist sp cid key in
+                  if d < !best_d then begin
+                    best := cand;
+                    best_d := d
+                  end
+                end
+              end
+            in
+            Array.iter consider leaves;
+            for r = 0 to Network.rows net - 1 do
+              for c = 0 to 15 do
+                match Network.table_entry net cur ~row:r ~col:c with
+                | Some cand -> consider cand
+                | None -> ()
+              done
+            done;
+            if !best >= 0 then !best
+            else
+              (* fall back to the numerically closest leaf: guaranteed to
+                 make progress towards the root along the circle *)
+              Array.fold_left
+                (fun acc cand ->
+                  if num_dist sp (id_of cand) key < num_dist sp (id_of acc) key then cand
+                  else acc)
+                cur leaves
+      end
+    in
+    if next = cur then failwith "Pastry.Route: no progress possible";
+    let l = Network.link_latency net cur next in
+    record cur next l;
+    current := next
+  done;
+  { origin; key; destination = !current; hops = List.rev !hops; hop_count = !count; latency = !total }

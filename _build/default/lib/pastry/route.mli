@@ -1,0 +1,22 @@
+(** Pastry prefix routing with hop and latency accounting.
+
+    At each step the current node forwards to its routing-table entry for the
+    key's next digit (a node sharing one more prefix digit); when the key
+    falls within the leaf-set range the numerically closest leaf is the final
+    hop. If the required cell is empty the message goes to any known node
+    that shares at least as long a prefix and is numerically closer — the
+    "rare case" rule of the Pastry paper. Routes end at {!Network.root_of_key}. *)
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+val route : Network.t -> origin:int -> key:Hashid.Id.t -> result
+(** Raises [Failure] on non-termination (internal invariant guard). *)

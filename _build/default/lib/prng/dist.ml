@@ -1,0 +1,77 @@
+let uniform_float rng ~lo ~hi = lo +. Rng.float rng (hi -. lo)
+
+let exponential rng ~mean =
+  let u = 1.0 -. Rng.float rng 1.0 in
+  -. mean *. log u
+
+let pareto rng ~shape ~scale =
+  let u = 1.0 -. Rng.float rng 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let normal rng ~mean ~stddev =
+  let u1 = 1.0 -. Rng.float rng 1.0 in
+  let u2 = Rng.float rng 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+type zipf_table = { cdf : float array }
+
+let make_zipf_table ~n ~alpha =
+  if n <= 0 then invalid_arg "Dist.make_zipf_table: n must be positive";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (k + 1) ** alpha));
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. total
+  done;
+  { cdf }
+
+let zipf_draw rng { cdf } =
+  let u = Rng.float rng 1.0 in
+  (* binary search for the first index with cdf >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)
+
+let zipf rng ~n ~alpha = zipf_draw rng (make_zipf_table ~n ~alpha)
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement rng k n =
+  if k > n || k < 0 then invalid_arg "Dist.sample_without_replacement";
+  (* partial Fisher–Yates over an index array; O(n) space, O(n + k) time *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = Rng.int_in rng i (n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+let weighted_index rng w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.weighted_index: empty";
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Dist.weighted_index: zero total weight";
+  let u = Rng.float rng total in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,37 @@
+(** Random distributions and sampling helpers built on {!Rng}. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto (heavy-tailed) value: minimum [scale], tail exponent [shape]. *)
+
+val uniform_float : Rng.t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian via Box–Muller. *)
+
+val zipf : Rng.t -> n:int -> alpha:float -> int
+(** Zipf-distributed rank in [\[0, n)]: rank [k] has weight
+    [(k+1)^-alpha]. O(n) setup is avoided by rejection-inversion would be
+    overkill here; we precompute nothing and use inverse-CDF on a cached
+    table via {!zipf_table}. This direct form is O(n) per draw — prefer
+    {!zipf_table} for bulk sampling. *)
+
+type zipf_table
+(** Precomputed inverse-CDF table for bulk Zipf sampling. *)
+
+val make_zipf_table : n:int -> alpha:float -> zipf_table
+val zipf_draw : Rng.t -> zipf_table -> int
+
+val shuffle : Rng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : Rng.t -> int -> int -> int array
+(** [sample_without_replacement rng k n] picks [k] distinct ints from
+    [\[0, n)], in random order. Raises [Invalid_argument] if [k > n]. *)
+
+val weighted_index : Rng.t -> float array -> int
+(** Index drawn proportionally to the (non-negative) weights. Raises
+    [Invalid_argument] on an empty or all-zero array. *)

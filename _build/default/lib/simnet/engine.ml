@@ -1,0 +1,95 @@
+type t = {
+  latency : int -> int -> float;
+  alive : bool array;
+  heap : Event_heap.t;
+  mutable clock : float;
+  mutable loss_rate : float;
+  mutable loss_rng : Prng.Rng.t option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_dead : int;
+  mutable dropped_loss : int;
+}
+
+let create ~latency ~nodes =
+  if nodes < 0 then invalid_arg "Engine.create: negative node count";
+  {
+    latency;
+    alive = Array.make nodes true;
+    heap = Event_heap.create ();
+    clock = 0.0;
+    loss_rate = 0.0;
+    loss_rng = None;
+    sent = 0;
+    delivered = 0;
+    dropped_dead = 0;
+    dropped_loss = 0;
+  }
+
+let now t = t.clock
+let node_count t = Array.length t.alive
+let is_alive t n = t.alive.(n)
+let kill t n = t.alive.(n) <- false
+let revive t n = t.alive.(n) <- true
+
+let set_loss t ~rate ~rng =
+  if rate < 0.0 || rate >= 1.0 then invalid_arg "Engine.set_loss: rate must be in [0, 1)";
+  t.loss_rate <- rate;
+  t.loss_rng <- (if rate = 0.0 then None else Some rng)
+
+let lost t =
+  match t.loss_rng with
+  | None -> false
+  | Some rng -> t.loss_rate > 0.0 && Prng.Rng.float rng 1.0 < t.loss_rate
+
+let send t ~src ~dst f =
+  if not t.alive.(src) then invalid_arg "Engine.send: source node is dead";
+  t.sent <- t.sent + 1;
+  if lost t then t.dropped_loss <- t.dropped_loss + 1
+  else begin
+    let arrival = t.clock +. t.latency src dst in
+    Event_heap.push t.heap ~time:arrival (fun () ->
+        if t.alive.(dst) then begin
+          t.delivered <- t.delivered + 1;
+          f ()
+        end
+        else t.dropped_dead <- t.dropped_dead + 1)
+  end
+
+let timer t ~node ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.timer: negative delay";
+  Event_heap.push t.heap ~time:(t.clock +. delay) (fun () ->
+      if t.alive.(node) then f () else t.dropped_dead <- t.dropped_dead + 1)
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_heap.push t.heap ~time:(t.clock +. delay) f
+
+let run ?(max_events = max_int) ?until t =
+  let processed = ref 0 in
+  let continue = ref true in
+  while !continue && !processed < max_events do
+    match Event_heap.pop t.heap with
+    | None -> continue := false
+    | Some (time, f) ->
+        (match until with
+        | Some limit when time >= limit ->
+            (* put it back: it belongs to a later run *)
+            Event_heap.push t.heap ~time f;
+            t.clock <- limit;
+            continue := false
+        | _ ->
+            t.clock <- Float.max t.clock time;
+            incr processed;
+            f ())
+  done
+
+let run_until_quiet ?(max_events = 10_000_000) t =
+  run ~max_events t;
+  if not (Event_heap.is_empty t.heap) then
+    failwith "Engine.run_until_quiet: event budget exhausted (livelock?)"
+
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped_dead t = t.dropped_dead
+let dropped_loss t = t.dropped_loss

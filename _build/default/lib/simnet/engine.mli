@@ -1,0 +1,65 @@
+(** Discrete-event network simulation engine.
+
+    Nodes are integer addresses; a message is a closure executed at its
+    arrival time (send time + link latency from the latency function).
+    The engine models node failures (messages to or timers on a dead node are
+    silently discarded — a {e silent fail}, exactly the failure mode the
+    Chord and HIERAS maintenance protocols must survive) and optional random
+    message loss.
+
+    The protocol layers ({!Chord.Protocol}, [Hieras.Hprotocol]) are built on
+    this engine; the large-scale routing experiments bypass it and use the
+    oracle-built networks instead (see DESIGN.md §5). *)
+
+type t
+
+val create : latency:(int -> int -> float) -> nodes:int -> t
+(** [create ~latency ~nodes]: addresses are [0 .. nodes-1]; [latency a b] is
+    the one-way message delay in ms ([a = b] allowed and usually 0). All
+    nodes start alive. *)
+
+val now : t -> float
+(** Current simulated time (ms). *)
+
+val node_count : t -> int
+val is_alive : t -> int -> bool
+val kill : t -> int -> unit
+(** Silent fail: pending deliveries and timers for the node are discarded on
+    arrival. *)
+
+val revive : t -> int -> unit
+
+val set_loss : t -> rate:float -> rng:Prng.Rng.t -> unit
+(** Drop each message independently with probability [rate] (0 disables). *)
+
+val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+(** Deliver the closure at [now + latency src dst], unless the destination is
+    dead at delivery time or the message is lost. The source must be alive
+    when sending (a dead source raises [Invalid_argument] — protocols must
+    not act from beyond the grave). *)
+
+val timer : t -> node:int -> delay:float -> (unit -> unit) -> unit
+(** Local timer: fires after [delay] ms unless the node is dead by then. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** God-event: fires unconditionally — used by test harnesses to inject
+    failures, joins, and assertions at chosen times. *)
+
+val run : ?max_events:int -> ?until:float -> t -> unit
+(** Process events in timestamp order until the queue is empty, [until]
+    (exclusive) is reached, or [max_events] have run. Remaining events stay
+    queued; [run] can be called again. *)
+
+val run_until_quiet : ?max_events:int -> t -> unit
+(** Run until the queue drains completely (bounded by [max_events],
+    default 10 million; raises [Failure] if exceeded — a livelock guard). *)
+
+(** Delivery statistics (cumulative). *)
+
+val sent : t -> int
+val delivered : t -> int
+val dropped_dead : t -> int
+(** Messages/timers discarded because the destination was dead. *)
+
+val dropped_loss : t -> int
+(** Messages discarded by random loss injection. *)

@@ -1,0 +1,79 @@
+type t = {
+  mutable time : float array;
+  mutable seq : int array;
+  mutable thunk : (unit -> unit) array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let nop () = ()
+
+let create () =
+  { time = Array.make 64 0.0; seq = Array.make 64 0; thunk = Array.make 64 nop; size = 0; next_seq = 0 }
+
+let grow h =
+  let cap = Array.length h.time in
+  let time = Array.make (2 * cap) 0.0
+  and seq = Array.make (2 * cap) 0
+  and thunk = Array.make (2 * cap) nop in
+  Array.blit h.time 0 time 0 h.size;
+  Array.blit h.seq 0 seq 0 h.size;
+  Array.blit h.thunk 0 thunk 0 h.size;
+  h.time <- time;
+  h.seq <- seq;
+  h.thunk <- thunk
+
+(* event i precedes j: earlier time, or same time and earlier sequence *)
+let before h i j = h.time.(i) < h.time.(j) || (h.time.(i) = h.time.(j) && h.seq.(i) < h.seq.(j))
+
+let swap h i j =
+  let t = h.time.(i) and s = h.seq.(i) and f = h.thunk.(i) in
+  h.time.(i) <- h.time.(j);
+  h.seq.(i) <- h.seq.(j);
+  h.thunk.(i) <- h.thunk.(j);
+  h.time.(j) <- t;
+  h.seq.(j) <- s;
+  h.thunk.(j) <- f
+
+let push h ~time f =
+  if h.size = Array.length h.time then grow h;
+  h.time.(h.size) <- time;
+  h.seq.(h.size) <- h.next_seq;
+  h.thunk.(h.size) <- f;
+  h.next_seq <- h.next_seq + 1;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && before h !i ((!i - 1) / 2) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let t = h.time.(0) and f = h.thunk.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.time.(0) <- h.time.(h.size);
+      h.seq.(0) <- h.seq.(h.size);
+      h.thunk.(0) <- h.thunk.(h.size);
+      h.thunk.(h.size) <- nop;
+      let i = ref 0 and continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.size && before h l !best then best := l;
+        if r < h.size && before h r !best then best := r;
+        if !best <> !i then begin
+          swap h !i !best;
+          i := !best
+        end
+        else continue := false
+      done
+    end
+    else h.thunk.(0) <- nop;
+    Some (t, f)
+  end
+
+let size h = h.size
+let is_empty h = h.size = 0

@@ -1,0 +1,15 @@
+(** Priority queue of timestamped thunks — the simulator's event list.
+
+    Events with equal timestamps fire in insertion order (a monotonically
+    increasing sequence number breaks ties), which keeps protocol simulations
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+val push : t -> time:float -> (unit -> unit) -> unit
+val pop : t -> (float * (unit -> unit)) option
+(** Earliest event, or [None] when empty. *)
+
+val size : t -> int
+val is_empty : t -> bool

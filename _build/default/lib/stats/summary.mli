@@ -1,0 +1,31 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Used by the experiment harness to accumulate per-request hop counts and
+    latencies without retaining the raw 100 000-sample arrays. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel update). *)
+
+val count : t -> int
+val mean : t -> float
+(** 0 for an empty accumulator. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+(** Sum of samples. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row > List.length t.headers then
+    invalid_arg "Text_table.add_row: more cells than headers";
+  let missing = List.length t.headers - List.length row in
+  let row = row @ List.init missing (fun _ -> "") in
+  t.rows <- row :: t.rows
+
+let headers t = t.headers
+let rows t = List.rev t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  let rule_len = Array.fold_left ( + ) 0 widths + (3 * (ncols - 1)) in
+  Buffer.add_string buf (String.make rule_len '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

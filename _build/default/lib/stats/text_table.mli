@@ -1,0 +1,21 @@
+(** Minimal aligned ASCII tables for experiment reports. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded; longer rows raise
+    [Invalid_argument]. *)
+
+val headers : t -> string list
+val rows : t -> string list list
+(** Rows in insertion order, padded to the header width. *)
+
+val render : t -> string
+(** Render with space-padded, pipe-separated columns and a rule under the
+    header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

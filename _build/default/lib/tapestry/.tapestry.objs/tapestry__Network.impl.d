@@ -1,0 +1,1 @@
+lib/tapestry/network.ml: Array Char Hashid Hashtbl List Printf Prng String Topology

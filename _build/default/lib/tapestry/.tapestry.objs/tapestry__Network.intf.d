@@ -1,0 +1,1 @@
+lib/tapestry/network.mli: Hashid Prng Topology

@@ -1,0 +1,201 @@
+module Id = Hashid.Id
+
+type t = {
+  space : Id.space;
+  ids : Id.t array; (* sorted ascending *)
+  hosts : int array;
+  lat : Topology.Latency.t;
+  rng : Prng.Rng.t;
+  candidates_per_hop : int;
+  (* levels.(r) maps an r+1-digit prefix (as a raw byte string of digit
+     values) to the nodes whose identifiers start with it *)
+  levels : (string, int array) Hashtbl.t array;
+}
+
+let space t = t.space
+let size t = Array.length t.ids
+let id t i = t.ids.(i)
+let host t i = t.hosts.(i)
+
+let digit t node r = Id.digit4 t.space t.ids.(node) r
+
+let build ~space ~hosts ~lat ~rng ?(candidates_per_hop = 16) ?(salt = "tapestry-peer") () =
+  if Id.bits space mod 4 <> 0 then
+    invalid_arg "Tapestry.Network.build: identifier width must be a multiple of 4";
+  let n = Array.length hosts in
+  if n = 0 then invalid_arg "Tapestry.Network.build: empty network";
+  let seen = Hashtbl.create (2 * n) in
+  let raw_ids =
+    Array.init n (fun i ->
+        let rec fresh attempt =
+          let id = Id.of_hash space (Printf.sprintf "%s:%d:%d" salt i attempt) in
+          if Hashtbl.mem seen id then fresh (attempt + 1)
+          else begin
+            Hashtbl.replace seen id ();
+            id
+          end
+        in
+        fresh 0)
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Id.compare raw_ids.(a) raw_ids.(b)) order;
+  let ids = Array.map (fun i -> raw_ids.(i)) order in
+  let hosts = Array.map (fun i -> hosts.(i)) order in
+  (* build prefix groups level by level until all groups are singletons *)
+  let max_rows = Id.digit_count4 space in
+  let levels = ref [] in
+  let current = ref [ ("", Array.init n (fun i -> i)) ] in
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue && !depth < max_rows do
+    let acc : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    let any = ref false in
+    List.iter
+      (fun (prefix, group) ->
+        if Array.length group > 1 then begin
+          any := true;
+          Array.iter
+            (fun node ->
+              let key = prefix ^ String.make 1 (Char.chr (Id.digit4 space ids.(node) !depth)) in
+              match Hashtbl.find_opt acc key with
+              | Some l -> l := node :: !l
+              | None -> Hashtbl.replace acc key (ref [ node ]))
+            group
+        end)
+      !current;
+    if !any then begin
+      let next = Hashtbl.create (Hashtbl.length acc) in
+      Hashtbl.iter (fun k l -> Hashtbl.replace next k (Array.of_list !l)) acc;
+      levels := next :: !levels;
+      current := Hashtbl.fold (fun k v a -> (k, v) :: a) next [];
+      incr depth
+    end
+    else continue := false
+  done;
+  {
+    space;
+    ids;
+    hosts;
+    lat;
+    rng;
+    candidates_per_hop;
+    levels = Array.of_list (List.rev !levels);
+  }
+
+(* surrogate digit resolution: at level r with resolved prefix [prefix], try
+   the key's digit, then successive digits mod 16, until a populated slot
+   appears (one always does — the prefix itself is populated) *)
+let surrogate_digit t ~level ~prefix ~want =
+  let rec try_digit k =
+    if k = 16 then invalid_arg "Tapestry: unpopulated prefix"
+    else begin
+      let d = (want + k) mod 16 in
+      let key = prefix ^ String.make 1 (Char.chr d) in
+      match Hashtbl.find_opt t.levels.(level) key with
+      | Some _ -> d
+      | None -> try_digit (k + 1)
+    end
+  in
+  try_digit 0
+
+let root_path t key =
+  let rows = Array.length t.levels in
+  let rec go level prefix acc =
+    if level >= rows then List.rev acc
+    else begin
+      (* stop once the current prefix group is a singleton *)
+      let group_size =
+        if level = 0 then size t
+        else
+          match Hashtbl.find_opt t.levels.(level - 1) prefix with
+          | Some g -> Array.length g
+          | None -> 1
+      in
+      if group_size <= 1 then List.rev acc
+      else begin
+        let want = Id.digit4 t.space key level in
+        let d = surrogate_digit t ~level ~prefix ~want in
+        go (level + 1) (prefix ^ String.make 1 (Char.chr d)) (d :: acc)
+      end
+    end
+  in
+  go 0 "" []
+
+let group_at t path_prefix =
+  let level = String.length path_prefix - 1 in
+  if level < 0 then Array.init (size t) (fun i -> i)
+  else
+    match Hashtbl.find_opt t.levels.(level) path_prefix with
+    | Some g -> g
+    | None -> [||]
+
+let root_of_key t key =
+  let path = root_path t key in
+  let prefix = String.init (List.length path) (fun i -> Char.chr (List.nth path i)) in
+  let g = group_at t prefix in
+  if Array.length g <> 1 then failwith "Tapestry.root_of_key: root group not a singleton";
+  g.(0)
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+let route t ~origin ~key =
+  let path = Array.of_list (root_path t key) in
+  let plen = Array.length path in
+  (* how many digits of the root path does a node already match? *)
+  let matched node =
+    let rec go r = if r < plen && digit t node r = path.(r) then go (r + 1) else r in
+    go 0
+  in
+  let hops = ref [] in
+  let count = ref 0 in
+  let total = ref 0.0 in
+  let record from_node to_node =
+    let l = Topology.Latency.host_latency t.lat t.hosts.(from_node) t.hosts.(to_node) in
+    hops := { from_node; to_node; latency = l } :: !hops;
+    incr count;
+    total := !total +. l
+  in
+  let current = ref origin in
+  let steps = ref 0 in
+  while matched !current < plen do
+    incr steps;
+    if !steps > plen + 4 then failwith "Tapestry.route: did not terminate";
+    let cur = !current in
+    let r = matched cur in
+    let prefix = String.init (r + 1) (fun i -> Char.chr path.(i)) in
+    let group = group_at t prefix in
+    if Array.length group = 0 then failwith "Tapestry.route: root path group vanished";
+    (* proximity selection among nodes matching one more digit *)
+    let m = Array.length group in
+    let tries = min m t.candidates_per_hop in
+    let best = ref group.(0) and best_d = ref infinity in
+    for k = 0 to tries - 1 do
+      let cand =
+        if m <= t.candidates_per_hop then group.(k) else group.(Prng.Rng.int t.rng m)
+      in
+      let d = Topology.Latency.host_latency t.lat t.hosts.(cur) t.hosts.(cand) in
+      if d < !best_d then begin
+        best := cand;
+        best_d := d
+      end
+    done;
+    record cur !best;
+    current := !best
+  done;
+  {
+    origin;
+    key;
+    destination = !current;
+    hops = List.rev !hops;
+    hop_count = !count;
+    latency = !total;
+  }

@@ -1,0 +1,58 @@
+(** Oracle-built Tapestry networks (Zhao, Kubiatowicz & Joseph,
+    UCB//CSD-01-1141) — the second locality-aware DHT the paper's future
+    work names.
+
+    Tapestry is a Plaxton-style prefix-routing mesh. Like Pastry it resolves
+    one base-16 digit per hop and fills its neighbor maps with topologically
+    close candidates; {e unlike} Pastry it has no leaf set — a key's {e root}
+    is determined by {e surrogate routing}: when no node matches the key's
+    next digit at some level, the lookup deterministically tries the
+    following digit values (mod 16) until a populated slot is found. The
+    root is therefore a pure function of the id set, which this oracle
+    computes directly.
+
+    Routing walks the root's digit path: each hop moves to the
+    topologically nearest node matching one more digit of that path, so a
+    route takes at most [log16 n] hops. *)
+
+type t
+
+val build :
+  space:Hashid.Id.space ->
+  hosts:int array ->
+  lat:Topology.Latency.t ->
+  rng:Prng.Rng.t ->
+  ?candidates_per_hop:int ->
+  ?salt:string ->
+  unit ->
+  t
+(** [space] width must be a multiple of 4. [candidates_per_hop] (default 16)
+    bounds the proximity sampling when choosing among a level's matching
+    nodes. *)
+
+val space : t -> Hashid.Id.space
+val size : t -> int
+val id : t -> int -> Hashid.Id.t
+val host : t -> int -> int
+
+val root_of_key : t -> Hashid.Id.t -> int
+(** The surrogate root: unique, path-independent owner of the key. *)
+
+val root_path : t -> Hashid.Id.t -> int list
+(** The digit sequence surrogate routing resolves for this key (diagnostic;
+    its length bounds every route's hop count). *)
+
+type hop = { from_node : int; to_node : int; latency : float }
+
+type result = {
+  origin : int;
+  key : Hashid.Id.t;
+  destination : int;
+  hops : hop list;
+  hop_count : int;
+  latency : float;
+}
+
+val route : t -> origin:int -> key:Hashid.Id.t -> result
+(** Ends at {!root_of_key}; each hop matches at least one more digit of the
+    root path. *)

@@ -1,0 +1,1 @@
+lib/topology/brite.ml: Array Graph Latency Prng

@@ -1,0 +1,1 @@
+lib/topology/inet.ml: Array Float Graph Hashtbl Latency List Option Printf Prng Stdlib

@@ -1,0 +1,1 @@
+lib/topology/inet.mli: Graph Latency Prng

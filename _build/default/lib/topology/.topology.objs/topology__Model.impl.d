@@ -1,0 +1,1 @@
+lib/topology/model.ml: Brite Inet String Transit_stub

@@ -1,0 +1,104 @@
+(* Array-based binary min-heap of (distance, vertex). Stale entries are
+   skipped on pop (lazy deletion), the standard trick that avoids decrease-key. *)
+module Heap = struct
+  type t = {
+    mutable dist : float array;
+    mutable vert : int array;
+    mutable size : int;
+  }
+
+  let create cap = { dist = Array.make (max cap 1) 0.0; vert = Array.make (max cap 1) 0; size = 0 }
+
+  let grow h =
+    let cap = Array.length h.dist in
+    let dist = Array.make (2 * cap) 0.0 and vert = Array.make (2 * cap) 0 in
+    Array.blit h.dist 0 dist 0 h.size;
+    Array.blit h.vert 0 vert 0 h.size;
+    h.dist <- dist;
+    h.vert <- vert
+
+  let swap h i j =
+    let d = h.dist.(i) and v = h.vert.(i) in
+    h.dist.(i) <- h.dist.(j);
+    h.vert.(i) <- h.vert.(j);
+    h.dist.(j) <- d;
+    h.vert.(j) <- v
+
+  let push h d v =
+    if h.size = Array.length h.dist then grow h;
+    h.dist.(h.size) <- d;
+    h.vert.(h.size) <- v;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.dist.((!i - 1) / 2) > h.dist.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let d = h.dist.(0) and v = h.vert.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.dist.(0) <- h.dist.(h.size);
+        h.vert.(0) <- h.vert.(h.size);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.size && h.dist.(l) < h.dist.(!smallest) then smallest := l;
+          if r < h.size && h.dist.(r) < h.dist.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            swap h !i !smallest;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some (d, v)
+    end
+end
+
+let distances_with_prev g ~src =
+  let n = Graph.vertex_count g in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create 64 in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          ignore d;
+          Graph.iter_neighbors g v (fun u w ->
+              let nd = dist.(v) +. w in
+              if nd < dist.(u) then begin
+                dist.(u) <- nd;
+                prev.(u) <- v;
+                Heap.push heap nd u
+              end)
+        end;
+        loop ()
+  in
+  loop ();
+  (dist, prev)
+
+let distances g ~src = fst (distances_with_prev g ~src)
+
+let distance_matrix g =
+  let n = Graph.vertex_count g in
+  Array.init n (fun src -> distances g ~src)
+
+let path g ~src ~dst =
+  let dist, prev = distances_with_prev g ~src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec collect v acc = if v = src then src :: acc else collect prev.(v) (v :: acc) in
+    Some (collect dst [])
+  end

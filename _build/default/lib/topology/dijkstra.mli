@@ -1,0 +1,15 @@
+(** Single-source shortest paths and all-pairs distance matrices.
+
+    The latency oracle precomputes the router-to-router distance matrix with
+    one Dijkstra run per source (binary heap, O(E log V) each); router graphs
+    stay small (≤ ~2000 vertices) so this is cheap even for 10 000-host
+    networks. *)
+
+val distances : Graph.t -> src:int -> float array
+(** Delay (ms) from [src] to every vertex; [infinity] for unreachable. *)
+
+val distance_matrix : Graph.t -> float array array
+(** [m.(i).(j)] is the delay from router [i] to router [j]. *)
+
+val path : Graph.t -> src:int -> dst:int -> int list option
+(** One shortest path as a vertex list ([src] first), if reachable. *)

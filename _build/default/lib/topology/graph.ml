@@ -1,0 +1,96 @@
+module Edge_key = struct
+  type t = int * int
+
+  let normalize u v = if u < v then (u, v) else (v, u)
+end
+
+type builder = {
+  n : int;
+  edges : (Edge_key.t, float) Hashtbl.t;
+}
+
+let builder n =
+  if n < 0 then invalid_arg "Graph.builder: negative vertex count";
+  { n; edges = Hashtbl.create (4 * max n 1) }
+
+let add_edge b u v w =
+  if u < 0 || u >= b.n || v < 0 || v >= b.n then invalid_arg "Graph.add_edge: vertex out of range";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if w < 0.0 then invalid_arg "Graph.add_edge: negative delay";
+  let key = Edge_key.normalize u v in
+  match Hashtbl.find_opt b.edges key with
+  | Some w' when w' <= w -> ()
+  | _ -> Hashtbl.replace b.edges key w
+
+let has_edge b u v = Hashtbl.mem b.edges (Edge_key.normalize u v)
+
+type t = {
+  nv : int;
+  ne : int;
+  (* CSR: neighbors of v are adj.(off.(v) .. off.(v+1)-1) *)
+  off : int array;
+  adj : int array;
+  w : float array;
+}
+
+let freeze b =
+  let deg = Array.make b.n 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    b.edges;
+  let off = Array.make (b.n + 1) 0 in
+  for v = 0 to b.n - 1 do
+    off.(v + 1) <- off.(v) + deg.(v)
+  done;
+  let total = off.(b.n) in
+  let adj = Array.make total 0 and w = Array.make total 0.0 in
+  let cursor = Array.copy off in
+  Hashtbl.iter
+    (fun (u, v) d ->
+      adj.(cursor.(u)) <- v;
+      w.(cursor.(u)) <- d;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      w.(cursor.(v)) <- d;
+      cursor.(v) <- cursor.(v) + 1)
+    b.edges;
+  { nv = b.n; ne = Hashtbl.length b.edges; off; adj; w }
+
+let vertex_count t = t.nv
+let edge_count t = t.ne
+let degree t v = t.off.(v + 1) - t.off.(v)
+
+let iter_neighbors t v f =
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    f t.adj.(i) t.w.(i)
+  done
+
+let fold_neighbors t v f init =
+  let acc = ref init in
+  iter_neighbors t v (fun u d -> acc := f !acc u d);
+  !acc
+
+let components t =
+  let label = Array.make t.nv (-1) in
+  let queue = Queue.create () in
+  for start = 0 to t.nv - 1 do
+    if label.(start) < 0 then begin
+      label.(start) <- start;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        iter_neighbors t v (fun u _ ->
+            if label.(u) < 0 then begin
+              label.(u) <- start;
+              Queue.add u queue
+            end)
+      done
+    end
+  done;
+  label
+
+let is_connected t =
+  if t.nv = 0 then false
+  else Array.for_all (fun l -> l = 0) (components t)

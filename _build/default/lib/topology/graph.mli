@@ -1,0 +1,38 @@
+(** Undirected weighted graphs (router-level topologies).
+
+    Construction happens through a mutable {!builder}; {!freeze} compacts the
+    adjacency into flat arrays (CSR layout) for fast traversal during the
+    all-pairs shortest-path precomputation. Weights are link delays in
+    milliseconds. *)
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts a graph with [n] vertices and no edges. *)
+
+val add_edge : builder -> int -> int -> float -> unit
+(** [add_edge b u v w] adds the undirected edge [u–v] with delay [w] ms.
+    Self-loops are rejected; duplicate edges keep the smaller delay. *)
+
+val has_edge : builder -> int -> int -> bool
+
+type t
+(** A frozen graph. *)
+
+val freeze : builder -> t
+val vertex_count : t -> int
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+(** Iterate the neighbors of a vertex with their edge delays. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+
+val is_connected : t -> bool
+(** BFS reachability from vertex 0 (false for the empty graph). *)
+
+val components : t -> int array
+(** Component label per vertex (labels are representative vertex ids). *)

@@ -1,0 +1,45 @@
+type t = {
+  graph : Graph.t;
+  dist : float array array;
+  host_router : int array;
+  host_access : float array;
+}
+
+let create ~router_graph ~host_router ~host_access =
+  if Array.length host_router <> Array.length host_access then
+    invalid_arg "Latency.create: host arrays differ in length";
+  let nr = Graph.vertex_count router_graph in
+  Array.iter
+    (fun r -> if r < 0 || r >= nr then invalid_arg "Latency.create: router index out of range")
+    host_router;
+  if not (Graph.is_connected router_graph) then
+    invalid_arg "Latency.create: router graph must be connected";
+  let dist = Dijkstra.distance_matrix router_graph in
+  { graph = router_graph; dist; host_router; host_access }
+
+let hosts t = Array.length t.host_router
+let routers t = Graph.vertex_count t.graph
+let router_graph t = t.graph
+let router_of_host t h = t.host_router.(h)
+let access_delay t h = t.host_access.(h)
+
+let host_latency t a b =
+  if a = b then 0.0
+  else
+    t.host_access.(a) +. t.dist.(t.host_router.(a)).(t.host_router.(b)) +. t.host_access.(b)
+
+let host_to_router t h r = t.host_access.(h) +. t.dist.(t.host_router.(h)).(r)
+let router_latency t a b = t.dist.(a).(b)
+
+let mean_host_latency t ?(samples = 20_000) rng =
+  let n = hosts t in
+  if n < 2 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for _ = 1 to samples do
+      let a = Prng.Rng.int rng n in
+      let b = (a + 1 + Prng.Rng.int rng (n - 1)) mod n in
+      acc := !acc +. host_latency t a b
+    done;
+    !acc /. float_of_int samples
+  end

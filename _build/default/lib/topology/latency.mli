@@ -1,0 +1,40 @@
+(** The latency oracle: pairwise end-host delays over a router topology.
+
+    Topology generators emit a {e router} graph plus an attachment of DHT
+    end-hosts to routers (with a small access-link delay). The oracle
+    precomputes the router-to-router distance matrix once; a host-to-host
+    query is then O(1):
+
+    [latency a b = access a + D.(router a).(router b) + access b]
+
+    This mirrors how p2psim-style simulators evaluate DHTs on GT-ITM-like
+    topologies and is what keeps 10 000-host x 100 000-lookup experiments
+    cheap. *)
+
+type t
+
+val create :
+  router_graph:Graph.t -> host_router:int array -> host_access:float array -> t
+(** Precomputes the router distance matrix. [host_router.(h)] is the router
+    host [h] attaches to, [host_access.(h)] its access-link delay (ms).
+    Raises [Invalid_argument] on length mismatch or a disconnected router
+    graph. *)
+
+val hosts : t -> int
+val routers : t -> int
+val router_graph : t -> Graph.t
+val router_of_host : t -> int -> int
+val access_delay : t -> int -> float
+
+val host_latency : t -> int -> int -> float
+(** One-way delay (ms) between two hosts. Zero between a host and itself. *)
+
+val host_to_router : t -> int -> int -> float
+(** Delay from a host to an arbitrary router — what a landmark "ping"
+    measures when landmarks are well-known routers. *)
+
+val router_latency : t -> int -> int -> float
+
+val mean_host_latency : t -> ?samples:int -> Prng.Rng.t -> float
+(** Monte-Carlo estimate of the mean delay between two random distinct
+    hosts (diagnostics; default 20 000 samples). *)

@@ -1,0 +1,20 @@
+type kind = Transit_stub | Inet | Brite
+
+let all = [ Transit_stub; Inet; Brite ]
+
+let name = function Transit_stub -> "TS" | Inet -> "Inet" | Brite -> "BRITE"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "ts" | "transit-stub" | "transit_stub" | "gt-itm" -> Some Transit_stub
+  | "inet" -> Some Inet
+  | "brite" -> Some Brite
+  | _ -> None
+
+let min_hosts = function Inet -> Inet.min_hosts | Transit_stub | Brite -> 1
+
+let build kind ~hosts rng =
+  match kind with
+  | Transit_stub -> Transit_stub.generate ~hosts rng
+  | Inet -> Inet.generate ~hosts rng
+  | Brite -> Brite.generate ~hosts rng

@@ -1,0 +1,17 @@
+(** Facade over the three network models used in the paper's evaluation. *)
+
+type kind = Transit_stub | Inet | Brite
+
+val all : kind list
+val name : kind -> string
+(** "TS", "Inet", "BRITE" — the labels used in the paper's figures. *)
+
+val of_name : string -> kind option
+(** Case-insensitive parse of [name] (also accepts "ts", "transit-stub"). *)
+
+val min_hosts : kind -> int
+(** 1 except for Inet (3000), matching the paper's simulation setup. *)
+
+val build : kind -> hosts:int -> Prng.Rng.t -> Latency.t
+(** Generate a topology of this kind with default parameters and the given
+    number of DHT end-hosts. *)

@@ -1,0 +1,108 @@
+type params = {
+  transit_domains : int;
+  transit_per_domain : int;
+  stubs_per_transit : int;
+  routers_per_stub : int;
+  intra_transit_delay : float;
+  inter_transit_delay : float;
+  transit_stub_delay : float;
+  intra_stub_delay : float;
+  host_access_delay : float;
+  redundancy : float;
+}
+
+let default_params ~hosts =
+  (* A small, dense backbone: GT-ITM transit domains are few and their
+     routers richly connected, so a path crosses at most a couple of 100 ms
+     transit links. This is what gives the paper its three clearly separated
+     latency scales (same stub ~10 ms, same transit region ~50 ms, cross
+     region >140 ms) — the structure distributed binning quantises. *)
+  let transit_domains, transit_per_domain, stubs_per_transit, routers_per_stub =
+    if hosts <= 1500 then (2, 2, 3, 7)
+    else if hosts <= 4000 then (2, 2, 6, 9)
+    else if hosts <= 6500 then (2, 2, 9, 11)
+    else (2, 2, 12, 13)
+  in
+  {
+    transit_domains;
+    transit_per_domain;
+    stubs_per_transit;
+    routers_per_stub;
+    intra_transit_delay = 100.0;
+    inter_transit_delay = 100.0;
+    transit_stub_delay = 20.0;
+    intra_stub_delay = 5.0;
+    host_access_delay = 1.0;
+    redundancy = 0.35;
+  }
+
+let router_count p =
+  let transit = p.transit_domains * p.transit_per_domain in
+  transit + (transit * p.stubs_per_transit * p.routers_per_stub)
+
+(* Connected random graph over the vertex slice [base, base+n): a uniform
+   random recursive tree plus [redundancy * (n-1)] extra random edges. *)
+let connect_domain builder rng ~base ~n ~delay ~redundancy =
+  for i = 1 to n - 1 do
+    let parent = Prng.Rng.int rng i in
+    Graph.add_edge builder (base + i) (base + parent) delay
+  done;
+  let extras = int_of_float (redundancy *. float_of_int (n - 1)) in
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extras && !attempts < 20 * (extras + 1) && n >= 3 do
+    incr attempts;
+    let u = Prng.Rng.int rng n and v = Prng.Rng.int rng n in
+    if u <> v && not (Graph.has_edge builder (base + u) (base + v)) then begin
+      Graph.add_edge builder (base + u) (base + v) delay;
+      incr added
+    end
+  done
+
+let generate ?params ~hosts rng =
+  let p = match params with Some p -> p | None -> default_params ~hosts in
+  if hosts < 1 then invalid_arg "Transit_stub.generate: need at least one host";
+  let transit_total = p.transit_domains * p.transit_per_domain in
+  let stub_total = transit_total * p.stubs_per_transit in
+  let nr = transit_total + (stub_total * p.routers_per_stub) in
+  let b = Graph.builder nr in
+  (* transit domains are cliques: routers [d * tpd, (d+1) * tpd) *)
+  for d = 0 to p.transit_domains - 1 do
+    let base = d * p.transit_per_domain in
+    for i = 0 to p.transit_per_domain - 1 do
+      for j = i + 1 to p.transit_per_domain - 1 do
+        Graph.add_edge b (base + i) (base + j) p.intra_transit_delay
+      done
+    done
+  done;
+  (* top level: ring of transit domains plus chords, each inter-domain edge
+     lands on a random router of each side *)
+  let random_transit_router d = (d * p.transit_per_domain) + Prng.Rng.int rng p.transit_per_domain in
+  for d = 0 to p.transit_domains - 1 do
+    let d' = (d + 1) mod p.transit_domains in
+    if p.transit_domains > 1 && (d < d' || p.transit_domains = 2) then
+      Graph.add_edge b (random_transit_router d) (random_transit_router d') p.inter_transit_delay
+  done;
+  if p.transit_domains > 3 then begin
+    (* one extra chord for path diversity across the backbone *)
+    let d = Prng.Rng.int rng p.transit_domains in
+    let d' = (d + (p.transit_domains / 2)) mod p.transit_domains in
+    if d <> d' then
+      Graph.add_edge b (random_transit_router d) (random_transit_router d') p.inter_transit_delay
+  end;
+  (* stub domains: stub s (0-based global) attaches to transit router s / stubs_per_transit *)
+  for s = 0 to stub_total - 1 do
+    let base = transit_total + (s * p.routers_per_stub) in
+    connect_domain b rng ~base ~n:p.routers_per_stub ~delay:p.intra_stub_delay
+      ~redundancy:p.redundancy;
+    let transit_router = s / p.stubs_per_transit in
+    let gateway = base + Prng.Rng.int rng p.routers_per_stub in
+    Graph.add_edge b gateway transit_router p.transit_stub_delay
+  done;
+  let graph = Graph.freeze b in
+  (* hosts on uniformly random stub routers *)
+  let host_router =
+    Array.init hosts (fun _ -> transit_total + Prng.Rng.int rng (stub_total * p.routers_per_stub))
+  in
+  let host_access = Array.make hosts p.host_access_delay in
+  Latency.create ~router_graph:graph ~host_router ~host_access

@@ -1,0 +1,1 @@
+lib/workload/requests.ml: Array Hashid Keys List Prng

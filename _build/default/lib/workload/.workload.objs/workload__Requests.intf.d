@@ -1,0 +1,1 @@
+lib/workload/requests.mli: Hashid Keys Prng

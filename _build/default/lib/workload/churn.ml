@@ -1,0 +1,74 @@
+type kind = Join | Leave | Fail
+type event = { at : float; node : int; kind : kind }
+
+type spec = {
+  horizon : float;
+  join_rate : float;
+  fail_rate : float;
+  leave_rate : float;
+}
+
+(* Poisson arrival times for one event kind. *)
+let arrival_times spec rng rate kind =
+  if rate <= 0.0 then []
+  else begin
+    let acc = ref [] in
+    let t = ref (Prng.Dist.exponential rng ~mean:(1000.0 /. rate)) in
+    while !t < spec.horizon do
+      acc := (!t, kind) :: !acc;
+      t := !t +. Prng.Dist.exponential rng ~mean:(1000.0 /. rate)
+    done;
+    List.rev !acc
+  end
+
+let generate spec ~initial ~pool rng =
+  if initial < 1 || initial > pool then invalid_arg "Churn.generate: bad initial/pool";
+  let live = Hashtbl.create 64 in
+  for i = 0 to initial - 1 do
+    Hashtbl.replace live i ()
+  done;
+  let next_fresh = ref initial in
+  let pick_live () =
+    (* keep at least one node alive *)
+    let n = Hashtbl.length live in
+    if n <= 1 then None
+    else begin
+      let target = Prng.Rng.int rng n in
+      let i = ref 0 and found = ref None in
+      Hashtbl.iter
+        (fun node () ->
+          if !i = target then found := Some node;
+          incr i)
+        live;
+      !found
+    end
+  in
+  (* merge the three Poisson processes and replay them in time order, so
+     leaves/failures only ever target nodes alive at that instant *)
+  let schedule =
+    List.concat
+      [
+        arrival_times spec rng spec.join_rate Join;
+        arrival_times spec rng spec.fail_rate Fail;
+        arrival_times spec rng spec.leave_rate Leave;
+      ]
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+  in
+  let events = ref [] in
+  List.iter
+    (fun (at, kind) ->
+      match kind with
+      | Join ->
+          if !next_fresh < pool then begin
+            events := { at; node = !next_fresh; kind = Join } :: !events;
+            Hashtbl.replace live !next_fresh ();
+            incr next_fresh
+          end
+      | Leave | Fail -> (
+          match pick_live () with
+          | Some node ->
+              events := { at; node; kind } :: !events;
+              Hashtbl.remove live node
+          | None -> ()))
+    schedule;
+  List.rev !events

@@ -1,0 +1,22 @@
+(** Churn traces: timed join/leave/fail events for protocol-level
+    simulations.
+
+    Generates a Poisson-ish schedule of node arrivals and departures over a
+    window, used by the churn example and the protocol robustness tests. *)
+
+type event = { at : float;  (** ms *) node : int; kind : kind }
+and kind = Join | Leave | Fail
+
+type spec = {
+  horizon : float;  (** trace length, ms *)
+  join_rate : float;  (** expected joins per second *)
+  fail_rate : float;  (** expected silent failures per second *)
+  leave_rate : float;  (** expected graceful leaves per second *)
+}
+
+val generate :
+  spec -> initial:int -> pool:int -> Prng.Rng.t -> event list
+(** Nodes [0 .. initial-1] are assumed present at time 0; events use fresh
+    node numbers from [initial .. pool-1] for joins and pick random live
+    nodes for leaves/failures. Events are sorted by time. At least one node
+    always stays alive. *)

@@ -1,0 +1,12 @@
+type t = Uniform | Zipf of { catalogue : int; alpha : float }
+
+let file_key space name = Hashid.Id.of_hash space ("file:" ^ name)
+
+let generator t space rng =
+  match t with
+  | Uniform -> fun () -> Hashid.Id.random space rng
+  | Zipf { catalogue; alpha } ->
+      if catalogue <= 0 then invalid_arg "Keys.generator: empty catalogue";
+      let table = Prng.Dist.make_zipf_table ~n:catalogue ~alpha in
+      let keys = Array.init catalogue (fun i -> file_key space (Printf.sprintf "doc-%d" i)) in
+      fun () -> keys.(Prng.Dist.zipf_draw rng table)

@@ -1,0 +1,18 @@
+(** Key (file identifier) generators.
+
+    The paper's experiments use uniformly random keys; Zipf popularity is
+    provided for the file-sharing example workloads (P2P file popularity is
+    famously heavy-tailed). *)
+
+type t =
+  | Uniform  (** independent uniform identifiers *)
+  | Zipf of { catalogue : int; alpha : float }
+      (** keys drawn from a fixed catalogue of hashed file names with
+          Zipf-distributed popularity *)
+
+val generator : t -> Hashid.Id.space -> Prng.Rng.t -> unit -> Hashid.Id.t
+(** Freeze a generator (precomputes the Zipf table and catalogue once). *)
+
+val file_key : Hashid.Id.space -> string -> Hashid.Id.t
+(** The key a named file is stored under — SHA-1 of the name, as in the
+    paper. *)

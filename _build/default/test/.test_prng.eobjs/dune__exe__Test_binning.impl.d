@@ -1,0 +1,1 @@
+test/test_binning.ml: Alcotest Array Binning Float List Prng QCheck QCheck_alcotest String Topology

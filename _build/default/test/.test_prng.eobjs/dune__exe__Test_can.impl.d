@@ -1,0 +1,1 @@
+test/test_can.ml: Alcotest Array Binning Can Hashid Hashtbl List Printf Prng QCheck QCheck_alcotest Stats Topology

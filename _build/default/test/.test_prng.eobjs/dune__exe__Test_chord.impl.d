@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array Chord Hashid Hashtbl List Option Printf Prng QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Float Hieras Lazy List Stats String Topology

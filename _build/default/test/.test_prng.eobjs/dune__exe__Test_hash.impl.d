@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bool Float Format Hashid Hashtbl List Printf Prng QCheck QCheck_alcotest String

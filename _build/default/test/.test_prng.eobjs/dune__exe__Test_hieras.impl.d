@@ -1,0 +1,1 @@
+test/test_hieras.ml: Alcotest Array Binning Chord Hashid Hieras List Printf Prng QCheck QCheck_alcotest Stats Topology

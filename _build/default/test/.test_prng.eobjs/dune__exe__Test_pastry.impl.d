@@ -1,0 +1,1 @@
+test/test_pastry.ml: Alcotest Array Hashid List Pastry Printf Prng QCheck QCheck_alcotest Topology

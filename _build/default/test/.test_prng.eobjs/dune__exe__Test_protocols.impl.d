@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Binning Chord Hashid Hashtbl Hieras List Printf Prng Simnet Topology

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Format List Prng QCheck QCheck_alcotest Stats String

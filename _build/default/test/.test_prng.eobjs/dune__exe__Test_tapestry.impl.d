@@ -1,0 +1,1 @@
+test/test_tapestry.ml: Alcotest Array Hashid List Printf Prng QCheck QCheck_alcotest Tapestry Topology

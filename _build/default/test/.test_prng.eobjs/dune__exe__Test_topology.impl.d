@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Prng QCheck QCheck_alcotest Stats Topology

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashid Hashtbl List Printf Prng QCheck QCheck_alcotest Workload

@@ -1,0 +1,235 @@
+(* Tests for the distributed binning scheme and landmark selection. *)
+
+module Landmark = Binning.Landmark
+module Scheme = Binning.Scheme
+module Latency = Topology.Latency
+
+let make_topology ?(hosts = 300) seed =
+  Topology.Transit_stub.generate ~hosts (Prng.Rng.create ~seed)
+
+(* --- Scheme: levels and orders ----------------------------------------------- *)
+
+let test_paper_levels () =
+  let t = Scheme.paper_thresholds in
+  Alcotest.(check int) "5ms -> 0" 0 (Scheme.level t 5.0);
+  Alcotest.(check int) "19.99 -> 0" 0 (Scheme.level t 19.99);
+  Alcotest.(check int) "20 -> 1" 1 (Scheme.level t 20.0);
+  Alcotest.(check int) "99 -> 1" 1 (Scheme.level t 99.0);
+  Alcotest.(check int) "100 -> 2" 2 (Scheme.level t 100.0);
+  Alcotest.(check int) "400 -> 2" 2 (Scheme.level t 400.0)
+
+let test_level_rejects_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Scheme.level: negative measurement")
+    (fun () -> ignore (Scheme.level Scheme.paper_thresholds (-1.0)))
+
+let test_paper_table1_orders () =
+  (* The example rows of the paper's Table 1. The paper is inconsistent at
+     boundary values (node D's 20 ms maps to level 0 but node A's 100 ms maps
+     to level 2); we use the uniform rule level = #{boundaries <= d}, so D is
+     "2201" (paper: "2200") and F is "1211" (paper: "0211"); all interior
+     values agree. *)
+  let t = Scheme.paper_thresholds in
+  let check name dists expect = Alcotest.(check string) name expect (Scheme.order t dists) in
+  check "node A" [| 25.0; 5.0; 30.0; 100.0 |] "1012";
+  check "node B" [| 40.0; 18.0; 12.0; 200.0 |] "1002";
+  check "node C" [| 100.0; 180.0; 5.0; 10.0 |] "2200";
+  check "node D" [| 160.0; 220.0; 8.0; 20.0 |] "2201";
+  check "node E" [| 45.0; 10.0; 100.0; 5.0 |] "1020";
+  check "node F" [| 20.0; 140.0; 50.0; 40.0 |] "1211"
+
+let test_order_empty () =
+  Alcotest.(check string) "empty vector" "" (Scheme.order Scheme.paper_thresholds [||])
+
+let test_validate () =
+  Scheme.validate Scheme.paper_thresholds;
+  Alcotest.check_raises "descending" (Invalid_argument "Scheme.validate: boundaries must ascend")
+    (fun () -> Scheme.validate [| 100.0; 20.0 |]);
+  Alcotest.check_raises "negative" (Invalid_argument "Scheme.validate: negative boundary")
+    (fun () -> Scheme.validate [| -5.0; 20.0 |]);
+  Alcotest.check_raises "too many levels"
+    (Invalid_argument "Scheme.validate: too many levels (max 36)") (fun () ->
+      Scheme.validate (Array.init 40 (fun i -> float_of_int i)))
+
+let test_refinement_chain () =
+  List.iter
+    (fun depth ->
+      let chain = Scheme.refinement_chain ~depth in
+      Alcotest.(check int) "one set per lower layer" (depth - 1) (Array.length chain);
+      Array.iter Scheme.validate chain;
+      Alcotest.(check bool) "layer 2 = paper thresholds" true
+        (chain.(0) = Scheme.paper_thresholds);
+      for k = 1 to Array.length chain - 1 do
+        Alcotest.(check bool) "each layer refines the previous" true
+          (Scheme.is_refinement ~coarse:chain.(k - 1) ~fine:chain.(k));
+        Alcotest.(check bool) "strictly finer" true
+          (Array.length chain.(k) > Array.length chain.(k - 1))
+      done)
+    [ 2; 3; 4 ];
+  Alcotest.check_raises "depth 5" (Invalid_argument "Scheme.refinement_chain: depth must be in [2, 4]")
+    (fun () -> ignore (Scheme.refinement_chain ~depth:5))
+
+let test_is_refinement () =
+  Alcotest.(check bool) "subset" true
+    (Scheme.is_refinement ~coarse:[| 20.0; 100.0 |] ~fine:[| 10.0; 20.0; 100.0 |]);
+  Alcotest.(check bool) "not subset" false
+    (Scheme.is_refinement ~coarse:[| 25.0 |] ~fine:[| 10.0; 20.0; 100.0 |])
+
+let test_project_order () =
+  Alcotest.(check string) "drop middle" "112" (Scheme.project_order ~full:"1012" ~dropped:1);
+  Alcotest.(check string) "drop first" "012" (Scheme.project_order ~full:"1012" ~dropped:0);
+  Alcotest.(check string) "drop last" "101" (Scheme.project_order ~full:"1012" ~dropped:3);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Scheme.project_order: index out of range") (fun () ->
+      ignore (Scheme.project_order ~full:"10" ~dropped:2))
+
+let test_ring_names () =
+  let names = Scheme.ring_names Scheme.paper_thresholds ~landmarks:2 in
+  Alcotest.(check int) "3^2 names" 9 (List.length names);
+  Alcotest.(check bool) "contains 12" true (List.mem "12" names);
+  Alcotest.(check int) "distinct" 9 (List.length (List.sort_uniq compare names))
+
+(* --- Landmark selection --------------------------------------------------------- *)
+
+let test_choose_counts () =
+  let lat = make_topology 1 in
+  let rng = Prng.Rng.create ~seed:2 in
+  List.iter
+    (fun k ->
+      let lm = Landmark.choose_spread lat ~count:k rng in
+      Alcotest.(check int) "count" k (Landmark.count lm);
+      let rs = Array.to_list (Landmark.routers lm) in
+      Alcotest.(check int) "distinct routers" k (List.length (List.sort_uniq compare rs)))
+    [ 1; 2; 4; 8; 12 ]
+
+let test_choose_random_distinct () =
+  let lat = make_topology 3 in
+  let rng = Prng.Rng.create ~seed:4 in
+  let lm = Landmark.choose_random lat ~count:10 rng in
+  let rs = Array.to_list (Landmark.routers lm) in
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare rs))
+
+let test_choose_spread_is_spread () =
+  (* farthest-point landmarks must be pairwise farther apart on average than
+     random ones *)
+  let lat = make_topology 5 in
+  let pairwise lm =
+    let rs = Landmark.routers lm in
+    let acc = ref 0.0 and n = ref 0 in
+    Array.iteri
+      (fun i a ->
+        Array.iteri
+          (fun j b ->
+            if i < j then begin
+              acc := !acc +. Latency.router_latency lat a b;
+              incr n
+            end)
+          rs)
+      rs;
+    !acc /. float_of_int !n
+  in
+  let spread = pairwise (Landmark.choose_spread lat ~count:6 (Prng.Rng.create ~seed:6)) in
+  (* average over several random draws *)
+  let rand =
+    let acc = ref 0.0 in
+    for s = 0 to 9 do
+      acc := !acc +. pairwise (Landmark.choose_random lat ~count:6 (Prng.Rng.create ~seed:s))
+    done;
+    !acc /. 10.0
+  in
+  Alcotest.(check bool) "spread beats random" true (spread > rand)
+
+let test_choose_validation () =
+  let lat = make_topology 7 in
+  let rng = Prng.Rng.create ~seed:8 in
+  Alcotest.check_raises "zero" (Invalid_argument "Landmark.choose_spread: bad count") (fun () ->
+      ignore (Landmark.choose_spread lat ~count:0 rng))
+
+let test_of_routers_and_drop () =
+  let lm = Landmark.of_routers [| 3; 7; 11 |] in
+  Alcotest.(check int) "count" 3 (Landmark.count lm);
+  let lm' = Landmark.drop lm 1 in
+  Alcotest.(check bool) "dropped middle" true (Landmark.routers lm' = [| 3; 11 |]);
+  Alcotest.check_raises "last landmark"
+    (Invalid_argument "Landmark.drop: cannot drop the last landmark") (fun () ->
+      ignore (Landmark.drop (Landmark.of_routers [| 1 |]) 0));
+  Alcotest.check_raises "empty" (Invalid_argument "Landmark.of_routers: empty") (fun () ->
+      ignore (Landmark.of_routers [||]))
+
+let test_measure_matches_oracle () =
+  let lat = make_topology 9 in
+  let lm = Landmark.of_routers [| 0; 5 |] in
+  let d = Landmark.measure lat lm ~host:3 in
+  Alcotest.(check (float 1e-9)) "first" (Latency.host_to_router lat 3 0) d.(0);
+  Alcotest.(check (float 1e-9)) "second" (Latency.host_to_router lat 3 5) d.(1)
+
+let test_measure_jittered_bounds () =
+  let lat = make_topology 10 in
+  let lm = Landmark.of_routers [| 0; 5; 9 |] in
+  let rng = Prng.Rng.create ~seed:11 in
+  for _ = 1 to 100 do
+    let exact = Landmark.measure lat lm ~host:4 in
+    let noisy = Landmark.measure_jittered lat lm ~host:4 ~rng ~spread:0.2 in
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool) "within 20%" true
+          (v >= 0.8 *. exact.(i) -. 1e-9 && v <= 1.2 *. exact.(i) +. 1e-9))
+      noisy
+  done
+
+(* --- qcheck: the nesting property the hierarchy depends on ----------------------- *)
+
+let dist_vector_gen =
+  QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (float_bound_exclusive 400.0))
+
+let prop_nesting =
+  QCheck.Test.make ~name:"equal fine orders imply equal coarse orders" ~count:1000
+    QCheck.(pair dist_vector_gen dist_vector_gen)
+    (fun (va, vb) ->
+      QCheck.assume (List.length va = List.length vb);
+      let chain = Scheme.refinement_chain ~depth:4 in
+      let a = Array.of_list va and b = Array.of_list vb in
+      let fine_equal = Scheme.order chain.(2) a = Scheme.order chain.(2) b in
+      QCheck.assume fine_equal;
+      Scheme.order chain.(0) a = Scheme.order chain.(0) b
+      && Scheme.order chain.(1) a = Scheme.order chain.(1) b)
+
+let prop_order_length =
+  QCheck.Test.make ~name:"order length = landmark count" ~count:500 dist_vector_gen (fun v ->
+      String.length (Scheme.order Scheme.paper_thresholds (Array.of_list v)) = List.length v)
+
+let prop_level_monotone =
+  QCheck.Test.make ~name:"level is monotone in distance" ~count:500
+    QCheck.(pair (float_bound_exclusive 400.0) (float_bound_exclusive 400.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Scheme.level Scheme.paper_thresholds lo <= Scheme.level Scheme.paper_thresholds hi)
+
+let () =
+  Alcotest.run "binning"
+    [
+      ( "scheme",
+        [
+          Alcotest.test_case "paper levels" `Quick test_paper_levels;
+          Alcotest.test_case "negative measurement" `Quick test_level_rejects_negative;
+          Alcotest.test_case "paper table 1 orders" `Quick test_paper_table1_orders;
+          Alcotest.test_case "empty order" `Quick test_order_empty;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "refinement chain" `Quick test_refinement_chain;
+          Alcotest.test_case "is_refinement" `Quick test_is_refinement;
+          Alcotest.test_case "project order" `Quick test_project_order;
+          Alcotest.test_case "ring names" `Quick test_ring_names;
+        ] );
+      ( "landmark",
+        [
+          Alcotest.test_case "choose counts" `Quick test_choose_counts;
+          Alcotest.test_case "choose_random distinct" `Quick test_choose_random_distinct;
+          Alcotest.test_case "spread beats random" `Quick test_choose_spread_is_spread;
+          Alcotest.test_case "validation" `Quick test_choose_validation;
+          Alcotest.test_case "of_routers + drop" `Quick test_of_routers_and_drop;
+          Alcotest.test_case "measure = oracle" `Quick test_measure_matches_oracle;
+          Alcotest.test_case "jitter bounds" `Quick test_measure_jittered_bounds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_nesting; prop_order_length; prop_level_monotone ] );
+    ]

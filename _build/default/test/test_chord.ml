@@ -1,0 +1,411 @@
+(* Tests for the Chord library: finger tables, the oracle network builder
+   and greedy routing. The message-level protocol is tested in
+   test_protocols.ml. *)
+
+module Id = Hashid.Id
+module FT = Chord.Finger_table
+module Net = Chord.Network
+module Lookup = Chord.Lookup
+
+let space8 = Id.space ~bits:8
+
+(* A hand-built ring in the 8-bit space, inspired by the paper's Table 2
+   (node 121 with peers spread around a 2^8 circle). *)
+let paper_ids = [ 1; 25; 60; 121; 124; 131; 139; 143; 158; 192; 212; 253 ]
+
+let paper_net () =
+  let ids = Array.of_list (List.map (Id.of_int space8) paper_ids) in
+  Net.of_ids ~space:space8 ~ids ~hosts:(Array.make (Array.length ids) 0) ()
+
+(* --- Finger_table -------------------------------------------------------- *)
+
+let test_finger_starts () =
+  let net = paper_net () in
+  let node =
+    match Net.find_node net (Id.of_int space8 121) with Some n -> n | None -> Alcotest.fail "121"
+  in
+  let ft = Net.finger_table net node in
+  (* successors of 121 + 2^i for the paper's starts 122,123,125,129,137,153,185,249 *)
+  let expect = [ 124; 124; 131; 131; 139; 158; 192; 253 ] in
+  List.iteri
+    (fun i e ->
+      let f = FT.finger ft i in
+      Alcotest.(check int) (Printf.sprintf "finger %d" i) e (Id.to_int space8 (Net.id net f)))
+    expect
+
+let test_finger_dedup () =
+  let net = paper_net () in
+  let node = Option.get (Net.find_node net (Id.of_int space8 121)) in
+  let ft = Net.finger_table net node in
+  (* 8 conceptual fingers but only 6 distinct successors *)
+  Alcotest.(check int) "distinct segments" 6 (FT.distinct_count ft);
+  let segs = FT.segments ft in
+  Alcotest.(check int) "first segment exponent 0" 0 (fst segs.(0));
+  (* exponents strictly ascending *)
+  for k = 1 to Array.length segs - 1 do
+    Alcotest.(check bool) "ascending" true (fst segs.(k) > fst segs.(k - 1))
+  done
+
+let test_finger_out_of_range () =
+  let net = paper_net () in
+  let ft = Net.finger_table net 0 in
+  Alcotest.check_raises "finger 8" (Invalid_argument "Finger_table.finger: index out of range")
+    (fun () -> ignore (FT.finger ft 8))
+
+let test_finger_single_member () =
+  (* a ring restricted to one node: every finger points at the owner *)
+  let ids = [| Id.of_int space8 42 |] in
+  let ft =
+    FT.build space8 ~owner:7 ~owner_id:ids.(0) ~member_ids:ids ~member_nodes:[| 7 |]
+  in
+  Alcotest.(check int) "one segment" 1 (FT.distinct_count ft);
+  Alcotest.(check int) "points at owner" 7 (FT.finger ft 3)
+
+let test_closest_preceding_none () =
+  let ids = [| Id.of_int space8 42 |] in
+  let ft = FT.build space8 ~owner:0 ~owner_id:ids.(0) ~member_ids:ids ~member_nodes:[| 0 |] in
+  Alcotest.(check bool) "no progress possible" true
+    (FT.closest_preceding ft ~id_of:(fun _ -> ids.(0)) ~self:ids.(0)
+       ~key:(Id.of_int space8 100)
+    = None)
+
+(* brute-force reference for closest_preceding *)
+let brute_closest net cur key =
+  let n = Net.size net in
+  let best = ref None in
+  for cand = 0 to n - 1 do
+    if cand <> cur && Id.in_oo (Net.id net cand) ~lo:(Net.id net cur) ~hi:key then
+      match !best with
+      | None -> best := Some cand
+      | Some b -> if Id.in_oo (Net.id net cand) ~lo:(Net.id net b) ~hi:key then best := Some cand
+  done;
+  !best
+
+(* --- Network ---------------------------------------------------------------- *)
+
+let test_network_sorted_and_cyclic () =
+  let net = paper_net () in
+  Alcotest.(check int) "size" (List.length paper_ids) (Net.size net);
+  for i = 0 to Net.size net - 1 do
+    Alcotest.(check int) "ids ascending" (List.nth paper_ids i) (Id.to_int space8 (Net.id net i))
+  done;
+  Alcotest.(check int) "successor wraps" 0 (Net.successor net (Net.size net - 1));
+  Alcotest.(check int) "predecessor wraps" (Net.size net - 1) (Net.predecessor net 0);
+  for i = 0 to Net.size net - 1 do
+    Alcotest.(check int) "pred . succ = id" i (Net.predecessor net (Net.successor net i))
+  done
+
+let test_network_rejects_duplicates () =
+  let ids = Array.map (Id.of_int space8) [| 1; 1 |] in
+  Alcotest.check_raises "duplicate ids" (Invalid_argument "Chord.Network: duplicate identifiers")
+    (fun () -> ignore (Net.of_ids ~space:space8 ~ids ~hosts:[| 0; 0 |] ()))
+
+let test_network_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Chord.Network: empty network") (fun () ->
+      ignore (Net.of_ids ~space:space8 ~ids:[||] ~hosts:[||] ()))
+
+let test_successor_of_key () =
+  let net = paper_net () in
+  let check key expect =
+    Alcotest.(check int) (Printf.sprintf "owner of %d" key) expect
+      (Id.to_int space8 (Net.id net (Net.successor_of_key net (Id.of_int space8 key))))
+  in
+  check 121 121;
+  (* exact id is owned by that node *)
+  check 122 124;
+  check 254 1;
+  (* wraps past the top *)
+  check 0 1;
+  check 1 1;
+  check 200 212
+
+let test_build_distinct_ids () =
+  let net = Net.build ~space:(Id.space ~bits:16) ~hosts:(Array.init 200 (fun i -> i)) () in
+  Alcotest.(check int) "all nodes present" 200 (Net.size net);
+  for i = 1 to 199 do
+    Alcotest.(check bool) "strictly ascending" true (Id.compare (Net.id net (i - 1)) (Net.id net i) < 0)
+  done
+
+let test_build_hosts_aligned () =
+  (* hosts must follow their ids through the sort *)
+  let hosts = [| 30; 10; 20 |] in
+  let ids = Array.map (Id.of_int space8) [| 200; 50; 100 |] in
+  let net = Net.of_ids ~space:space8 ~ids ~hosts () in
+  (* sorted order: 50 (host 10), 100 (host 20), 200 (host 30) *)
+  Alcotest.(check int) "host of smallest" 10 (Net.host net 0);
+  Alcotest.(check int) "host of middle" 20 (Net.host net 1);
+  Alcotest.(check int) "host of largest" 30 (Net.host net 2)
+
+let test_successor_list () =
+  let net = paper_net () in
+  let sl = Net.successor_list net 0 in
+  Alcotest.(check int) "length r" 8 (Array.length sl);
+  Alcotest.(check int) "first is successor" (Net.successor net 0) sl.(0);
+  (* small net: r capped at n-1 *)
+  let tiny =
+    Net.of_ids ~space:space8
+      ~ids:(Array.map (Id.of_int space8) [| 5; 9; 200 |])
+      ~hosts:[| 0; 0; 0 |] ()
+  in
+  Alcotest.(check int) "capped" 2 (Array.length (Net.successor_list tiny 0))
+
+(* --- Lookup -------------------------------------------------------------------- *)
+
+let test_route_reaches_owner () =
+  let net = paper_net () in
+  for key = 0 to 255 do
+    let k = Id.of_int space8 key in
+    for origin = 0 to Net.size net - 1 do
+      let hops, dest = Lookup.route_hops_only net ~origin ~key:k in
+      Alcotest.(check int) "destination owns key" (Net.successor_of_key net k) dest;
+      Alcotest.(check bool) "bounded hops" true (hops <= Net.size net)
+    done
+  done
+
+let test_route_zero_hops_when_owner () =
+  let net = paper_net () in
+  (* key 121 is owned by node 121 itself *)
+  let origin = Option.get (Net.find_node net (Id.of_int space8 121)) in
+  let hops, dest = Lookup.route_hops_only net ~origin ~key:(Id.of_int space8 121) in
+  Alcotest.(check int) "no hops" 0 hops;
+  Alcotest.(check int) "stays" origin dest;
+  (* also when the key merely falls in (pred, origin] *)
+  let hops2, _ = Lookup.route_hops_only net ~origin ~key:(Id.of_int space8 120) in
+  Alcotest.(check int) "owner detects ownership" 0 hops2
+
+let test_route_latency_sums_hops () =
+  let rng = Prng.Rng.create ~seed:13 in
+  let lat = Topology.Transit_stub.generate ~hosts:64 rng in
+  let net = Net.build ~space:(Id.space ~bits:16) ~hosts:(Array.init 64 (fun i -> i)) () in
+  for _ = 1 to 200 do
+    let key = Id.random (Net.space net) rng in
+    let origin = Prng.Rng.int rng 64 in
+    let r = Lookup.route net lat ~origin ~key in
+    let total = List.fold_left (fun acc (h : Lookup.hop) -> acc +. h.Lookup.latency) 0.0 r.Lookup.hops in
+    Alcotest.(check (float 1e-6)) "latency = sum of hops" total r.Lookup.latency;
+    Alcotest.(check int) "hop_count = |hops|" (List.length r.Lookup.hops) r.Lookup.hop_count;
+    (* the recorded path is connected and starts at the origin *)
+    (match r.Lookup.hops with
+    | [] -> Alcotest.(check int) "empty path only when origin owns" r.Lookup.origin r.Lookup.destination
+    | first :: _ -> Alcotest.(check int) "starts at origin" r.Lookup.origin first.Lookup.from_node);
+    let rec connected = function
+      | a :: (b :: _ as rest) ->
+          Alcotest.(check int) "chained" a.Lookup.to_node b.Lookup.from_node;
+          connected rest
+      | [ last ] -> Alcotest.(check int) "ends at destination" r.Lookup.destination last.Lookup.to_node
+      | [] -> ()
+    in
+    connected r.Lookup.hops
+  done
+
+let test_single_node_network () =
+  let net =
+    Net.of_ids ~space:space8 ~ids:[| Id.of_int space8 77 |] ~hosts:[| 0 |] ()
+  in
+  let hops, dest = Lookup.route_hops_only net ~origin:0 ~key:(Id.of_int space8 3) in
+  Alcotest.(check int) "owns everything" 0 dest;
+  Alcotest.(check int) "zero hops" 0 hops
+
+let test_two_node_network () =
+  let net =
+    Net.of_ids ~space:space8
+      ~ids:(Array.map (Id.of_int space8) [| 10; 200 |])
+      ~hosts:[| 0; 0 |] ()
+  in
+  for key = 0 to 255 do
+    let k = Id.of_int space8 key in
+    let _, d0 = Lookup.route_hops_only net ~origin:0 ~key:k in
+    let _, d1 = Lookup.route_hops_only net ~origin:1 ~key:k in
+    Alcotest.(check int) "both agree" d0 d1;
+    Alcotest.(check int) "owner" (Net.successor_of_key net k) d0
+  done
+
+let test_hop_count_scales_logarithmically () =
+  let rng = Prng.Rng.create ~seed:17 in
+  let mean_hops n =
+    let net = Net.build ~space:Id.sha1_space ~hosts:(Array.init n (fun i -> i)) () in
+    let acc = ref 0 in
+    let trials = 500 in
+    for _ = 1 to trials do
+      let key = Id.random Id.sha1_space rng in
+      let origin = Prng.Rng.int rng n in
+      let h, _ = Lookup.route_hops_only net ~origin ~key in
+      acc := !acc + h
+    done;
+    float_of_int !acc /. float_of_int trials
+  in
+  let h128 = mean_hops 128 and h1024 = mean_hops 1024 in
+  (* 0.5 * log2 n within a generous band *)
+  Alcotest.(check bool) "128 near 3.5" true (h128 > 2.0 && h128 < 5.5);
+  Alcotest.(check bool) "1024 near 5" true (h1024 > 3.5 && h1024 < 7.5);
+  Alcotest.(check bool) "grows with n" true (h1024 > h128)
+
+(* --- qcheck -------------------------------------------------------------------- *)
+
+let random_net_gen =
+  QCheck.make
+    QCheck.Gen.(
+      map2
+        (fun seed n -> (seed, 2 + n))
+        small_nat (int_range 1 60))
+
+let prop_route_correct =
+  QCheck.Test.make ~name:"route always ends at the key's successor" ~count:100 random_net_gen
+    (fun (seed, n) ->
+      let rng = Prng.Rng.create ~seed in
+      let sp = Id.space ~bits:12 in
+      let seen = Hashtbl.create 16 in
+      let ids =
+        Array.init n (fun _ ->
+            let rec fresh () =
+              let id = Id.random sp rng in
+              if Hashtbl.mem seen id then fresh ()
+              else begin
+                Hashtbl.replace seen id ();
+                id
+              end
+            in
+            fresh ())
+      in
+      let net = Net.of_ids ~space:sp ~ids ~hosts:(Array.make n 0) () in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let key = Id.random sp rng in
+        let origin = Prng.Rng.int rng n in
+        let _, dest = Lookup.route_hops_only net ~origin ~key in
+        if dest <> Net.successor_of_key net key then ok := false
+      done;
+      !ok)
+
+let prop_closest_preceding_matches_brute_force =
+  QCheck.Test.make ~name:"finger closest_preceding never overshoots brute force" ~count:100
+    random_net_gen (fun (seed, n) ->
+      let rng = Prng.Rng.create ~seed in
+      let sp = Id.space ~bits:12 in
+      let seen = Hashtbl.create 16 in
+      let ids =
+        Array.init n (fun _ ->
+            let rec fresh () =
+              let id = Id.random sp rng in
+              if Hashtbl.mem seen id then fresh () else (Hashtbl.replace seen id (); id)
+            in
+            fresh ())
+      in
+      let net = Net.of_ids ~space:sp ~ids ~hosts:(Array.make n 0) () in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let key = Id.random sp rng in
+        let cur = Prng.Rng.int rng n in
+        let fingered =
+          FT.closest_preceding (Net.finger_table net cur)
+            ~id_of:(fun i -> Net.id net i)
+            ~self:(Net.id net cur) ~key
+        in
+        match (fingered, brute_closest net cur key) with
+        | None, None -> ()
+        | Some f, Some _ ->
+            (* the finger answer must at least lie inside (cur, key) *)
+            if not (Id.in_oo (Net.id net f) ~lo:(Net.id net cur) ~hi:key) then ok := false
+        | Some _, None -> ok := false
+        | None, Some b ->
+            (* fingers may miss a candidate only if it is the successor *)
+            if b <> Net.successor net cur then ok := false
+      done;
+      !ok)
+
+let prop_fingers_match_brute_force =
+  QCheck.Test.make ~name:"every finger is the successor of n + 2^i" ~count:60
+    random_net_gen (fun (seed, n) ->
+      let rng = Prng.Rng.create ~seed:(seed + 7) in
+      let sp = Id.space ~bits:10 in
+      let seen = Hashtbl.create 16 in
+      let ids =
+        Array.init n (fun _ ->
+            let rec fresh () =
+              let id = Id.random sp rng in
+              if Hashtbl.mem seen id then fresh () else (Hashtbl.replace seen id (); id)
+            in
+            fresh ())
+      in
+      let net = Net.of_ids ~space:sp ~ids ~hosts:(Array.make n 0) () in
+      let ok = ref true in
+      for node = 0 to Net.size net - 1 do
+        let ft = Net.finger_table net node in
+        for i = 0 to Id.bits sp - 1 do
+          let start = Id.add_pow2 sp (Net.id net node) i in
+          (* brute-force successor of start: the member at the smallest
+             clockwise distance from start (0 when ids coincide) *)
+          let cw cand =
+            if Id.equal (Net.id net cand) start then 0.0
+            else Id.distance_cw sp start (Net.id net cand)
+          in
+          let best = ref None in
+          for cand = 0 to Net.size net - 1 do
+            match !best with
+            | None -> best := Some cand
+            | Some b -> if cw cand < cw b then best := Some cand
+          done;
+          match !best with
+          | Some b -> if FT.finger ft i <> b then ok := false
+          | None -> ok := false
+        done
+      done;
+      !ok)
+
+let prop_hops_bounded =
+  QCheck.Test.make ~name:"hops bounded by network size" ~count:100 random_net_gen
+    (fun (seed, n) ->
+      let rng = Prng.Rng.create ~seed in
+      let net =
+        Net.build ~space:Id.sha1_space ~hosts:(Array.init n (fun i -> i))
+          ~salt:(string_of_int seed) ()
+      in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let key = Id.random Id.sha1_space rng in
+        let origin = Prng.Rng.int rng n in
+        let h, _ = Lookup.route_hops_only net ~origin ~key in
+        if h > n then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "chord"
+    [
+      ( "finger_table",
+        [
+          Alcotest.test_case "paper table 2 fingers" `Quick test_finger_starts;
+          Alcotest.test_case "dedup" `Quick test_finger_dedup;
+          Alcotest.test_case "out of range" `Quick test_finger_out_of_range;
+          Alcotest.test_case "single member" `Quick test_finger_single_member;
+          Alcotest.test_case "closest_preceding none" `Quick test_closest_preceding_none;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "sorted + cyclic" `Quick test_network_sorted_and_cyclic;
+          Alcotest.test_case "duplicates rejected" `Quick test_network_rejects_duplicates;
+          Alcotest.test_case "empty rejected" `Quick test_network_rejects_empty;
+          Alcotest.test_case "successor_of_key" `Quick test_successor_of_key;
+          Alcotest.test_case "build distinct" `Quick test_build_distinct_ids;
+          Alcotest.test_case "hosts follow sort" `Quick test_build_hosts_aligned;
+          Alcotest.test_case "successor list" `Quick test_successor_list;
+        ] );
+      ( "lookup",
+        [
+          Alcotest.test_case "exhaustive small ring" `Quick test_route_reaches_owner;
+          Alcotest.test_case "ownership = 0 hops" `Quick test_route_zero_hops_when_owner;
+          Alcotest.test_case "latency accounting" `Quick test_route_latency_sums_hops;
+          Alcotest.test_case "single node" `Quick test_single_node_network;
+          Alcotest.test_case "two nodes" `Quick test_two_node_network;
+          Alcotest.test_case "log scaling" `Slow test_hop_count_scales_logarithmically;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_route_correct;
+            prop_closest_preceding_matches_brute_force;
+            prop_fingers_match_brute_force;
+            prop_hops_bounded;
+          ]
+      );
+    ]

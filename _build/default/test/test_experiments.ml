@@ -1,0 +1,208 @@
+(* Tests for the experiment harness: configuration, the paired-measurement
+   runner and the figure generators (run shrunk). *)
+
+module Config = Experiments.Config
+module Runner = Experiments.Runner
+module Figures = Experiments.Figures
+module Report = Experiments.Report
+module Expected = Experiments.Expected
+module Summary = Stats.Summary
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tiny =
+  (* a configuration small enough to run dozens of times in the suite *)
+  Config.paper_default |> fun c ->
+  Config.with_nodes c 256 |> fun c ->
+  Config.with_requests c 1500 |> fun c -> Config.with_landmarks c 4
+
+(* --- Config -------------------------------------------------------------------- *)
+
+let test_paper_default () =
+  let c = Config.paper_default in
+  Alcotest.(check int) "nodes" 10_000 c.Config.nodes;
+  Alcotest.(check int) "requests" 100_000 c.Config.requests;
+  Alcotest.(check int) "landmarks" 4 c.Config.landmarks;
+  Alcotest.(check int) "depth" 2 c.Config.depth;
+  Alcotest.(check bool) "model TS" true (c.Config.model = Topology.Model.Transit_stub)
+
+let test_scaled () =
+  let c = Config.scaled Config.paper_default 0.01 in
+  Alcotest.(check int) "nodes scaled" 100 c.Config.nodes;
+  Alcotest.(check int) "requests scaled" 1000 c.Config.requests;
+  let floor = Config.scaled Config.paper_default 0.000001 in
+  Alcotest.(check int) "node floor" 64 floor.Config.nodes;
+  Alcotest.(check int) "request floor" 100 floor.Config.requests;
+  Alcotest.check_raises "non-positive" (Invalid_argument "Config.scaled: factor must be positive")
+    (fun () -> ignore (Config.scaled Config.paper_default 0.0))
+
+let test_network_sizes () =
+  let c = Config.paper_default in
+  Alcotest.(check (list int)) "1000..10000"
+    [ 1000; 2000; 3000; 4000; 5000; 6000; 7000; 8000; 9000; 10000 ]
+    (Config.network_sizes c);
+  let inet = Config.with_model c Topology.Model.Inet in
+  Alcotest.(check (list int)) "inet starts at 3000"
+    [ 3000; 4000; 5000; 6000; 7000; 8000; 9000; 10000 ]
+    (Config.network_sizes inet);
+  let small = Config.with_nodes c 1000 in
+  Alcotest.(check int) "scaled sweep length" 10 (List.length (Config.network_sizes small));
+  Alcotest.(check (list int)) "scaled values" [ 100; 200; 300 ]
+    (List.filteri (fun i _ -> i < 3) (Config.network_sizes small))
+
+let test_with_accessors () =
+  let c = Config.with_seed (Config.with_depth tiny 3) 99 in
+  Alcotest.(check int) "depth" 3 c.Config.depth;
+  Alcotest.(check int) "seed" 99 c.Config.seed
+
+(* --- Runner --------------------------------------------------------------------- *)
+
+let metrics = lazy (Runner.run tiny)
+
+let test_runner_counts () =
+  let m = Lazy.force metrics in
+  Alcotest.(check int) "chord samples" tiny.Config.requests (Summary.count m.Runner.chord_hops);
+  Alcotest.(check int) "hieras samples" tiny.Config.requests (Summary.count m.Runner.hieras_hops);
+  Alcotest.(check int) "pdf populated" tiny.Config.requests
+    (Stats.Histogram.count m.Runner.chord_hop_pdf)
+
+let test_runner_headline_shape () =
+  let m = Lazy.force metrics in
+  (* HIERAS wins on latency, roughly ties on hops — the paper's claim *)
+  Alcotest.(check bool) "latency ratio < 0.9" true (Runner.latency_ratio m < 0.9);
+  Alcotest.(check bool) "hop overhead within 15%" true
+    (Float.abs (Runner.hop_overhead m) < 0.15);
+  Alcotest.(check bool) "lower layers dominate hops" true (Runner.lower_hop_share m > 0.3);
+  Alcotest.(check bool) "lower links cheaper than top links" true
+    (Runner.mean_link_latency_lower m < Runner.mean_link_latency_top m)
+
+let test_runner_layer_decomposition () =
+  let m = Lazy.force metrics in
+  (* per-layer means sum to the totals *)
+  let hop_sum = Array.fold_left ( +. ) 0.0 m.Runner.hops_per_layer in
+  Alcotest.(check bool) "layer hops sum to mean" true
+    (Float.abs (hop_sum -. Summary.mean m.Runner.hieras_hops) < 1e-6);
+  let lat_sum = Array.fold_left ( +. ) 0.0 m.Runner.latency_per_layer in
+  Alcotest.(check bool) "layer latency sums to mean" true
+    (Float.abs (lat_sum -. Summary.mean m.Runner.hieras_latency) < 1e-3);
+  Alcotest.(check bool) "shares in [0,1]" true
+    (Runner.lower_hop_share m >= 0.0 && Runner.lower_hop_share m <= 1.0
+    && Runner.lower_latency_share m >= 0.0
+    && Runner.lower_latency_share m <= 1.0)
+
+let test_runner_deterministic () =
+  let a = Runner.run (Config.with_requests tiny 300) in
+  let b = Runner.run (Config.with_requests tiny 300) in
+  Alcotest.(check (float 1e-9)) "same mean hops" (Summary.mean a.Runner.hieras_hops)
+    (Summary.mean b.Runner.hieras_hops);
+  Alcotest.(check (float 1e-9)) "same mean latency" (Summary.mean a.Runner.hieras_latency)
+    (Summary.mean b.Runner.hieras_latency)
+
+let test_runner_reuses_env_across_variants () =
+  let env = Runner.build_env tiny in
+  let h4 = Runner.build_hieras env (Config.with_landmarks tiny 4) in
+  let h6 = Runner.build_hieras env (Config.with_landmarks tiny 6) in
+  Alcotest.(check bool) "more landmarks, at least as many rings" true
+    (Hieras.Hnetwork.ring_count h6 ~layer:2 >= Hieras.Hnetwork.ring_count h4 ~layer:2);
+  let m = Runner.measure env h4 (Config.with_requests tiny 200) in
+  Alcotest.(check int) "measure honours request count" 200 (Summary.count m.Runner.chord_hops)
+
+(* --- Figures -------------------------------------------------------------------- *)
+
+let small_fig_cfg =
+  Config.paper_default |> fun c ->
+  Config.scaled c 0.012 |> fun c -> Config.with_seed c 7
+
+let test_table1_section () =
+  let s = Figures.table1 small_fig_cfg in
+  Alcotest.(check string) "id" "table1" s.Report.id;
+  let rendered = Report.render s in
+  Alcotest.(check bool) "has order column" true
+    (String.length rendered > 0 && contains ~sub:"Order" rendered)
+
+let test_table2_section () =
+  let s = Figures.table2 small_fig_cfg in
+  Alcotest.(check string) "id" "table2" s.Report.id;
+  let r = Report.render s in
+  (* 8-bit space: 8 finger rows plus header material *)
+  let lines = String.split_on_char '\n' r in
+  Alcotest.(check bool) "at least 10 lines" true (List.length lines >= 10)
+
+let test_fig4_fig5_sections () =
+  let f4, f5 = Figures.fig4_and_fig5 small_fig_cfg in
+  Alcotest.(check string) "fig4 id" "fig4" f4.Report.id;
+  Alcotest.(check string) "fig5 id" "fig5" f5.Report.id;
+  Alcotest.(check bool) "fig4 has notes" true (f4.Report.notes <> []);
+  Alcotest.(check bool) "fig5 has notes" true (f5.Report.notes <> [])
+
+let test_by_id () =
+  Alcotest.(check bool) "known ids resolve" true
+    (List.for_all (fun id -> Figures.by_id id <> None) Figures.ids);
+  Alcotest.(check bool) "unknown id" true (Figures.by_id "fig99" = None)
+
+let test_expected_constants () =
+  Alcotest.(check (float 1e-9)) "fig5 ratio" 0.5407 Expected.fig5_latency_ratio;
+  Alcotest.(check bool) "fig3 ratios ordered" true
+    (Expected.fig3_latency_ratio Topology.Model.Transit_stub
+    < Expected.fig3_latency_ratio Topology.Model.Brite);
+  Alcotest.(check string) "pct format" "54.07%" (Expected.pct 0.5407)
+
+let test_extensions_sections () =
+  let cfg =
+    Config.paper_default |> fun c ->
+    Config.with_nodes c 200 |> fun c ->
+    Config.with_requests c 600 |> fun c -> Config.with_seed c 5
+  in
+  let sections = Experiments.Extensions.all cfg in
+  Alcotest.(check int) "three sections" 3 (List.length sections);
+  List.iter
+    (fun s ->
+      let r = Report.render s in
+      Alcotest.(check bool) "renders" true (String.length r > 40))
+    sections;
+  (* the algorithm table must mention every contender *)
+  let r = Report.render (List.hd sections) in
+  List.iter
+    (fun name -> Alcotest.(check bool) name true (contains ~sub:name r))
+    [ "Chord"; "HIERAS"; "Pastry"; "CAN" ]
+
+let test_report_render () =
+  let table = Stats.Text_table.create [ "a" ] in
+  Stats.Text_table.add_row table [ "1" ];
+  let s = { Report.id = "x"; title = "t"; table; notes = [ "note" ] } in
+  let r = Report.render s in
+  Alcotest.(check bool) "titled" true (String.sub r 0 8 = "=== x: t");
+  Alcotest.(check bool) "notes rendered" true (contains ~sub:"* note" r)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "paper default" `Quick test_paper_default;
+          Alcotest.test_case "scaled" `Quick test_scaled;
+          Alcotest.test_case "network sizes" `Quick test_network_sizes;
+          Alcotest.test_case "accessors" `Quick test_with_accessors;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "counts" `Slow test_runner_counts;
+          Alcotest.test_case "headline shape" `Slow test_runner_headline_shape;
+          Alcotest.test_case "layer decomposition" `Slow test_runner_layer_decomposition;
+          Alcotest.test_case "deterministic" `Slow test_runner_deterministic;
+          Alcotest.test_case "env reuse" `Slow test_runner_reuses_env_across_variants;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "table1" `Slow test_table1_section;
+          Alcotest.test_case "table2" `Quick test_table2_section;
+          Alcotest.test_case "fig4+fig5" `Slow test_fig4_fig5_sections;
+          Alcotest.test_case "by_id" `Quick test_by_id;
+          Alcotest.test_case "extensions" `Slow test_extensions_sections;
+          Alcotest.test_case "expected constants" `Quick test_expected_constants;
+          Alcotest.test_case "report render" `Quick test_report_render;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the prng library: generator determinism and distribution
+   sanity. *)
+
+module Rng = Prng.Rng
+module Dist = Prng.Dist
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_determinism () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy replays" va vb;
+  ignore (Rng.bits64 a);
+  let vb2 = Rng.bits64 b in
+  ignore vb2
+
+let test_split_independent () =
+  let a = Rng.create ~seed:4 in
+  let b = Rng.split a in
+  (* drawing from a must not change b's stream *)
+  let b' = Rng.copy b in
+  for _ = 1 to 10 do
+    ignore (Rng.bits64 a)
+  done;
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "split stream unaffected" (Rng.bits64 b') (Rng.bits64 b)
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create ~seed:6 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_all_values () =
+  let rng = Rng.create ~seed:7 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3)
+  done;
+  Alcotest.(check int) "degenerate range" 5 (Rng.int_in rng 5 5)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:10 in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng 1.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool_balanced () =
+  let rng = Rng.create ~seed:11 in
+  let t = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr t
+  done;
+  Alcotest.(check bool) "roughly half true" true (abs (!t - (n / 2)) < 300)
+
+let test_byte_range () =
+  let rng = Rng.create ~seed:12 in
+  for _ = 1 to 1000 do
+    let v = Rng.byte rng in
+    Alcotest.(check bool) "byte" true (v >= 0 && v < 256)
+  done
+
+(* --- Dist --------------------------------------------------------------- *)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:13 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Dist.exponential rng ~mean:40.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 40" true (Float.abs (mean -. 40.0) < 1.5)
+
+let test_exponential_positive () =
+  let rng = Rng.create ~seed:14 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Dist.exponential rng ~mean:1.0 > 0.0)
+  done
+
+let test_pareto_scale () =
+  let rng = Rng.create ~seed:15 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "at least scale" true (Dist.pareto rng ~shape:1.5 ~scale:8.0 >= 8.0)
+  done
+
+let test_uniform_float () =
+  let rng = Rng.create ~seed:16 in
+  for _ = 1 to 1000 do
+    let v = Dist.uniform_float rng ~lo:3.0 ~hi:5.0 in
+    Alcotest.(check bool) "in [3,5)" true (v >= 3.0 && v < 5.0)
+  done
+
+let test_normal_moments () =
+  let rng = Rng.create ~seed:17 in
+  let n = 50_000 in
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let v = Dist.normal rng ~mean:10.0 ~stddev:2.0 in
+    acc := !acc +. v;
+    acc2 := !acc2 +. (v *. v)
+  done;
+  let mean = !acc /. float_of_int n in
+  let var = (!acc2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (mean -. 10.0) < 0.1);
+  Alcotest.(check bool) "var near 4" true (Float.abs (var -. 4.0) < 0.2)
+
+let test_zipf_range_and_skew () =
+  let rng = Rng.create ~seed:18 in
+  let table = Dist.make_zipf_table ~n:100 ~alpha:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = Dist.zipf_draw rng table in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "heavy head" true (counts.(0) > 20_000 / 20)
+
+let test_zipf_rejects_empty () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Dist.make_zipf_table: n must be positive")
+    (fun () -> ignore (Dist.make_zipf_table ~n:0 ~alpha:1.0))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:19 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Dist.shuffle rng b;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list b) = Array.to_list a)
+
+let test_shuffle_moves_elements () =
+  let rng = Rng.create ~seed:20 in
+  let a = Array.init 100 (fun i -> i) in
+  Dist.shuffle rng a;
+  let fixed = ref 0 in
+  Array.iteri (fun i v -> if i = v then incr fixed) a;
+  Alcotest.(check bool) "not identity" true (!fixed < 20)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:21 in
+  let s = Dist.sample_without_replacement rng 10 30 in
+  Alcotest.(check int) "k elements" 10 (Array.length s);
+  let sorted = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 10 (List.length sorted);
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30)) sorted
+
+let test_sample_full () =
+  let rng = Rng.create ~seed:22 in
+  let s = Dist.sample_without_replacement rng 5 5 in
+  Alcotest.(check bool) "permutation of all" true
+    (List.sort compare (Array.to_list s) = [ 0; 1; 2; 3; 4 ])
+
+let test_sample_rejects_too_many () =
+  let rng = Rng.create ~seed:23 in
+  Alcotest.check_raises "k>n" (Invalid_argument "Dist.sample_without_replacement") (fun () ->
+      ignore (Dist.sample_without_replacement rng 6 5))
+
+let test_weighted_index () =
+  let rng = Rng.create ~seed:24 in
+  let w = [| 0.0; 10.0; 0.0 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "always middle" 1 (Dist.weighted_index rng w)
+  done
+
+let test_weighted_index_proportional () =
+  let rng = Rng.create ~seed:25 in
+  let w = [| 1.0; 3.0 |] in
+  let c = Array.make 2 0 in
+  for _ = 1 to 10_000 do
+    let i = Dist.weighted_index rng w in
+    c.(i) <- c.(i) + 1
+  done;
+  Alcotest.(check bool) "3x more weight" true (c.(1) > 2 * c.(0))
+
+let test_weighted_index_errors () =
+  let rng = Rng.create ~seed:26 in
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.weighted_index: empty") (fun () ->
+      ignore (Dist.weighted_index rng [||]));
+  Alcotest.check_raises "zero" (Invalid_argument "Dist.weighted_index: zero total weight")
+    (fun () -> ignore (Dist.weighted_index rng [| 0.0; 0.0 |]))
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_shuffle_multiset =
+  QCheck.Test.make ~name:"shuffle preserves the multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create ~seed in
+      let a = Array.of_list l in
+      Dist.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_zipf_table_range =
+  QCheck.Test.make ~name:"zipf draws stay in range" ~count:200
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let t = Dist.make_zipf_table ~n ~alpha:1.2 in
+      let v = Dist.zipf_draw rng t in
+      v >= 0 && v < n)
+
+let () =
+  ignore check_float;
+  Alcotest.run "prng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int rejects <= 0" `Quick test_int_rejects_nonpositive;
+          Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Slow test_float_mean;
+          Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+          Alcotest.test_case "byte range" `Quick test_byte_range;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+          Alcotest.test_case "pareto scale" `Quick test_pareto_scale;
+          Alcotest.test_case "uniform_float" `Quick test_uniform_float;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_range_and_skew;
+          Alcotest.test_case "zipf empty" `Quick test_zipf_rejects_empty;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_elements;
+          Alcotest.test_case "sample distinct" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sample full" `Quick test_sample_full;
+          Alcotest.test_case "sample too many" `Quick test_sample_rejects_too_many;
+          Alcotest.test_case "weighted index" `Quick test_weighted_index;
+          Alcotest.test_case "weighted proportional" `Quick test_weighted_index_proportional;
+          Alcotest.test_case "weighted errors" `Quick test_weighted_index_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_bounds; prop_shuffle_multiset; prop_zipf_table_range ] );
+    ]

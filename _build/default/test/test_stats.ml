@@ -1,0 +1,236 @@
+(* Tests for the stats library. *)
+
+module Summary = Stats.Summary
+module Histogram = Stats.Histogram
+module Table = Stats.Text_table
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- Summary -------------------------------------------------------------- *)
+
+let test_empty_summary () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  feq "mean" 0.0 (Summary.mean s);
+  feq "variance" 0.0 (Summary.variance s);
+  Alcotest.(check bool) "min" true (Summary.min_value s = infinity);
+  Alcotest.(check bool) "max" true (Summary.max_value s = neg_infinity)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Summary.count s);
+  feq "mean" 5.0 (Summary.mean s);
+  feq "variance" 4.0 (Summary.variance s);
+  feq "stddev" 2.0 (Summary.stddev s);
+  feq "min" 2.0 (Summary.min_value s);
+  feq "max" 9.0 (Summary.max_value s);
+  feq "total" 40.0 (Summary.total s)
+
+let test_summary_single () =
+  let s = Summary.create () in
+  Summary.add s 3.5;
+  feq "mean" 3.5 (Summary.mean s);
+  feq "variance of single" 0.0 (Summary.variance s)
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () and whole = Summary.create () in
+  List.iter
+    (fun v ->
+      Summary.add whole v;
+      if v < 5.0 then Summary.add a v else Summary.add b v)
+    [ 1.0; 2.0; 3.0; 6.0; 7.0; 8.0; 9.0 ];
+  let m = Summary.merge a b in
+  Alcotest.(check int) "count" (Summary.count whole) (Summary.count m);
+  feq "mean" (Summary.mean whole) (Summary.mean m);
+  Alcotest.(check (float 1e-6)) "variance" (Summary.variance whole) (Summary.variance m);
+  feq "min" (Summary.min_value whole) (Summary.min_value m);
+  feq "max" (Summary.max_value whole) (Summary.max_value m)
+
+let test_summary_merge_empty () =
+  let a = Summary.create () in
+  Summary.add a 2.0;
+  let e = Summary.create () in
+  feq "merge right empty" 2.0 (Summary.mean (Summary.merge a e));
+  feq "merge left empty" 2.0 (Summary.mean (Summary.merge e a))
+
+let test_summary_pp () =
+  let s = Summary.create () in
+  Summary.add s 1.0;
+  let str = Format.asprintf "%a" Summary.pp s in
+  Alcotest.(check bool) "mentions n=1" true
+    (String.length str > 0 && String.sub str 0 3 = "n=1")
+
+(* --- Histogram -------------------------------------------------------------- *)
+
+let test_histogram_bins () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.7; 9.9 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check int) "bins" 10 (Histogram.bin_count h);
+  let pdf = Histogram.pdf h in
+  feq "bin 0" 0.25 pdf.(0);
+  feq "bin 1" 0.5 pdf.(1);
+  feq "bin 9" 0.25 pdf.(9)
+
+let test_histogram_pdf_sums_to_one () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:7 in
+  let rng = Prng.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    Histogram.add h (Prng.Rng.float rng 1.0)
+  done;
+  let total = Array.fold_left ( +. ) 0.0 (Histogram.pdf h) in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total
+
+let test_histogram_cdf () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 3.5 ];
+  let cdf = Histogram.cdf h in
+  feq "first" 0.25 cdf.(0);
+  feq "last" 1.0 cdf.(3);
+  (* monotone *)
+  for i = 1 to 3 do
+    Alcotest.(check bool) "monotone" true (cdf.(i) >= cdf.(i - 1))
+  done
+
+let test_histogram_clamping () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Histogram.add h (-3.0);
+  Histogram.add h 100.0;
+  Histogram.add h 5.0;
+  Alcotest.(check int) "clamped" 2 (Histogram.clamped h);
+  Alcotest.(check int) "all counted" 3 (Histogram.count h);
+  let pdf = Histogram.pdf h in
+  Alcotest.(check bool) "first bin got the low sample" true (pdf.(0) > 0.0);
+  Alcotest.(check bool) "last bin got the high sample" true (pdf.(4) > 0.0)
+
+let test_histogram_create_ints () =
+  let h = Histogram.create_ints ~max:10 in
+  for v = 0 to 10 do
+    Histogram.add h (float_of_int v)
+  done;
+  let pdf = Histogram.pdf h in
+  Alcotest.(check int) "11 bins" 11 (Histogram.bin_count h);
+  Array.iter (fun p -> Alcotest.(check (float 1e-9)) "uniform" (1.0 /. 11.0) p) pdf
+
+let test_histogram_quantile () =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for v = 1 to 100 do
+    Histogram.add h (float_of_int v -. 0.5)
+  done;
+  let q50 = Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median near 50" true (Float.abs (q50 -. 50.0) < 2.0);
+  let q90 = Histogram.quantile h 0.9 in
+  Alcotest.(check bool) "p90 near 90" true (Float.abs (q90 -. 90.0) < 2.0)
+
+let test_histogram_quantile_empty () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Alcotest.(check bool) "nan when empty" true (Float.is_nan (Histogram.quantile h 0.5))
+
+let test_histogram_validation () =
+  Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4))
+
+(* --- Text_table ---------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create [ "Name"; "Value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: row1 :: row2 :: _ ->
+      Alcotest.(check bool) "header has both columns" true
+        (String.length header >= 10
+        && String.sub header 0 4 = "Name");
+      Alcotest.(check bool) "rule is dashes" true (String.for_all (( = ) '-') rule);
+      Alcotest.(check bool) "rows in order" true
+        (String.sub row1 0 5 = "alpha" && String.sub row2 0 1 = "b")
+  | _ -> Alcotest.fail "expected at least 4 lines");
+  (* aligned: all data lines equal length *)
+  let widths =
+    List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines
+  in
+  match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no lines"
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "A"; "B"; "C" ] in
+  Table.add_row t [ "x" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create [ "A" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Text_table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+(* --- qcheck ------------------------------------------------------------------ *)
+
+let prop_summary_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun l ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) l;
+      Summary.mean s >= Summary.min_value s -. 1e-9
+      && Summary.mean s <= Summary.max_value s +. 1e-9)
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"merge commutes on count and mean" ~count:300
+    QCheck.(pair (list (float_bound_exclusive 100.0)) (list (float_bound_exclusive 100.0)))
+    (fun (la, lb) ->
+      let a = Summary.create () and b = Summary.create () in
+      List.iter (Summary.add a) la;
+      List.iter (Summary.add b) lb;
+      let m1 = Summary.merge a b and m2 = Summary.merge b a in
+      Summary.count m1 = Summary.count m2
+      && Float.abs (Summary.mean m1 -. Summary.mean m2) < 1e-9)
+
+let prop_cdf_ends_at_one =
+  QCheck.Test.make ~name:"cdf last element is 1" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (float_bound_exclusive 50.0))
+    (fun l ->
+      let h = Histogram.create ~lo:0.0 ~hi:50.0 ~bins:10 in
+      List.iter (Histogram.add h) l;
+      let cdf = Histogram.cdf h in
+      Float.abs (cdf.(9) -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_summary;
+          Alcotest.test_case "basic moments" `Quick test_summary_basic;
+          Alcotest.test_case "single sample" `Quick test_summary_single;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          Alcotest.test_case "merge empty" `Quick test_summary_merge_empty;
+          Alcotest.test_case "pp" `Quick test_summary_pp;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bin assignment" `Quick test_histogram_bins;
+          Alcotest.test_case "pdf sums to 1" `Quick test_histogram_pdf_sums_to_one;
+          Alcotest.test_case "cdf" `Quick test_histogram_cdf;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamping;
+          Alcotest.test_case "create_ints" `Quick test_histogram_create_ints;
+          Alcotest.test_case "quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "quantile empty" `Quick test_histogram_quantile_empty;
+          Alcotest.test_case "validation" `Quick test_histogram_validation;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "rejects long rows" `Quick test_table_rejects_long_rows;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_summary_mean_bounded; prop_merge_commutes; prop_cdf_ends_at_one ] );
+    ]

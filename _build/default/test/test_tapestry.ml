@@ -1,0 +1,147 @@
+(* Tests for the Tapestry substrate: surrogate root resolution and prefix
+   routing with proximity selection. *)
+
+module Id = Hashid.Id
+module Net = Tapestry.Network
+
+let make ?(hosts = 150) ?(space = Id.sha1_space) seed =
+  let rng = Prng.Rng.create ~seed in
+  let lat = Topology.Transit_stub.generate ~hosts rng in
+  let net =
+    Net.build ~space ~hosts:(Array.init hosts (fun i -> i)) ~lat ~rng
+      ~salt:(Printf.sprintf "tap%d" seed) ()
+  in
+  (lat, net)
+
+let test_build_validation () =
+  let rng = Prng.Rng.create ~seed:1 in
+  let lat = Topology.Transit_stub.generate ~hosts:4 rng in
+  Alcotest.check_raises "width not multiple of 4"
+    (Invalid_argument "Tapestry.Network.build: identifier width must be a multiple of 4")
+    (fun () -> ignore (Net.build ~space:(Id.space ~bits:10) ~hosts:[| 0 |] ~lat ~rng ()));
+  Alcotest.check_raises "empty" (Invalid_argument "Tapestry.Network.build: empty network")
+    (fun () -> ignore (Net.build ~space:Id.sha1_space ~hosts:[||] ~lat ~rng ()))
+
+let test_root_deterministic () =
+  let _, net = make 2 in
+  let rng = Prng.Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let key = Id.random Id.sha1_space rng in
+    Alcotest.(check int) "stable root" (Net.root_of_key net key) (Net.root_of_key net key)
+  done
+
+let test_root_of_own_id () =
+  let _, net = make 4 in
+  (* a node's own identifier roots at that node: surrogate routing always
+     finds the exact digits *)
+  for node = 0 to Net.size net - 1 do
+    Alcotest.(check int) "own id" node (Net.root_of_key net (Net.id net node))
+  done
+
+let test_root_path_matches_root () =
+  let _, net = make 5 in
+  let rng = Prng.Rng.create ~seed:6 in
+  let sp = Net.space net in
+  for _ = 1 to 100 do
+    let key = Id.random Id.sha1_space rng in
+    let path = Net.root_path net key in
+    let root = Net.root_of_key net key in
+    (* the root's digits follow the resolved path *)
+    List.iteri
+      (fun r d -> Alcotest.(check int) "root follows path" d (Id.digit4 sp (Net.id net root) r))
+      path
+  done
+
+let test_route_reaches_root_from_everywhere () =
+  let _, net = make ~hosts:80 7 in
+  let rng = Prng.Rng.create ~seed:8 in
+  for _ = 1 to 30 do
+    let key = Id.random Id.sha1_space rng in
+    let root = Net.root_of_key net key in
+    for origin = 0 to Net.size net - 1 do
+      let r = Net.route net ~origin ~key in
+      Alcotest.(check int) "path-independent destination" root r.Net.destination
+    done
+  done
+
+let test_route_accounting () =
+  let _, net = make 9 in
+  let rng = Prng.Rng.create ~seed:10 in
+  for _ = 1 to 200 do
+    let key = Id.random Id.sha1_space rng in
+    let origin = Prng.Rng.int rng (Net.size net) in
+    let r = Net.route net ~origin ~key in
+    Alcotest.(check int) "hop count" r.Net.hop_count (List.length r.Net.hops);
+    let total = List.fold_left (fun acc (h : Net.hop) -> acc +. h.Net.latency) 0.0 r.Net.hops in
+    Alcotest.(check (float 1e-6)) "latency sums" total r.Net.latency;
+    Alcotest.(check bool) "hops bounded by path length" true
+      (r.Net.hop_count <= List.length (Net.root_path net key) + 1)
+  done
+
+let test_route_zero_hops_at_root () =
+  let _, net = make 11 in
+  let key = Net.id net 5 in
+  let r = Net.route net ~origin:5 ~key in
+  Alcotest.(check int) "no hops" 0 r.Net.hop_count;
+  Alcotest.(check int) "stays" 5 r.Net.destination
+
+let test_logarithmic_hops () =
+  let _, net = make ~hosts:1024 12 in
+  let rng = Prng.Rng.create ~seed:13 in
+  let acc = ref 0 in
+  let trials = 300 in
+  for _ = 1 to trials do
+    let key = Id.random Id.sha1_space rng in
+    let origin = Prng.Rng.int rng 1024 in
+    acc := !acc + (Net.route net ~origin ~key).Net.hop_count
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  Alcotest.(check bool) "hops ~ log16 n" true (mean > 1.2 && mean < 4.5)
+
+let test_single_node () =
+  let rng = Prng.Rng.create ~seed:14 in
+  let lat = Topology.Transit_stub.generate ~hosts:1 rng in
+  let net = Net.build ~space:Id.sha1_space ~hosts:[| 0 |] ~lat ~rng () in
+  let key = Id.of_hash Id.sha1_space "anything" in
+  Alcotest.(check int) "root" 0 (Net.root_of_key net key);
+  Alcotest.(check int) "route" 0 (Net.route net ~origin:0 ~key).Net.destination
+
+let prop_route_ends_at_root =
+  QCheck.Test.make ~name:"tapestry routes end at the surrogate root" ~count:20
+    QCheck.(pair small_nat (int_range 4 90))
+    (fun (seed, n) ->
+      let rng = Prng.Rng.create ~seed:(seed + 70) in
+      let lat = Topology.Transit_stub.generate ~hosts:n rng in
+      let net =
+        Net.build ~space:Id.sha1_space ~hosts:(Array.init n (fun i -> i)) ~lat ~rng
+          ~salt:(string_of_int seed) ()
+      in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let key = Id.random Id.sha1_space rng in
+        let origin = Prng.Rng.int rng n in
+        if (Net.route net ~origin ~key).Net.destination <> Net.root_of_key net key then
+          ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "tapestry"
+    [
+      ( "roots",
+        [
+          Alcotest.test_case "validation" `Quick test_build_validation;
+          Alcotest.test_case "deterministic" `Quick test_root_deterministic;
+          Alcotest.test_case "own id" `Quick test_root_of_own_id;
+          Alcotest.test_case "path matches root" `Quick test_root_path_matches_root;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "path-independent" `Slow test_route_reaches_root_from_everywhere;
+          Alcotest.test_case "accounting" `Quick test_route_accounting;
+          Alcotest.test_case "zero hops at root" `Quick test_route_zero_hops_at_root;
+          Alcotest.test_case "logarithmic hops" `Slow test_logarithmic_hops;
+          Alcotest.test_case "single node" `Quick test_single_node;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_route_ends_at_root ]);
+    ]

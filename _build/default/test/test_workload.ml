@@ -1,0 +1,232 @@
+(* Tests for the workload library: key generators, request streams and
+   churn traces. *)
+
+module Keys = Workload.Keys
+module Requests = Workload.Requests
+module Churn = Workload.Churn
+module Id = Hashid.Id
+
+let space = Id.sha1_space
+
+(* --- Keys ------------------------------------------------------------------ *)
+
+let test_file_key_deterministic () =
+  let a = Keys.file_key space "paper.pdf" and b = Keys.file_key space "paper.pdf" in
+  Alcotest.(check bool) "same name same key" true (Id.equal a b);
+  let c = Keys.file_key space "other.pdf" in
+  Alcotest.(check bool) "different names differ" false (Id.equal a c)
+
+let test_uniform_generator () =
+  let rng = Prng.Rng.create ~seed:1 in
+  let gen = Keys.generator Keys.Uniform space rng in
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "fresh keys" false (Id.equal a b)
+
+let test_zipf_generator_catalogue () =
+  let rng = Prng.Rng.create ~seed:2 in
+  let gen = Keys.generator (Keys.Zipf { catalogue = 20; alpha = 1.0 }) space rng in
+  let catalogue =
+    List.init 20 (fun i -> Keys.file_key space (Printf.sprintf "doc-%d" i))
+  in
+  for _ = 1 to 200 do
+    let k = gen () in
+    Alcotest.(check bool) "drawn from the catalogue" true
+      (List.exists (fun c -> Id.equal c k) catalogue)
+  done
+
+let test_zipf_generator_skewed () =
+  let rng = Prng.Rng.create ~seed:3 in
+  let gen = Keys.generator (Keys.Zipf { catalogue = 100; alpha = 1.2 }) space rng in
+  let top = Keys.file_key space "doc-0" in
+  let hits = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    if Id.equal (gen ()) top then incr hits
+  done;
+  Alcotest.(check bool) "top document is hot" true (!hits > n / 50)
+
+let test_zipf_empty_catalogue () =
+  let rng = Prng.Rng.create ~seed:4 in
+  Alcotest.check_raises "empty" (Invalid_argument "Keys.generator: empty catalogue") (fun () ->
+      ignore ((Keys.generator (Keys.Zipf { catalogue = 0; alpha = 1.0 }) space rng) ()))
+
+(* --- Requests ------------------------------------------------------------------ *)
+
+let test_request_count_and_bounds () =
+  let rng = Prng.Rng.create ~seed:5 in
+  let spec = Requests.paper_default ~count:500 in
+  let seen = ref 0 in
+  Requests.iter spec ~nodes:37 ~space rng (fun r ->
+      incr seen;
+      Alcotest.(check bool) "origin in range" true
+        (r.Requests.origin >= 0 && r.Requests.origin < 37));
+  Alcotest.(check int) "count honoured" 500 !seen
+
+let test_request_to_array () =
+  let rng = Prng.Rng.create ~seed:6 in
+  let spec = Requests.paper_default ~count:50 in
+  let arr = Requests.to_array spec ~nodes:10 ~space rng in
+  Alcotest.(check int) "array size" 50 (Array.length arr)
+
+let test_request_determinism () =
+  let spec = Requests.paper_default ~count:20 in
+  let a = Requests.to_array spec ~nodes:10 ~space (Prng.Rng.create ~seed:7) in
+  let b = Requests.to_array spec ~nodes:10 ~space (Prng.Rng.create ~seed:7) in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) "same origins" r.Requests.origin b.(i).Requests.origin;
+      Alcotest.(check bool) "same keys" true (Id.equal r.Requests.key b.(i).Requests.key))
+    a
+
+let test_request_origin_bias () =
+  let rng = Prng.Rng.create ~seed:8 in
+  let spec = { Requests.count = 2000; keys = Keys.Uniform; origin_bias = 1.2 } in
+  let low = ref 0 in
+  Requests.iter spec ~nodes:100 ~space rng (fun r ->
+      if r.Requests.origin < 10 then incr low);
+  (* with a zipf bias, the first tenth of nodes originate far more than 10% *)
+  Alcotest.(check bool) "origins skewed" true (!low > 600)
+
+let test_requests_reject_no_nodes () =
+  let rng = Prng.Rng.create ~seed:9 in
+  Alcotest.check_raises "no nodes" (Invalid_argument "Requests.iter: no nodes") (fun () ->
+      Requests.iter (Requests.paper_default ~count:1) ~nodes:0 ~space rng (fun _ -> ()))
+
+(* --- Churn ------------------------------------------------------------------------ *)
+
+let test_churn_sorted_and_bounded () =
+  let rng = Prng.Rng.create ~seed:10 in
+  let spec = { Churn.horizon = 60_000.0; join_rate = 0.5; fail_rate = 0.2; leave_rate = 0.1 } in
+  let events = Churn.generate spec ~initial:10 ~pool:100 rng in
+  Alcotest.(check bool) "non-empty" true (events <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Churn.at <= b.Churn.at && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by time" true (sorted events);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "time in horizon" true (e.Churn.at >= 0.0 && e.Churn.at < 60_000.0);
+      Alcotest.(check bool) "node in pool" true (e.Churn.node >= 0 && e.Churn.node < 100))
+    events
+
+let test_churn_joins_are_fresh () =
+  let rng = Prng.Rng.create ~seed:11 in
+  let spec = { Churn.horizon = 120_000.0; join_rate = 0.4; fail_rate = 0.0; leave_rate = 0.0 } in
+  let events = Churn.generate spec ~initial:5 ~pool:200 rng in
+  let joins = List.filter (fun e -> e.Churn.kind = Churn.Join) events in
+  let nodes = List.map (fun e -> e.Churn.node) joins in
+  Alcotest.(check int) "joins use distinct fresh nodes" (List.length nodes)
+    (List.length (List.sort_uniq compare nodes));
+  List.iter
+    (fun n -> Alcotest.(check bool) "fresh = beyond initial" true (n >= 5))
+    nodes
+
+let test_churn_never_kills_everyone () =
+  let rng = Prng.Rng.create ~seed:12 in
+  let spec = { Churn.horizon = 600_000.0; join_rate = 0.0; fail_rate = 2.0; leave_rate = 2.0 } in
+  let events = Churn.generate spec ~initial:8 ~pool:8 rng in
+  let deaths = List.filter (fun e -> e.Churn.kind <> Churn.Join) events in
+  Alcotest.(check bool) "at most initial - 1 departures" true (List.length deaths <= 7)
+
+let test_churn_targets_only_live_nodes () =
+  let rng = Prng.Rng.create ~seed:13 in
+  let spec = { Churn.horizon = 300_000.0; join_rate = 0.3; fail_rate = 0.3; leave_rate = 0.1 } in
+  let events = Churn.generate spec ~initial:6 ~pool:60 rng in
+  (* replay: every departure must target a currently-live node *)
+  let live = Hashtbl.create 16 in
+  for i = 0 to 5 do
+    Hashtbl.replace live i ()
+  done;
+  List.iter
+    (fun e ->
+      match e.Churn.kind with
+      | Churn.Join ->
+          Alcotest.(check bool) "join of a non-live node" false (Hashtbl.mem live e.Churn.node);
+          Hashtbl.replace live e.Churn.node ()
+      | Churn.Fail | Churn.Leave ->
+          Alcotest.(check bool) "departure of a live node" true (Hashtbl.mem live e.Churn.node);
+          Hashtbl.remove live e.Churn.node)
+    events;
+  Alcotest.(check bool) "someone survives" true (Hashtbl.length live >= 1)
+
+let test_churn_validation () =
+  let rng = Prng.Rng.create ~seed:14 in
+  let spec = { Churn.horizon = 1000.0; join_rate = 0.1; fail_rate = 0.0; leave_rate = 0.0 } in
+  Alcotest.check_raises "bad initial" (Invalid_argument "Churn.generate: bad initial/pool")
+    (fun () -> ignore (Churn.generate spec ~initial:0 ~pool:10 rng))
+
+(* --- qcheck ---------------------------------------------------------------------------- *)
+
+let prop_requests_deterministic_per_seed =
+  QCheck.Test.make ~name:"request streams are a pure function of the seed" ~count:50
+    QCheck.(pair small_nat (int_range 1 200))
+    (fun (seed, count) ->
+      let spec = Requests.paper_default ~count in
+      let a = Requests.to_array spec ~nodes:17 ~space (Prng.Rng.create ~seed) in
+      let b = Requests.to_array spec ~nodes:17 ~space (Prng.Rng.create ~seed) in
+      Array.for_all2
+        (fun x y -> x.Requests.origin = y.Requests.origin && Id.equal x.Requests.key y.Requests.key)
+        a b)
+
+let prop_churn_replay_consistent =
+  QCheck.Test.make ~name:"churn traces replay without inconsistency" ~count:50
+    QCheck.(pair small_nat (int_range 2 20))
+    (fun (seed, initial) ->
+      let rng = Prng.Rng.create ~seed in
+      let spec =
+        { Churn.horizon = 100_000.0; join_rate = 0.5; fail_rate = 0.4; leave_rate = 0.2 }
+      in
+      let events = Churn.generate spec ~initial ~pool:(initial + 50) rng in
+      let live = Hashtbl.create 16 in
+      for i = 0 to initial - 1 do
+        Hashtbl.replace live i ()
+      done;
+      List.for_all
+        (fun e ->
+          match e.Churn.kind with
+          | Churn.Join ->
+              if Hashtbl.mem live e.Churn.node then false
+              else begin
+                Hashtbl.replace live e.Churn.node ();
+                true
+              end
+          | Churn.Fail | Churn.Leave ->
+              if Hashtbl.mem live e.Churn.node && Hashtbl.length live > 1 then begin
+                Hashtbl.remove live e.Churn.node;
+                true
+              end
+              else false)
+        events)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "file_key deterministic" `Quick test_file_key_deterministic;
+          Alcotest.test_case "uniform" `Quick test_uniform_generator;
+          Alcotest.test_case "zipf catalogue" `Quick test_zipf_generator_catalogue;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_generator_skewed;
+          Alcotest.test_case "zipf empty" `Quick test_zipf_empty_catalogue;
+        ] );
+      ( "requests",
+        [
+          Alcotest.test_case "count + bounds" `Quick test_request_count_and_bounds;
+          Alcotest.test_case "to_array" `Quick test_request_to_array;
+          Alcotest.test_case "determinism" `Quick test_request_determinism;
+          Alcotest.test_case "origin bias" `Quick test_request_origin_bias;
+          Alcotest.test_case "no nodes" `Quick test_requests_reject_no_nodes;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "sorted + bounded" `Quick test_churn_sorted_and_bounded;
+          Alcotest.test_case "joins fresh" `Quick test_churn_joins_are_fresh;
+          Alcotest.test_case "never kills everyone" `Quick test_churn_never_kills_everyone;
+          Alcotest.test_case "targets live nodes" `Quick test_churn_targets_only_live_nodes;
+          Alcotest.test_case "validation" `Quick test_churn_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_requests_deterministic_per_seed; prop_churn_replay_consistent ] );
+    ]
