@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- --scale 0.05 quick smoke run
      dune exec bench/main.exe -- --only fig4  one experiment
      dune exec bench/main.exe -- --no-micro   skip the bechamel section
-     dune exec bench/main.exe -- --no-ext     skip the extensions section *)
+     dune exec bench/main.exe -- --no-ext     skip the extensions section
+     dune exec bench/main.exe -- --jobs 8     run on 8 domains (0 = all cores;
+                                              results are identical for any
+                                              --jobs value) *)
 
 let scale = ref 1.0
 let only = ref None
@@ -15,6 +18,7 @@ let micro = ref true
 let ext = ref true
 let csv_dir = ref None
 let seed = ref 2003
+let jobs = ref 1
 
 let () =
   let rec parse = function
@@ -34,6 +38,9 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         parse rest
@@ -47,16 +54,17 @@ let () =
 (* Part 1: every table and figure                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures () =
+let run_figures pool =
   let cfg =
     let c = Experiments.Config.paper_default in
     let c = Experiments.Config.with_seed c !seed in
     if !scale = 1.0 then c else Experiments.Config.scaled c !scale
   in
   Printf.printf "HIERAS reproduction — paper experiment harness\n";
-  Printf.printf "configuration: %s (scale %.3f)\n\n"
+  Printf.printf "configuration: %s (scale %.3f, %d worker domain%s)\n\n"
     (Format.asprintf "%a" Experiments.Config.pp cfg)
-    !scale;
+    !scale (Parallel.Pool.jobs pool)
+    (if Parallel.Pool.jobs pool = 1 then "" else "s");
   let emit sections =
     Experiments.Report.print_all sections;
     match !csv_dir with
@@ -69,7 +77,7 @@ let run_figures () =
   match !only with
   | Some id -> (
       match Experiments.Figures.by_id id with
-      | Some f -> emit (f cfg)
+      | Some f -> emit (f ~pool cfg)
       | None ->
           prerr_endline
             ("bench: unknown experiment id " ^ id ^ "; known: "
@@ -80,11 +88,11 @@ let run_figures () =
       List.iter
         (fun id ->
           match Experiments.Figures.by_id id with
-          | Some f -> emit (f cfg)
+          | Some f -> emit (f ~pool cfg)
           | None -> ())
         [ "table1"; "table2"; "fig2"; "fig4"; "fig6"; "fig8" ]
 
-let run_extensions () =
+let run_extensions pool =
   let cfg =
     let c = Experiments.Config.paper_default in
     let c = Experiments.Config.with_seed c !seed in
@@ -96,7 +104,7 @@ let run_extensions () =
   print_newline ();
   print_endline "=== extensions: beyond the paper's figures ===";
   Printf.printf "configuration: %s\n\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
-  Experiments.Report.print_all (Experiments.Extensions.all cfg)
+  Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: bechamel micro-benchmarks of the core operations            *)
@@ -105,11 +113,11 @@ let run_extensions () =
 open Bechamel
 open Toolkit
 
-let micro_state () =
+let micro_state pool =
   (* one medium network shared by the routing benchmarks *)
   let rng = Prng.Rng.create ~seed:11 in
   let n = 2000 in
-  let lat = Topology.Transit_stub.generate ~hosts:n rng in
+  let lat = Topology.Transit_stub.generate ~pool ~hosts:n rng in
   let space = Hashid.Id.sha1_space in
   let chord = Chord.Network.build ~space ~hosts:(Array.init n (fun i -> i)) () in
   let lm = Binning.Landmark.choose_spread lat ~count:6 rng in
@@ -118,8 +126,8 @@ let micro_state () =
   let origins = Array.init 4096 (fun _ -> Prng.Rng.int rng n) in
   (lat, chord, hnet, keys, origins)
 
-let micro_tests () =
-  let lat, chord, hnet, keys, origins = micro_state () in
+let micro_tests pool =
+  let lat, chord, hnet, keys, origins = micro_state pool in
   let counter = ref 0 in
   let next () =
     counter := (!counter + 1) land 4095;
@@ -151,7 +159,7 @@ let micro_tests () =
            ignore (Topology.Latency.host_latency lat origins.(i) origins.((i + 1) land 4095))));
   ]
 
-let run_micro () =
+let run_micro pool =
   print_newline ();
   print_endline "=== micro-benchmarks (bechamel) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -167,9 +175,11 @@ let run_micro () =
           | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n" name est
           | _ -> Printf.printf "  %-28s (no estimate)\n" name)
         analyzed)
-    (micro_tests ())
+    (micro_tests pool)
 
 let () =
-  run_figures ();
-  if !ext && !only = None then run_extensions ();
-  if !micro && !only = None then run_micro ()
+  let jobs = if !jobs <= 0 then Parallel.Pool.default_jobs () else !jobs in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      run_figures pool;
+      if !ext && !only = None then run_extensions pool;
+      if !micro && !only = None then run_micro pool)

@@ -41,6 +41,21 @@ let scale_t =
         ~doc:"Scale factor on node and request counts (0.05 for a quick run).")
 
 let landmarks_t = Arg.(value & opt int 4 & info [ "landmarks" ] ~docv:"L" ~doc:"Landmark count.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Worker domains for the parallel pipeline (0 = all cores). Results \
+           are bit-identical for any value.")
+
+(* experiments are deterministic in the pool width, so --jobs only changes
+   wall-clock time *)
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Parallel.Pool.default_jobs () else jobs in
+  Parallel.Pool.with_pool ~jobs f
 let depth_t = Arg.(value & opt int 2 & info [ "depth" ] ~docv:"D" ~doc:"Hierarchy depth (2-4).")
 
 let requests_t =
@@ -69,7 +84,7 @@ let figure_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id: table1 table2 fig2..fig9.")
   in
-  let run id model nodes landmarks depth requests seed scale =
+  let run id model nodes landmarks depth requests seed scale jobs =
     match Experiments.Figures.by_id id with
     | None ->
         exit_err
@@ -77,36 +92,38 @@ let figure_cmd =
              (String.concat " " Experiments.Figures.ids))
     | Some f ->
         let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
-        Experiments.Report.print_all (f cfg)
+        with_jobs jobs (fun pool -> Experiments.Report.print_all (f ~pool cfg))
   in
   let term =
     Term.(
       const run $ id_t $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t
-      $ seed_t $ scale_t)
+      $ seed_t $ scale_t $ jobs_t)
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce one table or figure of the paper") term
 
 (* ---- all -------------------------------------------------------------- *)
 
 let all_cmd =
-  let run model nodes landmarks depth requests seed scale =
+  let run model nodes landmarks depth requests seed scale jobs =
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
-    Experiments.Report.print_all (Experiments.Figures.all cfg)
+    with_jobs jobs (fun pool ->
+        Experiments.Report.print_all (Experiments.Figures.all ~pool cfg))
   in
   let term =
     Term.(
       const run $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t $ seed_t
-      $ scale_t)
+      $ scale_t $ jobs_t)
   in
   Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure") term
 
 (* ---- topology --------------------------------------------------------- *)
 
 let topology_cmd =
-  let run model nodes seed =
+  let run model nodes seed jobs =
+    with_jobs jobs @@ fun pool ->
     let rng = Prng.Rng.create ~seed in
     let lat =
-      try Topology.Model.build model ~hosts:nodes rng
+      try Topology.Model.build ~pool model ~hosts:nodes rng
       with Invalid_argument m -> exit_err m
     in
     let g = Topology.Latency.router_graph lat in
@@ -129,28 +146,32 @@ let topology_cmd =
     |> List.sort (fun (_, a) (_, b) -> compare b a)
     |> List.iter (fun (o, c) -> Printf.printf "  ring %-6s %6d nodes\n" o c)
   in
-  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t) in
+  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t $ jobs_t) in
   Cmd.v (Cmd.info "topology" ~doc:"Generate a topology and print statistics") term
 
 (* ---- cost ------------------------------------------------------------- *)
 
 let cost_cmd =
-  let run model nodes landmarks depth seed =
+  let run model nodes landmarks depth seed jobs =
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 in
-    let env = Experiments.Runner.build_env cfg in
+    with_jobs jobs @@ fun pool ->
+    let env = Experiments.Runner.build_env ~pool cfg in
     let hnet = Experiments.Runner.build_hieras env cfg in
     let totals = Hieras.Cost.totals hnet ~succ_list_len:cfg.Experiments.Config.succ_list_len in
     Format.printf "%a@." Hieras.Cost.pp_totals totals
   in
-  let term = Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t) in
+  let term =
+    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t)
+  in
   Cmd.v (Cmd.info "cost" ~doc:"Print the HIERAS state and maintenance cost model") term
 
 (* ---- lookup ----------------------------------------------------------- *)
 
 let lookup_cmd =
-  let run model nodes landmarks depth seed =
+  let run model nodes landmarks depth seed jobs =
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 in
-    let env = Experiments.Runner.build_env cfg in
+    with_jobs jobs @@ fun pool ->
+    let env = Experiments.Runner.build_env ~pool cfg in
     let hnet = Experiments.Runner.build_hieras env cfg in
     let net = Experiments.Runner.chord_network env in
     let rng = Prng.Rng.create ~seed:(seed + 1) in
@@ -170,21 +191,24 @@ let lookup_cmd =
     Printf.printf "chord baseline: %d hops, %.1f ms\n" rc.Chord.Lookup.hop_count
       rc.Chord.Lookup.latency
   in
-  let term = Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t) in
+  let term =
+    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t)
+  in
   Cmd.v (Cmd.info "lookup" ~doc:"Trace one HIERAS lookup hop by hop") term
 
 (* ---- extensions -------------------------------------------------------- *)
 
 let extensions_cmd =
-  let run model nodes landmarks depth requests seed scale =
+  let run model nodes landmarks depth requests seed scale jobs =
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
-    Experiments.Report.print_all (Experiments.Extensions.all cfg)
+    with_jobs jobs (fun pool ->
+        Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg))
   in
   let term =
     Term.(
       const run $ model_t $ nodes_t 2500 $ landmarks_t $ depth_t
       $ Arg.(value & opt int 25_000 & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per run.")
-      $ seed_t $ scale_t)
+      $ seed_t $ scale_t $ jobs_t)
   in
   Cmd.v
     (Cmd.info "extensions"

@@ -9,8 +9,8 @@ let ms x = Printf.sprintf "%.1f" x
 (* Routing algorithms side by side                                     *)
 (* ------------------------------------------------------------------ *)
 
-let algorithms cfg =
-  let env = Runner.build_env cfg in
+let algorithms ?pool cfg =
+  let env = Runner.build_env ?pool cfg in
   let lat = Runner.latency_oracle env in
   let chord = Runner.chord_network env in
   let n = Chord.Network.size chord in
@@ -87,8 +87,8 @@ let algorithms cfg =
 (* Landmark strategy / measurement-noise ablation                      *)
 (* ------------------------------------------------------------------ *)
 
-let landmark_ablation cfg =
-  let env = Runner.build_env cfg in
+let landmark_ablation ?pool cfg =
+  let env = Runner.build_env ?pool cfg in
   let lat = Runner.latency_oracle env in
   let chord = Runner.chord_network env in
   let n = Chord.Network.size chord in
@@ -141,8 +141,8 @@ let landmark_ablation cfg =
 (* Cost-model ablation across hierarchy depths                         *)
 (* ------------------------------------------------------------------ *)
 
-let cost_ablation cfg =
-  let env = Runner.build_env cfg in
+let cost_ablation ?pool cfg =
+  let env = Runner.build_env ?pool cfg in
   let lat = Runner.latency_oracle env in
   let chord = Runner.chord_network env in
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 7919) in
@@ -185,4 +185,5 @@ let cost_ablation cfg =
       ];
   }
 
-let all cfg = [ algorithms cfg; landmark_ablation cfg; cost_ablation cfg ]
+let all ?pool cfg =
+  [ algorithms ?pool cfg; landmark_ablation ?pool cfg; cost_ablation ?pool cfg ]

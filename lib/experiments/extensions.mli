@@ -12,8 +12,8 @@
       ring tables, per-layer stabilize link cost) the paper defers to future
       work, across hierarchy depths. *)
 
-val algorithms : Config.t -> Report.section
-val landmark_ablation : Config.t -> Report.section
-val cost_ablation : Config.t -> Report.section
+val algorithms : ?pool:Parallel.Pool.t -> Config.t -> Report.section
+val landmark_ablation : ?pool:Parallel.Pool.t -> Config.t -> Report.section
+val cost_ablation : ?pool:Parallel.Pool.t -> Config.t -> Report.section
 
-val all : Config.t -> Report.section list
+val all : ?pool:Parallel.Pool.t -> Config.t -> Report.section list

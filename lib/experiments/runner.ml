@@ -1,5 +1,6 @@
 module Summary = Stats.Summary
 module Histogram = Stats.Histogram
+module Pool = Parallel.Pool
 
 type env = {
   cfg : Config.t;
@@ -9,10 +10,10 @@ type env = {
 
 let space = Hashid.Id.sha1_space
 
-let build_env cfg =
+let build_env ?pool cfg =
   let rng = Prng.Rng.create ~seed:cfg.Config.seed in
   let topo_rng = Prng.Rng.split rng in
-  let lat = Topology.Model.build cfg.Config.model ~hosts:cfg.Config.nodes topo_rng in
+  let lat = Topology.Model.build ?pool cfg.Config.model ~hosts:cfg.Config.nodes topo_rng in
   let hosts = Array.init cfg.Config.nodes (fun i -> i) in
   let chord =
     Chord.Network.build ~space ~hosts ~succ_list_len:cfg.Config.succ_list_len
@@ -50,68 +51,112 @@ type metrics = {
   latency_per_layer : float array;
 }
 
-let measure env hnet cfg =
+(* Requests per accumulation chunk. Fixed — never derived from the pool
+   width — so the chunk layout, and therefore every floating-point reduction
+   order, is identical for any --jobs value. *)
+let chunk_size = 4096
+
+let fresh_metrics cfg ~depth =
+  {
+    config = cfg;
+    chord_hops = Summary.create ();
+    chord_latency = Summary.create ();
+    hieras_hops = Summary.create ();
+    hieras_latency = Summary.create ();
+    lower_hops = Summary.create ();
+    top_hops = Summary.create ();
+    lower_latency = Summary.create ();
+    top_latency = Summary.create ();
+    chord_hop_pdf = Histogram.create_ints ~max:31;
+    hieras_hop_pdf = Histogram.create_ints ~max:31;
+    lower_hop_pdf = Histogram.create_ints ~max:31;
+    chord_latency_hist = Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:200;
+    hieras_latency_hist = Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:200;
+    hops_per_layer = Array.make depth 0.0;
+    latency_per_layer = Array.make depth 0.0;
+  }
+
+let merge_metrics a b =
+  {
+    config = a.config;
+    chord_hops = Summary.merge a.chord_hops b.chord_hops;
+    chord_latency = Summary.merge a.chord_latency b.chord_latency;
+    hieras_hops = Summary.merge a.hieras_hops b.hieras_hops;
+    hieras_latency = Summary.merge a.hieras_latency b.hieras_latency;
+    lower_hops = Summary.merge a.lower_hops b.lower_hops;
+    top_hops = Summary.merge a.top_hops b.top_hops;
+    lower_latency = Summary.merge a.lower_latency b.lower_latency;
+    top_latency = Summary.merge a.top_latency b.top_latency;
+    chord_hop_pdf = Histogram.merge a.chord_hop_pdf b.chord_hop_pdf;
+    hieras_hop_pdf = Histogram.merge a.hieras_hop_pdf b.hieras_hop_pdf;
+    lower_hop_pdf = Histogram.merge a.lower_hop_pdf b.lower_hop_pdf;
+    chord_latency_hist = Histogram.merge a.chord_latency_hist b.chord_latency_hist;
+    hieras_latency_hist = Histogram.merge a.hieras_latency_hist b.hieras_latency_hist;
+    hops_per_layer = Array.mapi (fun k v -> v +. b.hops_per_layer.(k)) a.hops_per_layer;
+    latency_per_layer =
+      Array.mapi (fun k v -> v +. b.latency_per_layer.(k)) a.latency_per_layer;
+  }
+
+let measure_one env hnet m { Workload.Requests.origin; key } =
+  let rc = Chord.Lookup.route env.chord env.lat ~origin ~key in
+  let rh = Hieras.Hlookup.route hnet ~origin ~key in
+  if rc.Chord.Lookup.destination <> rh.Hieras.Hlookup.destination then
+    failwith "Runner.measure: HIERAS and Chord disagree on a key's owner";
+  Summary.add m.chord_hops (float_of_int rc.Chord.Lookup.hop_count);
+  Summary.add m.chord_latency rc.Chord.Lookup.latency;
+  Summary.add m.hieras_hops (float_of_int rh.Hieras.Hlookup.hop_count);
+  Summary.add m.hieras_latency rh.Hieras.Hlookup.latency;
+  let low_h = ref 0 and low_l = ref 0.0 in
+  Array.iteri
+    (fun k h ->
+      m.hops_per_layer.(k) <- m.hops_per_layer.(k) +. float_of_int h;
+      m.latency_per_layer.(k) <- m.latency_per_layer.(k) +. rh.Hieras.Hlookup.latency_per_layer.(k);
+      if k > 0 then begin
+        low_h := !low_h + h;
+        low_l := !low_l +. rh.Hieras.Hlookup.latency_per_layer.(k)
+      end)
+    rh.Hieras.Hlookup.hops_per_layer;
+  Summary.add m.lower_hops (float_of_int !low_h);
+  Summary.add m.lower_latency !low_l;
+  Summary.add m.top_hops (float_of_int rh.Hieras.Hlookup.hops_per_layer.(0));
+  Summary.add m.top_latency rh.Hieras.Hlookup.latency_per_layer.(0);
+  Histogram.add m.chord_hop_pdf (float_of_int rc.Chord.Lookup.hop_count);
+  Histogram.add m.hieras_hop_pdf (float_of_int rh.Hieras.Hlookup.hop_count);
+  Histogram.add m.lower_hop_pdf (float_of_int !low_h);
+  Histogram.add m.chord_latency_hist rc.Chord.Lookup.latency;
+  Histogram.add m.hieras_latency_hist rh.Hieras.Hlookup.latency
+
+let measure ?pool env hnet cfg =
+  let pool = Option.value pool ~default:Pool.sequential in
   let n = Chord.Network.size env.chord in
   let depth = Hieras.Hnetwork.depth hnet in
+  (* requests are pre-generated sequentially from the config seed, so the
+     stream is the same whatever the pool width *)
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 104729) in
-  let m =
-    {
-      config = cfg;
-      chord_hops = Summary.create ();
-      chord_latency = Summary.create ();
-      hieras_hops = Summary.create ();
-      hieras_latency = Summary.create ();
-      lower_hops = Summary.create ();
-      top_hops = Summary.create ();
-      lower_latency = Summary.create ();
-      top_latency = Summary.create ();
-      chord_hop_pdf = Histogram.create_ints ~max:31;
-      hieras_hop_pdf = Histogram.create_ints ~max:31;
-      lower_hop_pdf = Histogram.create_ints ~max:31;
-      chord_latency_hist = Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:200;
-      hieras_latency_hist = Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:200;
-      hops_per_layer = Array.make depth 0.0;
-      latency_per_layer = Array.make depth 0.0;
-    }
-  in
   let spec = Workload.Requests.paper_default ~count:cfg.Config.requests in
-  Workload.Requests.iter spec ~nodes:n ~space rng (fun { origin; key } ->
-      let rc = Chord.Lookup.route env.chord env.lat ~origin ~key in
-      let rh = Hieras.Hlookup.route hnet ~origin ~key in
-      if rc.Chord.Lookup.destination <> rh.Hieras.Hlookup.destination then
-        failwith "Runner.measure: HIERAS and Chord disagree on a key's owner";
-      Summary.add m.chord_hops (float_of_int rc.Chord.Lookup.hop_count);
-      Summary.add m.chord_latency rc.Chord.Lookup.latency;
-      Summary.add m.hieras_hops (float_of_int rh.Hieras.Hlookup.hop_count);
-      Summary.add m.hieras_latency rh.Hieras.Hlookup.latency;
-      let low_h = ref 0 and low_l = ref 0.0 in
-      Array.iteri
-        (fun k h ->
-          m.hops_per_layer.(k) <- m.hops_per_layer.(k) +. float_of_int h;
-          m.latency_per_layer.(k) <- m.latency_per_layer.(k) +. rh.Hieras.Hlookup.latency_per_layer.(k);
-          if k > 0 then begin
-            low_h := !low_h + h;
-            low_l := !low_l +. rh.Hieras.Hlookup.latency_per_layer.(k)
-          end)
-        rh.Hieras.Hlookup.hops_per_layer;
-      Summary.add m.lower_hops (float_of_int !low_h);
-      Summary.add m.lower_latency !low_l;
-      Summary.add m.top_hops (float_of_int rh.Hieras.Hlookup.hops_per_layer.(0));
-      Summary.add m.top_latency rh.Hieras.Hlookup.latency_per_layer.(0);
-      Histogram.add m.chord_hop_pdf (float_of_int rc.Chord.Lookup.hop_count);
-      Histogram.add m.hieras_hop_pdf (float_of_int rh.Hieras.Hlookup.hop_count);
-      Histogram.add m.lower_hop_pdf (float_of_int !low_h);
-      Histogram.add m.chord_latency_hist rc.Chord.Lookup.latency;
-      Histogram.add m.hieras_latency_hist rh.Hieras.Hlookup.latency);
+  let requests = Workload.Requests.to_array spec ~nodes:n ~space rng in
+  let parts =
+    Pool.map_chunks pool ~n:(Array.length requests) ~chunk_size (fun ~lo ~hi ->
+        let p = fresh_metrics cfg ~depth in
+        for i = lo to hi - 1 do
+          measure_one env hnet p requests.(i)
+        done;
+        p)
+  in
+  let m =
+    match parts with
+    | [] -> fresh_metrics cfg ~depth
+    | first :: rest -> List.fold_left merge_metrics first rest
+  in
   let req = float_of_int (max cfg.Config.requests 1) in
   Array.iteri (fun k v -> m.hops_per_layer.(k) <- v /. req) (Array.copy m.hops_per_layer);
   Array.iteri (fun k v -> m.latency_per_layer.(k) <- v /. req) (Array.copy m.latency_per_layer);
   m
 
-let run cfg =
-  let env = build_env cfg in
+let run ?pool cfg =
+  let env = build_env ?pool cfg in
   let hnet = build_hieras env cfg in
-  measure env hnet cfg
+  measure ?pool env hnet cfg
 
 let latency_ratio m = Summary.mean m.hieras_latency /. Summary.mean m.chord_latency
 let hop_overhead m = (Summary.mean m.hieras_hops /. Summary.mean m.chord_hops) -. 1.0

@@ -9,9 +9,10 @@
 
 type env
 
-val build_env : Config.t -> env
+val build_env : ?pool:Parallel.Pool.t -> Config.t -> env
 (** Generates the topology (model, size and seed from the config) and the
-    Chord network. *)
+    Chord network. The pool parallelizes the latency oracle's per-source
+    Dijkstra runs; the generated network is identical for any pool width. *)
 
 val latency_oracle : env -> Topology.Latency.t
 val chord_network : env -> Chord.Network.t
@@ -40,12 +41,17 @@ type metrics = {
   latency_per_layer : float array;
 }
 
-val measure : env -> Hieras.Hnetwork.t -> Config.t -> metrics
+val measure : ?pool:Parallel.Pool.t -> env -> Hieras.Hnetwork.t -> Config.t -> metrics
 (** Runs [config.requests] paired lookups. Raises [Failure] if any HIERAS
     lookup reaches a node other than the Chord owner (routing correctness is
-    asserted on every request). *)
+    asserted on every request).
 
-val run : Config.t -> metrics
+    Deterministic parallelism: requests are pre-generated sequentially from
+    the config seed, workers fill per-chunk accumulators over a chunk layout
+    fixed by request count alone, and chunks are reduced in order — so every
+    metrics field is bit-identical whatever the pool width. *)
+
+val run : ?pool:Parallel.Pool.t -> Config.t -> metrics
 (** [build_env] + [build_hieras] + [measure] in one step. *)
 
 (** {2 Derived quantities} *)

@@ -26,9 +26,22 @@ let add t x =
   t.counts.(idx) <- t.counts.(idx) + 1;
   t.n <- t.n + 1
 
+let merge a b =
+  if
+    a.lo <> b.lo || a.hi <> b.hi
+    || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Histogram.merge: incompatible bin layouts";
+  {
+    a with
+    counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+    n = a.n + b.n;
+    clamped = a.clamped + b.clamped;
+  }
+
 let count t = t.n
 let clamped t = t.clamped
 let bin_count t = Array.length t.counts
+let counts t = Array.copy t.counts
 let bin_lo t i = t.lo +. (float_of_int i *. t.width)
 
 let pdf t =

@@ -13,6 +13,12 @@ val create_ints : max:int -> t
 (** Unit-width bins for integer-valued samples [0..max] — hop-count PDFs. *)
 
 val add : t -> float -> unit
+
+val merge : t -> t -> t
+(** A fresh histogram whose bin counts are the exact sums of both inputs —
+    the parallel-reduction step for chunked accumulation. Raises
+    [Invalid_argument] unless both share the same [lo]/[hi]/bin count. *)
+
 val count : t -> int
 val clamped : t -> int
 (** How many samples fell outside [\[lo, hi)] and were clamped. *)
@@ -20,6 +26,9 @@ val clamped : t -> int
 val bin_count : t -> int
 val bin_lo : t -> int -> float
 (** Lower edge of a bin. *)
+
+val counts : t -> int array
+(** A copy of the raw per-bin sample counts. *)
 
 val pdf : t -> float array
 (** Fraction of samples per bin; sums to 1 (when non-empty). *)

@@ -26,4 +26,5 @@ type params = {
 
 val default_params : params
 
-val generate : ?params:params -> hosts:int -> Prng.Rng.t -> Latency.t
+val generate :
+  ?params:params -> ?pool:Parallel.Pool.t -> hosts:int -> Prng.Rng.t -> Latency.t

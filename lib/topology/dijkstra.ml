@@ -91,9 +91,13 @@ let distances_with_prev g ~src =
 
 let distances g ~src = fst (distances_with_prev g ~src)
 
-let distance_matrix g =
+let distance_matrix ?(pool = Parallel.Pool.sequential) g =
   let n = Graph.vertex_count g in
-  Array.init n (fun src -> distances g ~src)
+  (* each row is an independent single-source run writing its own slot, so
+     the matrix is bit-identical for any pool width *)
+  let m = Array.make n [||] in
+  Parallel.Pool.parallel_for pool ~n (fun src -> m.(src) <- distances g ~src);
+  m
 
 let path g ~src ~dst =
   let dist, prev = distances_with_prev g ~src in

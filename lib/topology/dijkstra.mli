@@ -8,8 +8,10 @@
 val distances : Graph.t -> src:int -> float array
 (** Delay (ms) from [src] to every vertex; [infinity] for unreachable. *)
 
-val distance_matrix : Graph.t -> float array array
-(** [m.(i).(j)] is the delay from router [i] to router [j]. *)
+val distance_matrix : ?pool:Parallel.Pool.t -> Graph.t -> float array array
+(** [m.(i).(j)] is the delay from router [i] to router [j]. Per-source runs
+    are independent, so a pool spreads them over domains with bit-identical
+    results (default: sequential). *)
 
 val path : Graph.t -> src:int -> dst:int -> int list option
 (** One shortest path as a vertex list ([src] first), if reachable. *)

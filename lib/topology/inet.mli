@@ -40,7 +40,8 @@ val default_params : params
 val min_hosts : int
 (** 3000, mirroring the Inet tool's minimum. *)
 
-val generate : ?params:params -> hosts:int -> Prng.Rng.t -> Latency.t
+val generate :
+  ?params:params -> ?pool:Parallel.Pool.t -> hosts:int -> Prng.Rng.t -> Latency.t
 (** Raises [Invalid_argument] if [hosts < min_hosts]. *)
 
 val degree_histogram : Graph.t -> (int * int) list

@@ -5,7 +5,7 @@ type t = {
   host_access : float array;
 }
 
-let create ~router_graph ~host_router ~host_access =
+let create ?pool ~router_graph ~host_router ~host_access () =
   if Array.length host_router <> Array.length host_access then
     invalid_arg "Latency.create: host arrays differ in length";
   let nr = Graph.vertex_count router_graph in
@@ -14,7 +14,7 @@ let create ~router_graph ~host_router ~host_access =
     host_router;
   if not (Graph.is_connected router_graph) then
     invalid_arg "Latency.create: router graph must be connected";
-  let dist = Dijkstra.distance_matrix router_graph in
+  let dist = Dijkstra.distance_matrix ?pool router_graph in
   { graph = router_graph; dist; host_router; host_access }
 
 let hosts t = Array.length t.host_router

@@ -14,11 +14,17 @@
 type t
 
 val create :
-  router_graph:Graph.t -> host_router:int array -> host_access:float array -> t
-(** Precomputes the router distance matrix. [host_router.(h)] is the router
-    host [h] attaches to, [host_access.(h)] its access-link delay (ms).
-    Raises [Invalid_argument] on length mismatch or a disconnected router
-    graph. *)
+  ?pool:Parallel.Pool.t ->
+  router_graph:Graph.t ->
+  host_router:int array ->
+  host_access:float array ->
+  unit ->
+  t
+(** Precomputes the router distance matrix — the dominant cost of building
+    an oracle, parallelized over sources when a pool is given (results are
+    identical for any pool width). [host_router.(h)] is the router host [h]
+    attaches to, [host_access.(h)] its access-link delay (ms). Raises
+    [Invalid_argument] on length mismatch or a disconnected router graph. *)
 
 val hosts : t -> int
 val routers : t -> int

@@ -13,8 +13,8 @@ let of_name s =
 
 let min_hosts = function Inet -> Inet.min_hosts | Transit_stub | Brite -> 1
 
-let build kind ~hosts rng =
+let build ?pool kind ~hosts rng =
   match kind with
-  | Transit_stub -> Transit_stub.generate ~hosts rng
-  | Inet -> Inet.generate ~hosts rng
-  | Brite -> Brite.generate ~hosts rng
+  | Transit_stub -> Transit_stub.generate ?pool ~hosts rng
+  | Inet -> Inet.generate ?pool ~hosts rng
+  | Brite -> Brite.generate ?pool ~hosts rng

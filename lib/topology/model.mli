@@ -12,6 +12,7 @@ val of_name : string -> kind option
 val min_hosts : kind -> int
 (** 1 except for Inet (3000), matching the paper's simulation setup. *)
 
-val build : kind -> hosts:int -> Prng.Rng.t -> Latency.t
+val build : ?pool:Parallel.Pool.t -> kind -> hosts:int -> Prng.Rng.t -> Latency.t
 (** Generate a topology of this kind with default parameters and the given
-    number of DHT end-hosts. *)
+    number of DHT end-hosts. The pool parallelizes the oracle's Dijkstra
+    precomputation; the topology itself is independent of the pool width. *)

@@ -32,7 +32,8 @@ val default_params : hosts:int -> params
     hosts, in the discrete steps that also give the paper its 6000-vs-7000
     node configuration wobble). *)
 
-val generate : ?params:params -> hosts:int -> Prng.Rng.t -> Latency.t
+val generate :
+  ?params:params -> ?pool:Parallel.Pool.t -> hosts:int -> Prng.Rng.t -> Latency.t
 (** Build a connected transit-stub router graph, attach [hosts] end-hosts,
     and return the latency oracle. *)
 

@@ -12,6 +12,10 @@ let vectors =
     ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
     ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
       "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+    (* FIPS 180 two-block message (112 bytes) *)
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      ^ "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "a49b2446a02c645bf419f995b67091253a04a259" );
     ("The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
     ("The quick brown fox jumps over the lazy cog", "de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3");
     ("a", "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8");
@@ -23,6 +27,12 @@ let test_sha1_vectors () =
 let test_sha1_million_a () =
   Alcotest.(check string) "10^6 x 'a'" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
     (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_sha1_rfc3174_test4 () =
+  (* RFC 3174 TEST4: "01234567..." (64 chars) repeated 10 times *)
+  let msg = String.concat "" (List.init 10 (fun _ -> "0123456701234567012345670123456701234567012345670123456701234567")) in
+  Alcotest.(check string) "RFC 3174 TEST4" "dea356a2cddd90c7a7ecedc5ebb563934f460452"
+    (Sha1.hex msg)
 
 let test_sha1_block_boundaries () =
   (* lengths around the 64-byte block boundary must all hash without error
@@ -230,6 +240,7 @@ let () =
         [
           Alcotest.test_case "FIPS vectors" `Quick test_sha1_vectors;
           Alcotest.test_case "million a" `Slow test_sha1_million_a;
+          Alcotest.test_case "RFC 3174 TEST4" `Quick test_sha1_rfc3174_test4;
           Alcotest.test_case "block boundaries" `Quick test_sha1_block_boundaries;
           Alcotest.test_case "digest_int" `Quick test_digest_int;
         ] );

@@ -1,0 +1,265 @@
+(* Tests for the domain pool and for the determinism contract of the
+   parallel experiment pipeline: any --jobs value must produce bit-identical
+   results. *)
+
+module Pool = Parallel.Pool
+module Runner = Experiments.Runner
+module Config = Experiments.Config
+module Summary = Stats.Summary
+module Histogram = Stats.Histogram
+
+(* bit-exact float comparison — tolerance 0 would still equate -0.0/0.0 *)
+let check_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_float_array name a b =
+  Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri (fun i x -> check_bits (Printf.sprintf "%s.(%d)" name i) x b.(i)) a
+
+(* --- chunking -------------------------------------------------------------- *)
+
+let test_chunks_cover_every_index () =
+  List.iter
+    (fun (n, count) ->
+      let cs = Pool.chunks ~n ~count in
+      Alcotest.(check int)
+        (Printf.sprintf "chunk count n=%d count=%d" n count)
+        (min count n) (Array.length cs);
+      let seen = Array.make n 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check bool) "non-empty chunk" true (lo < hi);
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done)
+        cs;
+      Array.iteri
+        (fun i c -> Alcotest.(check int) (Printf.sprintf "index %d covered once" i) 1 c)
+        seen;
+      (* contiguous: each chunk starts where the previous ended *)
+      Array.iteri
+        (fun k (lo, _) ->
+          if k = 0 then Alcotest.(check int) "starts at 0" 0 lo
+          else Alcotest.(check int) "contiguous" (snd cs.(k - 1)) lo)
+        cs)
+    [ (0, 4); (1, 4); (3, 8); (4, 4); (5, 4); (7, 3); (8, 3); (100, 7); (17, 17); (64, 1) ]
+
+let test_chunks_balanced () =
+  (* sizes differ by at most one, larger chunks first *)
+  let cs = Pool.chunks ~n:10 ~count:4 in
+  Alcotest.(check (list (pair int int)))
+    "10 over 4" [ (0, 3); (3, 6); (6, 8); (8, 10) ] (Array.to_list cs)
+
+let test_chunks_validation () =
+  Alcotest.check_raises "count 0" (Invalid_argument "Pool.chunks: count must be >= 1")
+    (fun () -> ignore (Pool.chunks ~n:5 ~count:0));
+  Alcotest.check_raises "negative n" (Invalid_argument "Pool.chunks: negative n") (fun () ->
+      ignore (Pool.chunks ~n:(-1) ~count:2))
+
+(* --- pool basics ------------------------------------------------------------ *)
+
+let test_create_validation () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0 ()))
+
+let test_parallel_for_covers_indices () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun n ->
+          let seen = Array.make (max n 1) 0 in
+          Pool.parallel_for pool ~n (fun i -> seen.(i) <- seen.(i) + 1);
+          for i = 0 to n - 1 do
+            Alcotest.(check int) (Printf.sprintf "n=%d index %d once" n i) 1 seen.(i)
+          done;
+          if n = 0 then Alcotest.(check int) "n=0 runs nothing" 0 seen.(0))
+        [ 0; 1; 2; 3; 4; 5; 100; 1000 ])
+
+let test_parallel_for_fewer_items_than_jobs () =
+  Pool.with_pool ~jobs:8 (fun pool ->
+      let seen = Array.make 3 0 in
+      Pool.parallel_for pool ~n:3 (fun i -> seen.(i) <- seen.(i) + 1);
+      Alcotest.(check (list int)) "each once" [ 1; 1; 1 ] (Array.to_list seen))
+
+let test_parallel_for_chunks_disjoint () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let seen = Array.make 100 0 in
+      Pool.parallel_for_chunks pool ~n:100 (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done);
+      Array.iteri (fun i c -> Alcotest.(check int) (string_of_int i) 1 c) seen)
+
+let test_parallel_map_preserves_order () =
+  Pool.with_pool ~jobs:5 (fun pool ->
+      List.iter
+        (fun n ->
+          let input = Array.init n (fun i -> i) in
+          let expect = Array.map (fun x -> (x * x) + 1) input in
+          let got = Pool.parallel_map pool (fun x -> (x * x) + 1) input in
+          Alcotest.(check (array int)) (Printf.sprintf "map order n=%d" n) expect got)
+        [ 0; 1; 4; 5; 6; 997 ])
+
+let test_map_chunks_order_and_layout () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let slices = Pool.map_chunks pool ~n:10 ~chunk_size:3 (fun ~lo ~hi -> (lo, hi)) in
+      Alcotest.(check (list (pair int int)))
+        "fixed layout in chunk order"
+        [ (0, 3); (3, 6); (6, 9); (9, 10) ]
+        slices;
+      Alcotest.(check (list (pair int int))) "n=0" [] (Pool.map_chunks pool ~n:0 ~chunk_size:3 (fun ~lo ~hi -> (lo, hi)));
+      Alcotest.check_raises "chunk_size 0"
+        (Invalid_argument "Pool.map_chunks: chunk_size must be >= 1") (fun () ->
+          ignore (Pool.map_chunks pool ~n:5 ~chunk_size:0 (fun ~lo ~hi -> (lo, hi)))))
+
+let test_map_chunks_layout_independent_of_jobs () =
+  let layout jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_chunks pool ~n:2003 ~chunk_size:64 (fun ~lo ~hi -> (lo, hi)))
+  in
+  Alcotest.(check (list (pair int int))) "jobs 1 = jobs 7" (layout 1) (layout 7)
+
+let test_worker_exception_reraised () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "exception surfaces with jobs=%d" jobs)
+            (Failure "boom") (fun () ->
+              Pool.parallel_for pool ~n:100 (fun i -> if i = 37 then failwith "boom"));
+          (* the pool survives a failed region *)
+          let seen = Array.make 10 0 in
+          Pool.parallel_for pool ~n:10 (fun i -> seen.(i) <- 1);
+          Alcotest.(check int) "usable after exception" 10 (Array.fold_left ( + ) 0 seen)))
+    [ 1; 4 ]
+
+let test_pool_reusable_across_calls () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 5 do
+        let n = 100 * round in
+        let got = Pool.parallel_map pool (fun x -> x * 2) (Array.init n (fun i -> i)) in
+        Alcotest.(check int) (Printf.sprintf "round %d length" round) n (Array.length got);
+        Array.iteri
+          (fun i v -> if v <> 2 * i then Alcotest.failf "round %d wrong value at %d" round i)
+          got
+      done)
+
+let test_sequential_pool_runs_inline () =
+  (* the shared width-1 pool must behave exactly like a for-loop *)
+  let order = ref [] in
+  Pool.parallel_for Pool.sequential ~n:5 (fun i -> order := i :: !order);
+  Alcotest.(check (list int)) "in-order inline" [ 0; 1; 2; 3; 4 ] (List.rev !order);
+  Alcotest.(check int) "width 1" 1 (Pool.jobs Pool.sequential)
+
+let test_with_pool_returns_value () =
+  Alcotest.(check int) "propagates result" 42 (Pool.with_pool ~jobs:2 (fun _ -> 42))
+
+(* --- determinism: latency oracle ------------------------------------------- *)
+
+let test_latency_oracle_deterministic_in_jobs () =
+  let build pool =
+    let rng = Prng.Rng.create ~seed:42 in
+    Topology.Transit_stub.generate ?pool ~hosts:300 rng
+  in
+  let seq = build None in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let par = build (Some pool) in
+      Alcotest.(check int) "routers" (Topology.Latency.routers seq) (Topology.Latency.routers par);
+      let nr = Topology.Latency.routers seq in
+      for a = 0 to nr - 1 do
+        for b = 0 to nr - 1 do
+          let x = Topology.Latency.router_latency seq a b
+          and y = Topology.Latency.router_latency par a b in
+          if Int64.bits_of_float x <> Int64.bits_of_float y then
+            Alcotest.failf "router distance (%d,%d) differs: %h vs %h" a b x y
+        done
+      done;
+      let n = Topology.Latency.hosts seq in
+      for h = 0 to n - 1 do
+        check_bits
+          (Printf.sprintf "host latency %d" h)
+          (Topology.Latency.host_latency seq h ((h + 7) mod n))
+          (Topology.Latency.host_latency par h ((h + 7) mod n))
+      done)
+
+(* --- determinism: experiment runner ---------------------------------------- *)
+
+let det_cfg =
+  (* > chunk_size requests so the parallel path really merges several chunks *)
+  Config.paper_default |> fun c ->
+  Config.with_nodes c 192 |> fun c ->
+  Config.with_requests c 9000 |> fun c ->
+  Config.with_landmarks c 4 |> fun c -> Config.with_seed c 77
+
+let check_summary name a b =
+  Alcotest.(check int) (name ^ " count") (Summary.count a) (Summary.count b);
+  check_bits (name ^ " mean") (Summary.mean a) (Summary.mean b);
+  check_bits (name ^ " variance") (Summary.variance a) (Summary.variance b);
+  check_bits (name ^ " min") (Summary.min_value a) (Summary.min_value b);
+  check_bits (name ^ " max") (Summary.max_value a) (Summary.max_value b);
+  check_bits (name ^ " total") (Summary.total a) (Summary.total b)
+
+let check_histogram name a b =
+  Alcotest.(check int) (name ^ " count") (Histogram.count a) (Histogram.count b);
+  Alcotest.(check int) (name ^ " clamped") (Histogram.clamped a) (Histogram.clamped b);
+  Alcotest.(check (array int)) (name ^ " counts") (Histogram.counts a) (Histogram.counts b)
+
+let check_metrics_equal (a : Runner.metrics) (b : Runner.metrics) =
+  check_summary "chord_hops" a.Runner.chord_hops b.Runner.chord_hops;
+  check_summary "chord_latency" a.Runner.chord_latency b.Runner.chord_latency;
+  check_summary "hieras_hops" a.Runner.hieras_hops b.Runner.hieras_hops;
+  check_summary "hieras_latency" a.Runner.hieras_latency b.Runner.hieras_latency;
+  check_summary "lower_hops" a.Runner.lower_hops b.Runner.lower_hops;
+  check_summary "top_hops" a.Runner.top_hops b.Runner.top_hops;
+  check_summary "lower_latency" a.Runner.lower_latency b.Runner.lower_latency;
+  check_summary "top_latency" a.Runner.top_latency b.Runner.top_latency;
+  check_histogram "chord_hop_pdf" a.Runner.chord_hop_pdf b.Runner.chord_hop_pdf;
+  check_histogram "hieras_hop_pdf" a.Runner.hieras_hop_pdf b.Runner.hieras_hop_pdf;
+  check_histogram "lower_hop_pdf" a.Runner.lower_hop_pdf b.Runner.lower_hop_pdf;
+  check_histogram "chord_latency_hist" a.Runner.chord_latency_hist b.Runner.chord_latency_hist;
+  check_histogram "hieras_latency_hist" a.Runner.hieras_latency_hist b.Runner.hieras_latency_hist;
+  check_float_array "hops_per_layer" a.Runner.hops_per_layer b.Runner.hops_per_layer;
+  check_float_array "latency_per_layer" a.Runner.latency_per_layer b.Runner.latency_per_layer
+
+let test_measure_jobs1_equals_jobs4 () =
+  let m1 = Pool.with_pool ~jobs:1 (fun pool -> Runner.run ~pool det_cfg) in
+  let m4 = Pool.with_pool ~jobs:4 (fun pool -> Runner.run ~pool det_cfg) in
+  check_metrics_equal m1 m4
+
+let test_measure_default_equals_pooled () =
+  (* the no-pool path must match a pooled run too — same chunked reduction *)
+  let m0 = Runner.run det_cfg in
+  let m4 = Pool.with_pool ~jobs:4 (fun pool -> Runner.run ~pool det_cfg) in
+  check_metrics_equal m0 m4
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "chunking",
+        [
+          Alcotest.test_case "covers every index once" `Quick test_chunks_cover_every_index;
+          Alcotest.test_case "balanced sizes" `Quick test_chunks_balanced;
+          Alcotest.test_case "validation" `Quick test_chunks_validation;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_covers_indices;
+          Alcotest.test_case "n < jobs" `Quick test_parallel_for_fewer_items_than_jobs;
+          Alcotest.test_case "chunked for disjoint" `Quick test_parallel_for_chunks_disjoint;
+          Alcotest.test_case "map preserves order" `Quick test_parallel_map_preserves_order;
+          Alcotest.test_case "map_chunks layout" `Quick test_map_chunks_order_and_layout;
+          Alcotest.test_case "map_chunks jobs-independent" `Quick
+            test_map_chunks_layout_independent_of_jobs;
+          Alcotest.test_case "exception re-raised" `Quick test_worker_exception_reraised;
+          Alcotest.test_case "reusable across calls" `Quick test_pool_reusable_across_calls;
+          Alcotest.test_case "sequential inline" `Quick test_sequential_pool_runs_inline;
+          Alcotest.test_case "with_pool result" `Quick test_with_pool_returns_value;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "latency oracle seq = par" `Quick
+            test_latency_oracle_deterministic_in_jobs;
+          Alcotest.test_case "measure jobs 1 = jobs 4" `Slow test_measure_jobs1_equals_jobs4;
+          Alcotest.test_case "measure default = pooled" `Slow test_measure_default_equals_pooled;
+        ] );
+    ]

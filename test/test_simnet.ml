@@ -40,6 +40,67 @@ let test_heap_fifo_ties () =
   Alcotest.(check (list int)) "insertion order on ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (List.rev !fired)
 
+let test_heap_ties_survive_growth () =
+  (* 200 equal-time events exceed the initial 64-slot capacity; the FIFO
+     tie-break must survive the array reallocation *)
+  let h = Heap.create () in
+  let fired = ref [] in
+  for i = 0 to 199 do
+    Heap.push h ~time:1.0 (fun () -> fired := i :: !fired)
+  done;
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order across growth"
+    (List.init 200 (fun i -> i))
+    (List.rev !fired)
+
+let test_heap_ties_among_distinct_times () =
+  (* ties at two different times, pushed interleaved: global order is by
+     time, and within each time by insertion *)
+  let h = Heap.create () in
+  let fired = ref [] in
+  List.iter
+    (fun (t, tag) -> Heap.push h ~time:t (fun () -> fired := tag :: !fired))
+    [ (2.0, "b0"); (1.0, "a0"); (2.0, "b1"); (1.0, "a1"); (2.0, "b2"); (1.0, "a2") ];
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "per-time FIFO"
+    [ "a0"; "a1"; "a2"; "b0"; "b1"; "b2" ]
+    (List.rev !fired)
+
+let test_heap_ties_across_interleaved_pops () =
+  (* popping must not disturb the FIFO order of remaining equal-time events *)
+  let h = Heap.create () in
+  let fired = ref [] in
+  let push i = Heap.push h ~time:7.0 (fun () -> fired := i :: !fired) in
+  let pop () = match Heap.pop h with Some (_, f) -> f () | None -> () in
+  push 0;
+  push 1;
+  push 2;
+  pop ();
+  push 3;
+  push 4;
+  pop ();
+  pop ();
+  push 5;
+  pop ();
+  pop ();
+  pop ();
+  Alcotest.(check (list int)) "FIFO despite interleaved pops" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !fired)
+
 let test_heap_size () =
   let h = Heap.create () in
   Alcotest.(check bool) "empty" true (Heap.is_empty h);
@@ -85,6 +146,15 @@ let test_send_from_dead_raises () =
   Engine.kill eng 0;
   Alcotest.check_raises "dead source" (Invalid_argument "Engine.send: source node is dead")
     (fun () -> Engine.send eng ~src:0 ~dst:1 (fun () -> ()))
+
+let test_send_after_revive_delivers () =
+  let eng = Engine.create ~latency:(const_latency 1.0) ~nodes:2 in
+  Engine.kill eng 0;
+  Engine.revive eng 0;
+  let ran = ref false in
+  Engine.send eng ~src:0 ~dst:1 (fun () -> ran := true);
+  Engine.run eng;
+  Alcotest.(check bool) "revived source can send" true !ran
 
 let test_message_to_dead_dropped () =
   let eng = Engine.create ~latency:(const_latency 5.0) ~nodes:2 in
@@ -190,6 +260,10 @@ let () =
         [
           Alcotest.test_case "time order" `Quick test_heap_orders_by_time;
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "ties survive growth" `Quick test_heap_ties_survive_growth;
+          Alcotest.test_case "ties among distinct times" `Quick test_heap_ties_among_distinct_times;
+          Alcotest.test_case "ties across interleaved pops" `Quick
+            test_heap_ties_across_interleaved_pops;
           Alcotest.test_case "size" `Quick test_heap_size;
           Alcotest.test_case "growth + global order" `Quick test_heap_growth;
         ] );
@@ -197,6 +271,7 @@ let () =
         [
           Alcotest.test_case "delivery time" `Quick test_send_delivery_time;
           Alcotest.test_case "dead source" `Quick test_send_from_dead_raises;
+          Alcotest.test_case "send after revive" `Quick test_send_after_revive_delivers;
           Alcotest.test_case "message to dead" `Quick test_message_to_dead_dropped;
           Alcotest.test_case "kill midflight" `Quick test_kill_midflight;
           Alcotest.test_case "timer on dead node" `Quick test_timer_on_dead_node;

@@ -127,6 +127,29 @@ let test_histogram_quantile_empty () =
   let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
   Alcotest.(check bool) "nan when empty" true (Float.is_nan (Histogram.quantile h 0.5))
 
+let test_histogram_merge () =
+  let a = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let b = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add a) [ 1.0; 3.0; 3.5; -2.0 ];
+  List.iter (Histogram.add b) [ 3.0; 9.0; 100.0 ];
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count additive" 7 (Histogram.count m);
+  Alcotest.(check int) "clamped additive" 2 (Histogram.clamped m);
+  Alcotest.(check (array int)) "bin counts additive"
+    (Array.map2 ( + ) (Histogram.counts a) (Histogram.counts b))
+    (Histogram.counts m);
+  (* inputs untouched *)
+  Alcotest.(check int) "a unchanged" 4 (Histogram.count a);
+  Alcotest.(check int) "b unchanged" 3 (Histogram.count b)
+
+let test_histogram_merge_incompatible () =
+  let a = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let err = Invalid_argument "Histogram.merge: incompatible bin layouts" in
+  Alcotest.check_raises "different bins" err (fun () ->
+      ignore (Histogram.merge a (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:6)));
+  Alcotest.check_raises "different range" err (fun () ->
+      ignore (Histogram.merge a (Histogram.create ~lo:0.0 ~hi:20.0 ~bins:5)))
+
 let test_histogram_validation () =
   Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be positive")
     (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
@@ -192,6 +215,57 @@ let prop_merge_commutes =
       Summary.count m1 = Summary.count m2
       && Float.abs (Summary.mean m1 -. Summary.mean m2) < 1e-9)
 
+(* Split a list into consecutive chunks of [size] — the same shape the
+   parallel runner reduces over. *)
+let chunked size l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let prop_summary_chunk_merge_equals_single_pass =
+  QCheck.Test.make ~name:"folded Summary.merge over chunks = single pass" ~count:300
+    QCheck.(
+      pair (int_range 1 17)
+        (list_of_size (Gen.int_range 1 200) (float_bound_exclusive 1000.0)))
+    (fun (size, l) ->
+      let whole = Summary.create () in
+      List.iter (Summary.add whole) l;
+      let parts =
+        List.map
+          (fun chunk ->
+            let s = Summary.create () in
+            List.iter (Summary.add s) chunk;
+            s)
+          (chunked size l)
+      in
+      let m = List.fold_left Summary.merge (Summary.create ()) parts in
+      Summary.count m = Summary.count whole
+      && Summary.min_value m = Summary.min_value whole
+      && Summary.max_value m = Summary.max_value whole
+      && Float.abs (Summary.mean m -. Summary.mean whole) < 1e-9
+      && Float.abs (Summary.variance m -. Summary.variance whole) < 1e-9)
+
+let prop_histogram_merge_additive =
+  QCheck.Test.make ~name:"Histogram.merge bin counts exactly additive" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 100) (float_range (-10.0) 60.0))
+        (list_of_size (Gen.int_range 0 100) (float_range (-10.0) 60.0)))
+    (fun (la, lb) ->
+      let a = Histogram.create ~lo:0.0 ~hi:50.0 ~bins:13 in
+      let b = Histogram.create ~lo:0.0 ~hi:50.0 ~bins:13 in
+      List.iter (Histogram.add a) la;
+      List.iter (Histogram.add b) lb;
+      let m = Histogram.merge a b in
+      Histogram.count m = Histogram.count a + Histogram.count b
+      && Histogram.clamped m = Histogram.clamped a + Histogram.clamped b
+      && Histogram.counts m
+         = Array.map2 ( + ) (Histogram.counts a) (Histogram.counts b))
+
 let prop_cdf_ends_at_one =
   QCheck.Test.make ~name:"cdf last element is 1" ~count:300
     QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (float_bound_exclusive 50.0))
@@ -222,6 +296,8 @@ let () =
           Alcotest.test_case "create_ints" `Quick test_histogram_create_ints;
           Alcotest.test_case "quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "quantile empty" `Quick test_histogram_quantile_empty;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge incompatible" `Quick test_histogram_merge_incompatible;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
         ] );
       ( "text_table",
@@ -232,5 +308,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_summary_mean_bounded; prop_merge_commutes; prop_cdf_ends_at_one ] );
+          [
+            prop_summary_mean_bounded;
+            prop_merge_commutes;
+            prop_summary_chunk_merge_equals_single_pass;
+            prop_histogram_merge_additive;
+            prop_cdf_ends_at_one;
+          ] );
     ]

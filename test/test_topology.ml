@@ -113,7 +113,7 @@ let test_distance_matrix_symmetric () =
 let test_latency_oracle () =
   let g = diamond () in
   let lat =
-    Latency.create ~router_graph:g ~host_router:[| 0; 3; 3 |] ~host_access:[| 1.0; 2.0; 2.0 |]
+    Latency.create ~router_graph:g ~host_router:[| 0; 3; 3 |] ~host_access:[| 1.0; 2.0; 2.0 |] ()
   in
   Alcotest.(check int) "hosts" 3 (Latency.hosts lat);
   Alcotest.(check int) "routers" 4 (Latency.routers lat);
@@ -128,16 +128,16 @@ let test_latency_oracle_validation () =
   let g = diamond () in
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Latency.create: host arrays differ in length") (fun () ->
-      ignore (Latency.create ~router_graph:g ~host_router:[| 0 |] ~host_access:[||]));
+      ignore (Latency.create ~router_graph:g ~host_router:[| 0 |] ~host_access:[||] ()));
   Alcotest.check_raises "router range"
     (Invalid_argument "Latency.create: router index out of range") (fun () ->
-      ignore (Latency.create ~router_graph:g ~host_router:[| 9 |] ~host_access:[| 0.0 |]));
+      ignore (Latency.create ~router_graph:g ~host_router:[| 9 |] ~host_access:[| 0.0 |] ()));
   let b = Graph.builder 2 in
   let disconnected = Graph.freeze b in
   Alcotest.check_raises "disconnected"
     (Invalid_argument "Latency.create: router graph must be connected") (fun () ->
       ignore
-        (Latency.create ~router_graph:disconnected ~host_router:[| 0 |] ~host_access:[| 0.0 |]))
+        (Latency.create ~router_graph:disconnected ~host_router:[| 0 |] ~host_access:[| 0.0 |] ()))
 
 (* --- Transit-Stub ------------------------------------------------------------ *)
 
