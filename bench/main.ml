@@ -1,7 +1,7 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 4), printing measured values side by side with the
-   paper's reported numbers, then runs bechamel micro-benchmarks of the core
-   operations.
+   paper's reported numbers, then probes the latency oracle and runs bechamel
+   micro-benchmarks of the core operations.
 
      dune exec bench/main.exe                 full paper scale (~4 min)
      dune exec bench/main.exe -- --scale 0.05 quick smoke run
@@ -10,7 +10,14 @@
      dune exec bench/main.exe -- --no-ext     skip the extensions section
      dune exec bench/main.exe -- --jobs 8     run on 8 domains (0 = all cores;
                                               results are identical for any
-                                              --jobs value) *)
+                                              --jobs value)
+     dune exec bench/main.exe -- --latency-backend lazy
+                                              oracle storage: eager|lazy|auto
+                                              (bit-identical tables either way)
+     dune exec bench/main.exe -- --json       also write BENCH_<label>.json
+                                              (figure wall-times, oracle stats,
+                                              micro ns/op) for the perf
+                                              trajectory *)
 
 let scale = ref 1.0
 let only = ref None
@@ -19,6 +26,9 @@ let ext = ref true
 let csv_dir = ref None
 let seed = ref 2003
 let jobs = ref 1
+let backend = ref Topology.Latency.Auto
+let json = ref false
+let label = ref None
 
 let () =
   let rec parse = function
@@ -41,6 +51,19 @@ let () =
     | "--jobs" :: v :: rest ->
         jobs := int_of_string v;
         parse rest
+    | "--latency-backend" :: v :: rest ->
+        (match Topology.Latency.backend_of_name v with
+        | Some b -> backend := b
+        | None ->
+            prerr_endline ("bench: unknown latency backend " ^ v ^ " (eager | lazy | auto)");
+            exit 2);
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--label" :: v :: rest ->
+        label := Some v;
+        parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         parse rest
@@ -50,16 +73,18 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv))
 
+let bench_cfg () =
+  let c = Experiments.Config.paper_default in
+  let c = Experiments.Config.with_seed c !seed in
+  let c = Experiments.Config.with_latency_backend c !backend in
+  if !scale = 1.0 then c else Experiments.Config.scaled c !scale
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: every table and figure                                      *)
 (* ------------------------------------------------------------------ *)
 
 let run_figures pool =
-  let cfg =
-    let c = Experiments.Config.paper_default in
-    let c = Experiments.Config.with_seed c !seed in
-    if !scale = 1.0 then c else Experiments.Config.scaled c !scale
-  in
+  let cfg = bench_cfg () in
   Printf.printf "HIERAS reproduction — paper experiment harness\n";
   Printf.printf "configuration: %s (scale %.3f, %d worker domain%s)\n\n"
     (Format.asprintf "%a" Experiments.Config.pp cfg)
@@ -74,10 +99,16 @@ let run_figures pool =
           (fun s -> ignore (Experiments.Report.write_csv s ~dir))
           sections
   in
-  match !only with
+  let timings = ref [] in
+  let timed id f =
+    let t0 = Unix.gettimeofday () in
+    emit (f ());
+    timings := (id, Unix.gettimeofday () -. t0) :: !timings
+  in
+  (match !only with
   | Some id -> (
       match Experiments.Figures.by_id id with
-      | Some f -> emit (f ~pool cfg)
+      | Some f -> timed id (fun () -> f ~pool cfg)
       | None ->
           prerr_endline
             ("bench: unknown experiment id " ^ id ^ "; known: "
@@ -88,26 +119,79 @@ let run_figures pool =
       List.iter
         (fun id ->
           match Experiments.Figures.by_id id with
-          | Some f -> emit (f ~pool cfg)
+          | Some f -> timed id (fun () -> f ~pool cfg)
           | None -> ())
-        [ "table1"; "table2"; "fig2"; "fig4"; "fig6"; "fig8" ]
+        [ "table1"; "table2"; "fig2"; "fig4"; "fig6"; "fig8" ]);
+  List.rev !timings
 
 let run_extensions pool =
   let cfg =
-    let c = Experiments.Config.paper_default in
-    let c = Experiments.Config.with_seed c !seed in
+    let c = bench_cfg () in
     (* the algorithm comparison builds six networks: run it at a quarter of
        the headline size so the whole bench stays a few minutes *)
-    let c = Experiments.Config.scaled c (0.25 *. !scale) in
-    c
+    Experiments.Config.scaled c 0.25
   in
   print_newline ();
   print_endline "=== extensions: beyond the paper's figures ===";
   Printf.printf "configuration: %s\n\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
-  Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg)
+  let t0 = Unix.gettimeofday () in
+  Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg);
+  ("extensions", Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: bechamel micro-benchmarks of the core operations            *)
+(* Part 2: latency-oracle instrumentation                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays a bounded request stream against a fresh env so the oracle stats
+   reflect exactly which rows a real workload touches, then hand-times a
+   cold-row fill (one single-source Dijkstra per first touch) against a warm
+   memoized query on a fresh lazy oracle over the same topology. *)
+let oracle_probe pool =
+  let cfg = bench_cfg () in
+  let cfg =
+    Experiments.Config.with_requests cfg (min cfg.Experiments.Config.requests 10_000)
+  in
+  let env = Experiments.Runner.build_env ~pool cfg in
+  let hnet = Experiments.Runner.build_hieras env cfg in
+  ignore (Experiments.Runner.measure ~pool env hnet cfg);
+  let lat = Experiments.Runner.latency_oracle env in
+  let st = Topology.Latency.stats lat in
+  let n = Topology.Latency.hosts lat in
+  let fresh =
+    Topology.Latency.create ~backend:Topology.Latency.Lazy
+      ~router_graph:(Topology.Latency.router_graph lat)
+      ~host_router:(Array.init n (Topology.Latency.router_of_host lat))
+      ~host_access:(Array.init n (Topology.Latency.access_delay lat))
+      ()
+  in
+  let nr = Topology.Latency.routers fresh in
+  let t0 = Unix.gettimeofday () in
+  for r = 0 to nr - 1 do
+    ignore (Topology.Latency.router_latency fresh r 0)
+  done;
+  let cold = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int nr in
+  let reps = 2_000_000 in
+  let acc = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to reps - 1 do
+    acc := !acc +. Topology.Latency.router_latency fresh (i mod nr) ((i * 7) mod nr)
+  done;
+  let warm = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps in
+  ignore !acc;
+  print_newline ();
+  print_endline "=== latency oracle ===";
+  Printf.printf "  backend          %s\n" st.Topology.Latency.backend;
+  Printf.printf "  routers          %d\n" st.Topology.Latency.routers;
+  Printf.printf "  rows computed    %d\n" st.Topology.Latency.rows_computed;
+  Printf.printf "  row hits         %d\n" st.Topology.Latency.row_hits;
+  Printf.printf "  resident         %d bytes\n" st.Topology.Latency.resident_bytes;
+  Printf.printf "  cold row fill    %.1f ns/row (lazy first touch, single-source Dijkstra)\n"
+    cold;
+  Printf.printf "  warm row query   %.1f ns/op\n" warm;
+  (st, [ ("oracle-lazy-cold-row", cold); ("oracle-lazy-warm-row", warm) ])
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: bechamel micro-benchmarks of the core operations            *)
 (* ------------------------------------------------------------------ *)
 
 open Bechamel
@@ -117,7 +201,7 @@ let micro_state pool =
   (* one medium network shared by the routing benchmarks *)
   let rng = Prng.Rng.create ~seed:11 in
   let n = 2000 in
-  let lat = Topology.Transit_stub.generate ~pool ~hosts:n rng in
+  let lat = Topology.Transit_stub.generate ~backend:!backend ~pool ~hosts:n rng in
   let space = Hashid.Id.sha1_space in
   let chord = Chord.Network.build ~space ~hosts:(Array.init n (fun i -> i)) () in
   let lm = Binning.Landmark.choose_spread lat ~count:6 rng in
@@ -165,21 +249,99 @@ let run_micro pool =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let results = ref [] in
   List.iter
     (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      let raw = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock raw in
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n" name est
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.1f ns/op\n" name est;
+              results := (name, est) :: !results
           | _ -> Printf.printf "  %-28s (no estimate)\n" name)
         analyzed)
-    (micro_tests pool)
+    (micro_tests pool);
+  List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory output                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~jobs ~figures ~oracle ~micro_results =
+  let cfg = bench_cfg () in
+  let backend_name = Topology.Latency.backend_name !backend in
+  let label =
+    match !label with
+    | Some l -> l
+    | None -> Printf.sprintf "%s_s%g_j%d" backend_name !scale jobs
+  in
+  let path = Printf.sprintf "BENCH_%s.json" label in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"label\": \"%s\",\n" (json_escape label);
+  add "  \"timestamp\": %.0f,\n" (Unix.time ());
+  add "  \"config\": {\n";
+  add "    \"scale\": %g,\n" !scale;
+  add "    \"jobs\": %d,\n" jobs;
+  add "    \"seed\": %d,\n" !seed;
+  add "    \"latency_backend\": \"%s\",\n" backend_name;
+  add "    \"nodes\": %d,\n" cfg.Experiments.Config.nodes;
+  add "    \"requests\": %d\n" cfg.Experiments.Config.requests;
+  add "  },\n";
+  add "  \"figures\": [\n";
+  List.iteri
+    (fun i (id, dt) ->
+      add "    {\"id\": \"%s\", \"seconds\": %.3f}%s\n" (json_escape id) dt
+        (if i = List.length figures - 1 then "" else ","))
+    figures;
+  add "  ],\n";
+  let st = (oracle : Topology.Latency.stats) in
+  add "  \"oracle\": {\n";
+  add "    \"backend\": \"%s\",\n" (json_escape st.Topology.Latency.backend);
+  add "    \"routers\": %d,\n" st.Topology.Latency.routers;
+  add "    \"rows_computed\": %d,\n" st.Topology.Latency.rows_computed;
+  add "    \"row_hits\": %d,\n" st.Topology.Latency.row_hits;
+  add "    \"resident_bytes\": %d\n" st.Topology.Latency.resident_bytes;
+  add "  },\n";
+  add "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      add "    {\"name\": \"%s\", \"ns_per_op\": %.2f}%s\n" (json_escape name) ns
+        (if i = List.length micro_results - 1 then "" else ","))
+    micro_results;
+  add "  ]\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   let jobs = if !jobs <= 0 then Parallel.Pool.default_jobs () else !jobs in
   Parallel.Pool.with_pool ~jobs (fun pool ->
-      run_figures pool;
-      if !ext && !only = None then run_extensions pool;
-      if !micro && !only = None then run_micro pool)
+      let fig_times = run_figures pool in
+      let fig_times =
+        if !ext && !only = None then fig_times @ [ run_extensions pool ] else fig_times
+      in
+      let oracle_stats, oracle_micro = oracle_probe pool in
+      let micro_results =
+        (if !micro && !only = None then run_micro pool else []) @ oracle_micro
+      in
+      if !json then
+        write_json ~jobs ~figures:fig_times ~oracle:oracle_stats ~micro_results)

@@ -42,6 +42,22 @@ let scale_t =
 
 let landmarks_t = Arg.(value & opt int 4 & info [ "landmarks" ] ~docv:"L" ~doc:"Landmark count.")
 
+let backend_t =
+  let parse s =
+    match Topology.Latency.backend_of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown latency backend %S (eager | lazy | auto)" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (Topology.Latency.backend_name b) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Topology.Latency.Auto
+    & info [ "latency-backend" ] ~docv:"B"
+        ~doc:
+          "Latency oracle backend: eager (full distance matrix up front), \
+           lazy (rows computed on first touch) or auto. Results are \
+           bit-identical for every backend.")
+
 let jobs_t =
   Arg.(
     value
@@ -61,7 +77,7 @@ let depth_t = Arg.(value & opt int 2 & info [ "depth" ] ~docv:"D" ~doc:"Hierarch
 let requests_t =
   Arg.(value & opt int 100_000 & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per run.")
 
-let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale =
+let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend =
   let cfg =
     {
       Experiments.Config.model;
@@ -71,6 +87,7 @@ let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale =
       requests;
       seed;
       succ_list_len = 8;
+      latency_backend = backend;
     }
   in
   if scale = 1.0 then cfg else Experiments.Config.scaled cfg scale
@@ -84,46 +101,46 @@ let figure_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id: table1 table2 fig2..fig9.")
   in
-  let run id model nodes landmarks depth requests seed scale jobs =
+  let run id model nodes landmarks depth requests seed scale jobs backend =
     match Experiments.Figures.by_id id with
     | None ->
         exit_err
           (Printf.sprintf "unknown experiment %S; known: %s" id
              (String.concat " " Experiments.Figures.ids))
     | Some f ->
-        let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
+        let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
         with_jobs jobs (fun pool -> Experiments.Report.print_all (f ~pool cfg))
   in
   let term =
     Term.(
       const run $ id_t $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t
-      $ seed_t $ scale_t $ jobs_t)
+      $ seed_t $ scale_t $ jobs_t $ backend_t)
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce one table or figure of the paper") term
 
 (* ---- all -------------------------------------------------------------- *)
 
 let all_cmd =
-  let run model nodes landmarks depth requests seed scale jobs =
-    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
+  let run model nodes landmarks depth requests seed scale jobs backend =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
     with_jobs jobs (fun pool ->
         Experiments.Report.print_all (Experiments.Figures.all ~pool cfg))
   in
   let term =
     Term.(
       const run $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t $ seed_t
-      $ scale_t $ jobs_t)
+      $ scale_t $ jobs_t $ backend_t)
   in
   Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure") term
 
 (* ---- topology --------------------------------------------------------- *)
 
 let topology_cmd =
-  let run model nodes seed jobs =
+  let run model nodes seed jobs backend =
     with_jobs jobs @@ fun pool ->
     let rng = Prng.Rng.create ~seed in
     let lat =
-      try Topology.Model.build ~pool model ~hosts:nodes rng
+      try Topology.Model.build ~backend ~pool model ~hosts:nodes rng
       with Invalid_argument m -> exit_err m
     in
     let g = Topology.Latency.router_graph lat in
@@ -132,6 +149,11 @@ let topology_cmd =
     Printf.printf "routers          %d\n" (Topology.Latency.routers lat);
     Printf.printf "router links     %d\n" (Topology.Graph.edge_count g);
     Printf.printf "mean host-host   %.1f ms\n" (Topology.Latency.mean_host_latency lat rng);
+    let st = Topology.Latency.stats lat in
+    Printf.printf "oracle           %s: %d/%d rows computed, %d row hits, ~%d KiB resident\n"
+      st.Topology.Latency.backend st.Topology.Latency.rows_computed st.Topology.Latency.routers
+      st.Topology.Latency.row_hits
+      (st.Topology.Latency.resident_bytes / 1024);
     let lm = Binning.Landmark.choose_spread lat ~count:4 rng in
     let counts = Hashtbl.create 16 in
     for h = 0 to Topology.Latency.hosts lat - 1 do
@@ -146,14 +168,14 @@ let topology_cmd =
     |> List.sort (fun (_, a) (_, b) -> compare b a)
     |> List.iter (fun (o, c) -> Printf.printf "  ring %-6s %6d nodes\n" o c)
   in
-  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t $ jobs_t) in
+  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t $ jobs_t $ backend_t) in
   Cmd.v (Cmd.info "topology" ~doc:"Generate a topology and print statistics") term
 
 (* ---- cost ------------------------------------------------------------- *)
 
 let cost_cmd =
-  let run model nodes landmarks depth seed jobs =
-    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 in
+  let run model nodes landmarks depth seed jobs backend =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
     let hnet = Experiments.Runner.build_hieras env cfg in
@@ -161,15 +183,15 @@ let cost_cmd =
     Format.printf "%a@." Hieras.Cost.pp_totals totals
   in
   let term =
-    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t)
+    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t $ backend_t)
   in
   Cmd.v (Cmd.info "cost" ~doc:"Print the HIERAS state and maintenance cost model") term
 
 (* ---- lookup ----------------------------------------------------------- *)
 
 let lookup_cmd =
-  let run model nodes landmarks depth seed jobs =
-    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 in
+  let run model nodes landmarks depth seed jobs backend =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
     let hnet = Experiments.Runner.build_hieras env cfg in
@@ -192,15 +214,15 @@ let lookup_cmd =
       rc.Chord.Lookup.latency
   in
   let term =
-    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t)
+    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t $ backend_t)
   in
   Cmd.v (Cmd.info "lookup" ~doc:"Trace one HIERAS lookup hop by hop") term
 
 (* ---- extensions -------------------------------------------------------- *)
 
 let extensions_cmd =
-  let run model nodes landmarks depth requests seed scale jobs =
-    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale in
+  let run model nodes landmarks depth requests seed scale jobs backend =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
     with_jobs jobs (fun pool ->
         Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg))
   in
@@ -208,7 +230,7 @@ let extensions_cmd =
     Term.(
       const run $ model_t $ nodes_t 2500 $ landmarks_t $ depth_t
       $ Arg.(value & opt int 25_000 & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per run.")
-      $ seed_t $ scale_t $ jobs_t)
+      $ seed_t $ scale_t $ jobs_t $ backend_t)
   in
   Cmd.v
     (Cmd.info "extensions"

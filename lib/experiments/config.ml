@@ -6,6 +6,7 @@ type t = {
   requests : int;
   seed : int;
   succ_list_len : int;
+  latency_backend : Topology.Latency.backend;
 }
 
 let paper_default =
@@ -17,6 +18,7 @@ let paper_default =
     requests = 100_000;
     seed = 2003;
     succ_list_len = 8;
+    latency_backend = Topology.Latency.Auto;
   }
 
 let with_model t model = { t with model }
@@ -25,6 +27,7 @@ let with_landmarks t landmarks = { t with landmarks }
 let with_depth t depth = { t with depth }
 let with_requests t requests = { t with requests }
 let with_seed t seed = { t with seed }
+let with_latency_backend t latency_backend = { t with latency_backend }
 
 let scaled t f =
   if f <= 0.0 then invalid_arg "Config.scaled: factor must be positive";
@@ -42,5 +45,6 @@ let network_sizes t =
   |> List.map (fun n -> max 64 (int_of_float (float_of_int n *. scale)))
 
 let pp fmt t =
-  Format.fprintf fmt "%s n=%d lm=%d depth=%d req=%d seed=%d"
+  Format.fprintf fmt "%s n=%d lm=%d depth=%d req=%d seed=%d oracle=%s"
     (Topology.Model.name t.model) t.nodes t.landmarks t.depth t.requests t.seed
+    (Topology.Latency.backend_name t.latency_backend)

@@ -14,10 +14,14 @@ type t = {
   requests : int;
   seed : int;
   succ_list_len : int;
+  latency_backend : Topology.Latency.backend;
+      (** storage strategy of the latency oracle; never affects results,
+          only build time and memory *)
 }
 
 val paper_default : t
-(** TS, 10000 nodes, 4 landmarks, depth 2, 100 000 requests, seed 2003. *)
+(** TS, 10000 nodes, 4 landmarks, depth 2, 100 000 requests, seed 2003,
+    auto latency backend. *)
 
 val with_model : t -> Topology.Model.kind -> t
 val with_nodes : t -> int -> t
@@ -25,6 +29,7 @@ val with_landmarks : t -> int -> t
 val with_depth : t -> int -> t
 val with_requests : t -> int -> t
 val with_seed : t -> int -> t
+val with_latency_backend : t -> Topology.Latency.backend -> t
 
 val scaled : t -> float -> t
 (** [scaled cfg f] multiplies node and request counts by [f] (minimum 64

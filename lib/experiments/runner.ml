@@ -13,7 +13,10 @@ let space = Hashid.Id.sha1_space
 let build_env ?pool cfg =
   let rng = Prng.Rng.create ~seed:cfg.Config.seed in
   let topo_rng = Prng.Rng.split rng in
-  let lat = Topology.Model.build ?pool cfg.Config.model ~hosts:cfg.Config.nodes topo_rng in
+  let lat =
+    Topology.Model.build ~backend:cfg.Config.latency_backend ?pool cfg.Config.model
+      ~hosts:cfg.Config.nodes topo_rng
+  in
   let hosts = Array.init cfg.Config.nodes (fun i -> i) in
   let chord =
     Chord.Network.build ~space ~hosts ~succ_list_len:cfg.Config.succ_list_len

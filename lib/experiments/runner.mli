@@ -11,8 +11,10 @@ type env
 
 val build_env : ?pool:Parallel.Pool.t -> Config.t -> env
 (** Generates the topology (model, size and seed from the config) and the
-    Chord network. The pool parallelizes the latency oracle's per-source
-    Dijkstra runs; the generated network is identical for any pool width. *)
+    Chord network. The latency oracle uses the config's backend (eager /
+    lazy / auto); the pool parallelizes an eager oracle's per-source
+    Dijkstra runs. The generated network is identical for any backend and
+    any pool width. *)
 
 val latency_oracle : env -> Topology.Latency.t
 val chord_network : env -> Chord.Network.t

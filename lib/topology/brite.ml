@@ -19,7 +19,7 @@ let default_params =
     host_access_delay = 1.0;
   }
 
-let generate ?(params = default_params) ?pool ~hosts rng =
+let generate ?(params = default_params) ?backend ?pool ~hosts rng =
   let p = params in
   if hosts < 1 then invalid_arg "Brite.generate: need at least one host";
   let nr =
@@ -76,4 +76,4 @@ let generate ?(params = default_params) ?pool ~hosts rng =
   let graph = Graph.freeze b in
   let host_router = Array.init hosts (fun _ -> Prng.Rng.int rng nr) in
   let host_access = Array.make hosts p.host_access_delay in
-  Latency.create ?pool ~router_graph:graph ~host_router ~host_access ()
+  Latency.create ?backend ?pool ~router_graph:graph ~host_router ~host_access ()

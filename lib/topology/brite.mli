@@ -27,4 +27,10 @@ type params = {
 val default_params : params
 
 val generate :
-  ?params:params -> ?pool:Parallel.Pool.t -> hosts:int -> Prng.Rng.t -> Latency.t
+  ?params:params ->
+  ?backend:Latency.backend ->
+  ?pool:Parallel.Pool.t ->
+  hosts:int ->
+  Prng.Rng.t ->
+  Latency.t
+(** [backend] selects the oracle's storage strategy (default eager). *)

@@ -73,11 +73,13 @@ let distances_with_prev g ~src =
     match Heap.pop heap with
     | None -> ()
     | Some (d, v) ->
-        if not settled.(v) then begin
+        (* a popped entry is stale if a shorter path to [v] was pushed after
+           it; [d > dist.(v)] catches those without touching [settled], which
+           still guards equal-distance duplicates *)
+        if d <= dist.(v) && not settled.(v) then begin
           settled.(v) <- true;
-          ignore d;
           Graph.iter_neighbors g v (fun u w ->
-              let nd = dist.(v) +. w in
+              let nd = d +. w in
               if nd < dist.(u) then begin
                 dist.(u) <- nd;
                 prev.(u) <- v;
@@ -97,6 +99,16 @@ let distance_matrix ?(pool = Parallel.Pool.sequential) g =
      the matrix is bit-identical for any pool width *)
   let m = Array.make n [||] in
   Parallel.Pool.parallel_for pool ~n (fun src -> m.(src) <- distances g ~src);
+  m
+
+let distance_matrix_flat ?(pool = Parallel.Pool.sequential) g =
+  let n = Graph.vertex_count g in
+  let m = Array.make (n * n) infinity in
+  (* rows are disjoint slices of one flat array, so parallel fills never
+     alias; the content is bit-identical for any pool width *)
+  Parallel.Pool.parallel_for pool ~n (fun src ->
+      let row = distances g ~src in
+      Array.blit row 0 m (src * n) n);
   m
 
 let path g ~src ~dst =

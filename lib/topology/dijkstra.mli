@@ -13,5 +13,11 @@ val distance_matrix : ?pool:Parallel.Pool.t -> Graph.t -> float array array
     are independent, so a pool spreads them over domains with bit-identical
     results (default: sequential). *)
 
+val distance_matrix_flat : ?pool:Parallel.Pool.t -> Graph.t -> float array
+(** The same matrix as one flat row-major array: the delay from [i] to [j]
+    is at index [i * n + j]. A single allocation instead of [n] boxed rows —
+    what the eager latency oracle stores. Bit-identical to
+    {!distance_matrix} for any pool width. *)
+
 val path : Graph.t -> src:int -> dst:int -> int list option
 (** One shortest path as a vertex list ([src] first), if reachable. *)

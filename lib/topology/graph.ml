@@ -56,6 +56,25 @@ let freeze b =
       w.(cursor.(v)) <- d;
       cursor.(v) <- cursor.(v) + 1)
     b.edges;
+  (* sort each adjacency segment by neighbor index: [Hashtbl.iter] order is
+     hash-function-dependent, and the frozen CSR layout must depend on the
+     edge set alone — not on insertion order or the OCaml version's hash.
+     Duplicate edges were collapsed above, so keys are unique per segment;
+     insertion sort, segments are router-degree sized. *)
+  for v = 0 to b.n - 1 do
+    let lo = off.(v) in
+    for i = lo + 1 to off.(v + 1) - 1 do
+      let u = adj.(i) and d = w.(i) in
+      let j = ref i in
+      while !j > lo && adj.(!j - 1) > u do
+        adj.(!j) <- adj.(!j - 1);
+        w.(!j) <- w.(!j - 1);
+        decr j
+      done;
+      adj.(!j) <- u;
+      w.(!j) <- d
+    done
+  done;
   { nv = b.n; ne = Hashtbl.length b.edges; off; adj; w }
 
 let vertex_count t = t.nv

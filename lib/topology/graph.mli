@@ -20,6 +20,11 @@ type t
 (** A frozen graph. *)
 
 val freeze : builder -> t
+(** Compact to CSR. Each vertex's adjacency segment is sorted by neighbor
+    index, so the frozen layout — and every traversal order — is a function
+    of the edge set alone, independent of insertion order and of the
+    standard library's hash function. *)
+
 val vertex_count : t -> int
 val edge_count : t -> int
 (** Number of undirected edges. *)

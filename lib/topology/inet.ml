@@ -39,7 +39,7 @@ let link_delay p rng ~same_region =
     Float.min p.inter_delay_cap
       (p.inter_delay_floor +. Prng.Dist.pareto rng ~shape:p.delay_shape ~scale:p.inter_delay_scale)
 
-let generate ?(params = default_params) ?pool ~hosts rng =
+let generate ?(params = default_params) ?backend ?pool ~hosts rng =
   let p = params in
   if hosts < min_hosts then
     invalid_arg
@@ -98,7 +98,7 @@ let generate ?(params = default_params) ?pool ~hosts rng =
   let graph = Graph.freeze b in
   let host_router = Array.init hosts (fun _ -> Prng.Rng.int rng nr) in
   let host_access = Array.make hosts p.host_access_delay in
-  Latency.create ?pool ~router_graph:graph ~host_router ~host_access ()
+  Latency.create ?backend ?pool ~router_graph:graph ~host_router ~host_access ()
 
 let degree_histogram g =
   let tbl = Hashtbl.create 64 in

@@ -41,8 +41,14 @@ val min_hosts : int
 (** 3000, mirroring the Inet tool's minimum. *)
 
 val generate :
-  ?params:params -> ?pool:Parallel.Pool.t -> hosts:int -> Prng.Rng.t -> Latency.t
-(** Raises [Invalid_argument] if [hosts < min_hosts]. *)
+  ?params:params ->
+  ?backend:Latency.backend ->
+  ?pool:Parallel.Pool.t ->
+  hosts:int ->
+  Prng.Rng.t ->
+  Latency.t
+(** Raises [Invalid_argument] if [hosts < min_hosts]. [backend] selects the
+    oracle's storage strategy (default eager). *)
 
 val degree_histogram : Graph.t -> (int * int) list
 (** [(degree, count)] pairs, ascending — used by tests to check the power-law

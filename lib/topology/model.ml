@@ -13,8 +13,8 @@ let of_name s =
 
 let min_hosts = function Inet -> Inet.min_hosts | Transit_stub | Brite -> 1
 
-let build ?pool kind ~hosts rng =
+let build ?backend ?pool kind ~hosts rng =
   match kind with
-  | Transit_stub -> Transit_stub.generate ?pool ~hosts rng
-  | Inet -> Inet.generate ?pool ~hosts rng
-  | Brite -> Brite.generate ?pool ~hosts rng
+  | Transit_stub -> Transit_stub.generate ?backend ?pool ~hosts rng
+  | Inet -> Inet.generate ?backend ?pool ~hosts rng
+  | Brite -> Brite.generate ?backend ?pool ~hosts rng

@@ -12,7 +12,15 @@ val of_name : string -> kind option
 val min_hosts : kind -> int
 (** 1 except for Inet (3000), matching the paper's simulation setup. *)
 
-val build : ?pool:Parallel.Pool.t -> kind -> hosts:int -> Prng.Rng.t -> Latency.t
+val build :
+  ?backend:Latency.backend ->
+  ?pool:Parallel.Pool.t ->
+  kind ->
+  hosts:int ->
+  Prng.Rng.t ->
+  Latency.t
 (** Generate a topology of this kind with default parameters and the given
-    number of DHT end-hosts. The pool parallelizes the oracle's Dijkstra
-    precomputation; the topology itself is independent of the pool width. *)
+    number of DHT end-hosts. [backend] selects the latency oracle's storage
+    strategy (default eager); the pool parallelizes an eager oracle's
+    Dijkstra precomputation. The topology — and every latency the oracle
+    returns — is independent of both the backend and the pool width. *)

@@ -59,7 +59,7 @@ let connect_domain builder rng ~base ~n ~delay ~redundancy =
     end
   done
 
-let generate ?params ?pool ~hosts rng =
+let generate ?params ?backend ?pool ~hosts rng =
   let p = match params with Some p -> p | None -> default_params ~hosts in
   if hosts < 1 then invalid_arg "Transit_stub.generate: need at least one host";
   let transit_total = p.transit_domains * p.transit_per_domain in
@@ -105,4 +105,4 @@ let generate ?params ?pool ~hosts rng =
     Array.init hosts (fun _ -> transit_total + Prng.Rng.int rng (stub_total * p.routers_per_stub))
   in
   let host_access = Array.make hosts p.host_access_delay in
-  Latency.create ?pool ~router_graph:graph ~host_router ~host_access ()
+  Latency.create ?backend ?pool ~router_graph:graph ~host_router ~host_access ()

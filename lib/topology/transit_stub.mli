@@ -33,9 +33,15 @@ val default_params : hosts:int -> params
     node configuration wobble). *)
 
 val generate :
-  ?params:params -> ?pool:Parallel.Pool.t -> hosts:int -> Prng.Rng.t -> Latency.t
+  ?params:params ->
+  ?backend:Latency.backend ->
+  ?pool:Parallel.Pool.t ->
+  hosts:int ->
+  Prng.Rng.t ->
+  Latency.t
 (** Build a connected transit-stub router graph, attach [hosts] end-hosts,
-    and return the latency oracle. *)
+    and return the latency oracle ([backend] selects its storage strategy,
+    default eager; the generated topology is the same for every backend). *)
 
 val router_count : params -> int
 (** Total routers the parameter set produces. *)

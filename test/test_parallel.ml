@@ -181,6 +181,33 @@ let test_latency_oracle_deterministic_in_jobs () =
           (Topology.Latency.host_latency par h ((h + 7) mod n))
       done)
 
+let test_lazy_backend_deterministic_in_jobs () =
+  (* a lazy oracle filled concurrently from 4 domains must agree bit-for-bit
+     with the eager sequential matrix — duplicate row computations are benign *)
+  let eager =
+    Topology.Transit_stub.generate ~backend:Topology.Latency.Eager ~hosts:300
+      (Prng.Rng.create ~seed:42)
+  in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let lz =
+        Topology.Transit_stub.generate ~backend:Topology.Latency.Lazy ~pool ~hosts:300
+          (Prng.Rng.create ~seed:42)
+      in
+      let n = Topology.Latency.hosts eager in
+      (* race the lazy fill across domains, then compare every pair *)
+      Pool.parallel_for pool ~n (fun a ->
+          for b = 0 to n - 1 do
+            ignore (Topology.Latency.host_latency lz a b)
+          done);
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let x = Topology.Latency.host_latency eager a b
+          and y = Topology.Latency.host_latency lz a b in
+          if Int64.bits_of_float x <> Int64.bits_of_float y then
+            Alcotest.failf "host latency (%d,%d) differs: %h vs %h" a b x y
+        done
+      done)
+
 (* --- determinism: experiment runner ---------------------------------------- *)
 
 let det_cfg =
@@ -231,6 +258,18 @@ let test_measure_default_equals_pooled () =
   let m4 = Pool.with_pool ~jobs:4 (fun pool -> Runner.run ~pool det_cfg) in
   check_metrics_equal m0 m4
 
+let test_measure_backend_independent () =
+  (* figures must not depend on the oracle backend, for any pool width *)
+  let run backend jobs =
+    let cfg = Config.with_latency_backend det_cfg backend in
+    if jobs = 1 then Runner.run cfg
+    else Pool.with_pool ~jobs (fun pool -> Runner.run ~pool cfg)
+  in
+  let eager1 = run Topology.Latency.Eager 1 in
+  check_metrics_equal eager1 (run Topology.Latency.Lazy 1);
+  check_metrics_equal eager1 (run Topology.Latency.Lazy 4);
+  check_metrics_equal eager1 (run Topology.Latency.Auto 4)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -259,7 +298,10 @@ let () =
         [
           Alcotest.test_case "latency oracle seq = par" `Quick
             test_latency_oracle_deterministic_in_jobs;
+          Alcotest.test_case "lazy backend = eager, raced fill" `Quick
+            test_lazy_backend_deterministic_in_jobs;
           Alcotest.test_case "measure jobs 1 = jobs 4" `Slow test_measure_jobs1_equals_jobs4;
           Alcotest.test_case "measure default = pooled" `Slow test_measure_default_equals_pooled;
+          Alcotest.test_case "measure backend-independent" `Slow test_measure_backend_independent;
         ] );
     ]

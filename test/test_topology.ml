@@ -61,6 +61,46 @@ let test_graph_neighbors_symmetric () =
   Alcotest.(check (list int)) "0 sees 2" [ 2 ] from0;
   Alcotest.(check (list int)) "2 sees 0" [ 0 ] from2
 
+let neighbor_list g v = List.rev (Graph.fold_neighbors g v (fun acc u w -> (u, w) :: acc) [])
+
+let test_graph_freeze_insertion_order_independent () =
+  (* the frozen CSR layout must be a function of the edge set alone: two
+     builders fed the same edges in different orders freeze identically *)
+  let edges = [ (0, 4, 1.0); (2, 3, 2.5); (0, 1, 3.0); (1, 4, 0.5); (0, 3, 7.0); (3, 4, 1.5) ] in
+  let build es =
+    let b = Graph.builder 5 in
+    List.iter (fun (u, v, w) -> Graph.add_edge b u v w) es;
+    Graph.freeze b
+  in
+  let g1 = build edges in
+  let g2 = build (List.rev edges) in
+  let g3 = build (List.filteri (fun i _ -> i mod 2 = 0) edges @ List.filteri (fun i _ -> i mod 2 = 1) edges) in
+  for v = 0 to 4 do
+    let l1 = neighbor_list g1 v in
+    Alcotest.(check (list (pair int (float 0.0))))
+      (Printf.sprintf "vertex %d adjacency, reversed insertion" v)
+      l1 (neighbor_list g2 v);
+    Alcotest.(check (list (pair int (float 0.0))))
+      (Printf.sprintf "vertex %d adjacency, interleaved insertion" v)
+      l1 (neighbor_list g3 v)
+  done
+
+let test_graph_freeze_neighbors_sorted () =
+  let rng = Prng.Rng.create ~seed:11 in
+  let n = 40 in
+  let b = Graph.builder n in
+  for _ = 1 to 200 do
+    let u = Prng.Rng.int rng n and v = Prng.Rng.int rng n in
+    if u <> v then Graph.add_edge b u v (1.0 +. Prng.Rng.float rng 5.0)
+  done;
+  let g = Graph.freeze b in
+  for v = 0 to n - 1 do
+    let prev = ref (-1) in
+    Graph.iter_neighbors g v (fun u _ ->
+        if u <= !prev then Alcotest.failf "vertex %d: neighbors not strictly ascending" v;
+        prev := u)
+  done
+
 (* --- Dijkstra ------------------------------------------------------------ *)
 
 (* a diamond with a shortcut: 0-1 (1), 0-2 (4), 1-2 (2), 1-3 (7), 2-3 (1) *)
@@ -108,6 +148,17 @@ let test_distance_matrix_symmetric () =
     done
   done
 
+let test_distance_matrix_flat_matches_boxed () =
+  let g = diamond () in
+  let m = Dijkstra.distance_matrix g in
+  let flat = Dijkstra.distance_matrix_flat g in
+  Alcotest.(check int) "length" 16 (Array.length flat);
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      Alcotest.(check (float 0.0)) (Printf.sprintf "(%d,%d)" i j) m.(i).(j) flat.((i * 4) + j)
+    done
+  done
+
 (* --- Latency oracle -------------------------------------------------------- *)
 
 let test_latency_oracle () =
@@ -138,6 +189,109 @@ let test_latency_oracle_validation () =
     (Invalid_argument "Latency.create: router graph must be connected") (fun () ->
       ignore
         (Latency.create ~router_graph:disconnected ~host_router:[| 0 |] ~host_access:[| 0.0 |] ()))
+
+let test_latency_backends_bit_identical () =
+  let rng () = Prng.Rng.create ~seed:21 in
+  let eager = TS.generate ~backend:Topology.Latency.Eager ~hosts:250 (rng ()) in
+  let lazy_ = TS.generate ~backend:Topology.Latency.Lazy ~hosts:250 (rng ()) in
+  let auto = TS.generate ~backend:Topology.Latency.Auto ~hosts:250 (rng ()) in
+  let nr = Latency.routers eager in
+  for a = 0 to nr - 1 do
+    for b = 0 to nr - 1 do
+      let x = Latency.router_latency eager a b in
+      if Int64.bits_of_float x <> Int64.bits_of_float (Latency.router_latency lazy_ a b) then
+        Alcotest.failf "lazy row (%d,%d) differs from eager" a b;
+      if Int64.bits_of_float x <> Int64.bits_of_float (Latency.router_latency auto a b) then
+        Alcotest.failf "auto row (%d,%d) differs from eager" a b
+    done
+  done;
+  for h = 0 to 249 do
+    let x = Latency.host_latency eager h ((h + 13) mod 250) in
+    let y = Latency.host_latency lazy_ h ((h + 13) mod 250) in
+    Alcotest.(check int64)
+      (Printf.sprintf "host latency %d" h)
+      (Int64.bits_of_float x) (Int64.bits_of_float y)
+  done
+
+let test_latency_lazy_stats () =
+  let rng = Prng.Rng.create ~seed:22 in
+  let lat = TS.generate ~backend:Topology.Latency.Lazy ~hosts:300 rng in
+  let st0 = Latency.stats lat in
+  Alcotest.(check string) "backend" "lazy" st0.Latency.backend;
+  Alcotest.(check int) "no rows before first query" 0 st0.Latency.rows_computed;
+  Alcotest.(check int) "no hits before first query" 0 st0.Latency.row_hits;
+  ignore (Latency.host_latency lat 0 1);
+  let st1 = Latency.stats lat in
+  Alcotest.(check bool) "first query computes a row" true (st1.Latency.rows_computed >= 1);
+  Alcotest.(check int) "one hit" 1 st1.Latency.row_hits;
+  Alcotest.(check bool) "memory grows with rows" true
+    (st1.Latency.resident_bytes > st0.Latency.resident_bytes);
+  ignore (Latency.host_latency lat 0 1);
+  let st2 = Latency.stats lat in
+  Alcotest.(check int) "warm query computes nothing" st1.Latency.rows_computed
+    st2.Latency.rows_computed;
+  Alcotest.(check int) "warm query still counted" 2 st2.Latency.row_hits;
+  (* hosts live only on stub routers, so a full workload replay leaves the
+     transit rows untouched *)
+  for a = 0 to 299 do
+    for b = 0 to 299 do
+      ignore (Latency.host_latency lat a b)
+    done
+  done;
+  let st3 = Latency.stats lat in
+  Alcotest.(check bool) "rows computed < router count" true
+    (st3.Latency.rows_computed < st3.Latency.routers)
+
+let test_latency_eager_stats () =
+  let rng = Prng.Rng.create ~seed:23 in
+  let lat = TS.generate ~backend:Topology.Latency.Eager ~hosts:100 rng in
+  let st = Latency.stats lat in
+  Alcotest.(check string) "backend" "eager" st.Latency.backend;
+  Alcotest.(check int) "all rows precomputed" st.Latency.routers st.Latency.rows_computed;
+  Alcotest.(check bool) "matrix resident" true
+    (st.Latency.resident_bytes >= 8 * st.Latency.routers * st.Latency.routers)
+
+let test_latency_auto_resolution () =
+  let g = diamond () in
+  (* 4 routers, hosts on 3 of them: coverage 75% >= 50% and few routers -> eager *)
+  let covered =
+    Latency.create ~backend:Topology.Latency.Auto ~router_graph:g ~host_router:[| 0; 1; 3 |]
+      ~host_access:[| 1.0; 1.0; 1.0 |] ()
+  in
+  Alcotest.(check bool) "well-covered small graph resolves eager" true
+    (Latency.effective_backend covered = Topology.Latency.Eager);
+  (* hosts on 1 of 4 routers: coverage 25% < 50% -> lazy *)
+  let sparse =
+    Latency.create ~backend:Topology.Latency.Auto ~router_graph:g ~host_router:[| 2; 2; 2 |]
+      ~host_access:[| 1.0; 1.0; 1.0 |] ()
+  in
+  Alcotest.(check bool) "sparse coverage resolves lazy" true
+    (Latency.effective_backend sparse = Topology.Latency.Lazy)
+
+let test_mean_host_latency_estimator () =
+  let lat = TS.generate ~hosts:120 (Prng.Rng.create ~seed:24) in
+  (* fixed seed -> bit-identical estimate *)
+  let e1 = Latency.mean_host_latency lat ~samples:5000 (Prng.Rng.create ~seed:99) in
+  let e2 = Latency.mean_host_latency lat ~samples:5000 (Prng.Rng.create ~seed:99) in
+  Alcotest.(check int64) "fixed seed, fixed estimate" (Int64.bits_of_float e1)
+    (Int64.bits_of_float e2);
+  (* unbiased: close to the exact all-pairs mean on a small topology *)
+  let n = Latency.hosts lat in
+  let acc = ref 0.0 and pairs = ref 0 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then begin
+        acc := !acc +. Latency.host_latency lat a b;
+        incr pairs
+      end
+    done
+  done;
+  let exact = !acc /. float_of_int !pairs in
+  let est = Latency.mean_host_latency lat ~samples:20_000 (Prng.Rng.create ~seed:7) in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.2f within 5%% of exact %.2f" est exact)
+    true
+    (Float.abs (est -. exact) < 0.05 *. exact)
 
 (* --- Transit-Stub ------------------------------------------------------------ *)
 
@@ -300,6 +454,32 @@ let prop_dijkstra_edge_bound =
       done;
       !ok)
 
+let edge_weight g u v =
+  let w = ref infinity in
+  Graph.iter_neighbors g u (fun x wx -> if x = v then w := Float.min !w wx);
+  !w
+
+let prop_dijkstra_path_valid =
+  QCheck.Test.make ~name:"path endpoints + edge-weight sum match distances" ~count:50
+    QCheck.(pair small_int (int_range 3 30))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed n in
+      let rng = Prng.Rng.create ~seed:(seed + 31) in
+      let src = Prng.Rng.int rng n and dst = Prng.Rng.int rng n in
+      let dist = Dijkstra.distances g ~src in
+      match Dijkstra.path g ~src ~dst with
+      | None -> false (* connected graph: every vertex is reachable *)
+      | Some [] -> false
+      | Some (first :: _ as p) ->
+          let rec sum = function
+            | [] | [ _ ] -> 0.0
+            | u :: (v :: _ as rest) ->
+                (* infinity when u-v is not an edge, which poisons the sum *)
+                edge_weight g u v +. sum rest
+          in
+          let last = List.nth p (List.length p - 1) in
+          first = src && last = dst && Float.abs (sum p -. dist.(dst)) < 1e-9)
+
 let () =
   Alcotest.run "topology"
     [
@@ -310,6 +490,9 @@ let () =
           Alcotest.test_case "bad edges" `Quick test_graph_rejects_bad_edges;
           Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
           Alcotest.test_case "symmetric adjacency" `Quick test_graph_neighbors_symmetric;
+          Alcotest.test_case "freeze insertion-order independent" `Quick
+            test_graph_freeze_insertion_order_independent;
+          Alcotest.test_case "freeze sorts neighbors" `Quick test_graph_freeze_neighbors_sorted;
         ] );
       ( "dijkstra",
         [
@@ -318,11 +501,18 @@ let () =
           Alcotest.test_case "path" `Quick test_dijkstra_path;
           Alcotest.test_case "path unreachable" `Quick test_dijkstra_path_unreachable;
           Alcotest.test_case "matrix symmetric" `Quick test_distance_matrix_symmetric;
+          Alcotest.test_case "flat matrix matches boxed" `Quick
+            test_distance_matrix_flat_matches_boxed;
         ] );
       ( "latency",
         [
           Alcotest.test_case "oracle" `Quick test_latency_oracle;
           Alcotest.test_case "validation" `Quick test_latency_oracle_validation;
+          Alcotest.test_case "backends bit-identical" `Quick test_latency_backends_bit_identical;
+          Alcotest.test_case "lazy stats" `Quick test_latency_lazy_stats;
+          Alcotest.test_case "eager stats" `Quick test_latency_eager_stats;
+          Alcotest.test_case "auto resolution" `Quick test_latency_auto_resolution;
+          Alcotest.test_case "mean estimator" `Quick test_mean_host_latency_estimator;
         ] );
       ( "transit-stub",
         [
@@ -344,6 +534,6 @@ let () =
         ] );
       ("model", [ Alcotest.test_case "facade" `Quick test_model_facade ]);
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_dijkstra_triangle; prop_dijkstra_edge_bound ]
-      );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_dijkstra_triangle; prop_dijkstra_edge_bound; prop_dijkstra_path_valid ] );
     ]
