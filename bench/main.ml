@@ -16,8 +16,14 @@
                                               (bit-identical tables either way)
      dune exec bench/main.exe -- --json       also write BENCH_<label>.json
                                               (figure wall-times, oracle stats,
-                                              micro ns/op) for the perf
-                                              trajectory *)
+                                              metrics snapshot, micro ns/op)
+                                              for the perf trajectory
+     dune exec bench/main.exe -- --metrics    print the metrics-registry
+                                              snapshot (runner, oracle, pool)
+     dune exec bench/main.exe -- --trace-out t.jsonl
+                                              write a structured JSONL trace
+                                              of a 200-lookup batch on a
+                                              512-node network *)
 
 let scale = ref 1.0
 let only = ref None
@@ -29,6 +35,12 @@ let jobs = ref 1
 let backend = ref Topology.Latency.Auto
 let json = ref false
 let label = ref None
+let metrics_flag = ref false
+let trace_out = ref None
+
+(* one registry for the whole bench run: the runner, oracle and pool exports
+   land here, --metrics prints it and --json embeds it *)
+let registry = Obs.Metrics.create ()
 
 let () =
   let rec parse = function
@@ -63,6 +75,12 @@ let () =
         parse rest
     | "--label" :: v :: rest ->
         label := Some v;
+        parse rest
+    | "--metrics" :: rest ->
+        metrics_flag := true;
+        parse rest
+    | "--trace-out" :: v :: rest ->
+        trace_out := Some v;
         parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
@@ -153,8 +171,9 @@ let oracle_probe pool =
   in
   let env = Experiments.Runner.build_env ~pool cfg in
   let hnet = Experiments.Runner.build_hieras env cfg in
-  ignore (Experiments.Runner.measure ~pool env hnet cfg);
+  ignore (Experiments.Runner.measure ~pool ~registry env hnet cfg);
   let lat = Experiments.Runner.latency_oracle env in
+  Topology.Latency.export_metrics lat registry;
   let st = Topology.Latency.stats lat in
   let n = Topology.Latency.hosts lat in
   let fresh =
@@ -189,6 +208,44 @@ let oracle_probe pool =
     cold;
   Printf.printf "  warm row query   %.1f ns/op\n" warm;
   (st, [ ("oracle-lazy-cold-row", cold); ("oracle-lazy-warm-row", warm) ])
+
+(* ------------------------------------------------------------------ *)
+(* Part 2b: structured lookup tracing (--trace-out)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A bounded traced batch on a dedicated mid-size network, so the JSONL
+   artifact stays small whatever the bench scale. Lookup latencies also feed
+   registry histograms — the only place the bench exercises that series
+   kind. *)
+let traced_batch pool path =
+  let rng = Prng.Rng.create ~seed:(!seed + 13) in
+  let n = 512 in
+  let lat = Topology.Transit_stub.generate ~backend:!backend ~pool ~hosts:n rng in
+  let space = Hashid.Id.sha1_space in
+  let chord = Chord.Network.build ~space ~hosts:(Array.init n (fun i -> i)) () in
+  let lm = Binning.Landmark.choose_spread lat ~count:4 rng in
+  let hnet = Hieras.Hnetwork.build ~chord ~lat ~landmarks:lm ~depth:2 () in
+  let chord_hist = Obs.Metrics.histogram registry "bench.trace.chord.latency_ms" in
+  let hieras_hist = Obs.Metrics.histogram registry "bench.trace.hieras.latency_ms" in
+  let lookups = Obs.Metrics.counter registry "bench.trace.lookups" in
+  let oc = open_out path in
+  let events = ref 0 in
+  let tr =
+    Obs.Trace.jsonl (fun line ->
+        incr events;
+        output_string oc line)
+  in
+  for _ = 1 to 200 do
+    let key = Hashid.Id.random space rng in
+    let origin = Prng.Rng.int rng n in
+    let rc = Chord.Lookup.route ~trace:tr chord lat ~origin ~key in
+    let rh = Hieras.Hlookup.route ~trace:tr hnet ~origin ~key in
+    Obs.Metrics.incr lookups;
+    Obs.Metrics.observe chord_hist rc.Chord.Lookup.latency;
+    Obs.Metrics.observe hieras_hist rh.Hieras.Hlookup.latency
+  done;
+  close_out oc;
+  Printf.printf "\nwrote %s (%d trace events, 200 paired lookups on %d nodes)\n" path !events n
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: bechamel micro-benchmarks of the core operations            *)
@@ -325,7 +382,8 @@ let write_json ~jobs ~figures ~oracle ~micro_results =
       add "    {\"name\": \"%s\", \"ns_per_op\": %.2f}%s\n" (json_escape name) ns
         (if i = List.length micro_results - 1 then "" else ","))
     micro_results;
-  add "  ]\n";
+  add "  ],\n";
+  add "  \"metrics\": %s\n" (Obs.Metrics.to_json (Obs.Metrics.snapshot registry));
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -340,8 +398,15 @@ let () =
         if !ext && !only = None then fig_times @ [ run_extensions pool ] else fig_times
       in
       let oracle_stats, oracle_micro = oracle_probe pool in
+      (match !trace_out with Some path -> traced_batch pool path | None -> ());
       let micro_results =
         (if !micro && !only = None then run_micro pool else []) @ oracle_micro
       in
+      Parallel.Pool.export_metrics pool registry;
+      if !metrics_flag then begin
+        print_newline ();
+        print_endline "=== metrics ===";
+        print_string (Obs.Metrics.to_text (Obs.Metrics.snapshot registry))
+      end;
       if !json then
         write_json ~jobs ~figures:fig_times ~oracle:oracle_stats ~micro_results)

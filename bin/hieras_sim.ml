@@ -5,7 +5,8 @@
      all      reproduce every table and figure
      topology generate a topology and print its statistics
      cost     print the HIERAS state/maintenance cost model
-     lookup   trace a single HIERAS lookup hop by hop *)
+     lookup   trace a single HIERAS lookup hop by hop
+     trace    replay a request stream with structured JSONL tracing *)
 
 open Cmdliner
 
@@ -77,6 +78,41 @@ let depth_t = Arg.(value & opt int 2 & info [ "depth" ] ~docv:"D" ~doc:"Hierarch
 let requests_t =
   Arg.(value & opt int 100_000 & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per run.")
 
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write structured per-lookup trace events (start/hop/end, one JSON \
+           object per line) to $(docv). See DESIGN.md \\S8 for the schema.")
+
+let metrics_t =
+  Arg.(
+    value
+    & flag
+    & info [ "metrics" ]
+        ~doc:"Print a metrics-registry snapshot (one line per series) after the run.")
+
+(* Build a tracer over FILE (or the disabled tracer), run [f], and report how
+   many events were written. *)
+let with_trace_out path f =
+  match path with
+  | None -> f Obs.Trace.disabled
+  | Some file ->
+      let oc = open_out file in
+      let events = ref 0 in
+      let tr =
+        Obs.Trace.jsonl (fun line ->
+            incr events;
+            output_string oc line)
+      in
+      let r = Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f tr) in
+      Printf.printf "wrote %d trace events to %s\n" !events file;
+      r
+
+let print_metrics reg = print_string (Obs.Metrics.to_text (Obs.Metrics.snapshot reg))
+
 let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend =
   let cfg =
     {
@@ -136,7 +172,7 @@ let all_cmd =
 (* ---- topology --------------------------------------------------------- *)
 
 let topology_cmd =
-  let run model nodes seed jobs backend =
+  let run model nodes seed jobs backend metrics =
     with_jobs jobs @@ fun pool ->
     let rng = Prng.Rng.create ~seed in
     let lat =
@@ -166,9 +202,16 @@ let topology_cmd =
     Printf.printf "layer-2 rings with 4 spread landmarks: %d\n" (Hashtbl.length counts);
     Hashtbl.fold (fun o c acc -> (o, c) :: acc) counts []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
-    |> List.iter (fun (o, c) -> Printf.printf "  ring %-6s %6d nodes\n" o c)
+    |> List.iter (fun (o, c) -> Printf.printf "  ring %-6s %6d nodes\n" o c);
+    if metrics then begin
+      let reg = Obs.Metrics.create () in
+      Topology.Latency.export_metrics lat reg;
+      Parallel.Pool.export_metrics pool reg;
+      print_newline ();
+      print_metrics reg
+    end
   in
-  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t $ jobs_t $ backend_t) in
+  let term = Term.(const run $ model_t $ nodes_t 2000 $ seed_t $ jobs_t $ backend_t $ metrics_t) in
   Cmd.v (Cmd.info "topology" ~doc:"Generate a topology and print statistics") term
 
 (* ---- cost ------------------------------------------------------------- *)
@@ -190,7 +233,7 @@ let cost_cmd =
 (* ---- lookup ----------------------------------------------------------- *)
 
 let lookup_cmd =
-  let run model nodes landmarks depth seed jobs backend =
+  let run model nodes landmarks depth seed jobs backend trace_out metrics =
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
@@ -199,7 +242,14 @@ let lookup_cmd =
     let rng = Prng.Rng.create ~seed:(seed + 1) in
     let key = Hashid.Id.random Hashid.Id.sha1_space rng in
     let origin = Prng.Rng.int rng nodes in
-    let r = Hieras.Hlookup.route_checked hnet ~origin ~key in
+    let r, rc =
+      with_trace_out trace_out (fun tr ->
+          let r = Hieras.Hlookup.route_checked ~trace:tr hnet ~origin ~key in
+          let rc =
+            Chord.Lookup.route ~trace:tr net (Experiments.Runner.latency_oracle env) ~origin ~key
+          in
+          (r, rc))
+    in
     Printf.printf "key    %s\n" (Hashid.Id.to_hex key);
     Printf.printf "origin node %d (id %s)\n" origin (Hashid.Id.to_hex (Chord.Network.id net origin));
     List.iter
@@ -209,14 +259,85 @@ let lookup_cmd =
       r.Hieras.Hlookup.hops;
     Printf.printf "destination node %d after %d hops, %.1f ms total\n"
       r.Hieras.Hlookup.destination r.Hieras.Hlookup.hop_count r.Hieras.Hlookup.latency;
-    let rc = Chord.Lookup.route net (Experiments.Runner.latency_oracle env) ~origin ~key in
     Printf.printf "chord baseline: %d hops, %.1f ms\n" rc.Chord.Lookup.hop_count
-      rc.Chord.Lookup.latency
+      rc.Chord.Lookup.latency;
+    if metrics then begin
+      let reg = Obs.Metrics.create () in
+      let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter reg name) v in
+      let g name v = Obs.Metrics.set (Obs.Metrics.gauge reg name) v in
+      c "lookup.hieras.hops" r.Hieras.Hlookup.hop_count;
+      g "lookup.hieras.latency_ms" r.Hieras.Hlookup.latency;
+      c "lookup.hieras.finished_at_layer" r.Hieras.Hlookup.finished_at_layer;
+      c "lookup.chord.hops" rc.Chord.Lookup.hop_count;
+      g "lookup.chord.latency_ms" rc.Chord.Lookup.latency;
+      Topology.Latency.export_metrics (Experiments.Runner.latency_oracle env) reg;
+      Parallel.Pool.export_metrics pool reg;
+      print_newline ();
+      print_metrics reg
+    end
   in
   let term =
-    Term.(const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t $ backend_t)
+    Term.(
+      const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t $ backend_t
+      $ trace_out_t $ metrics_t)
   in
   Cmd.v (Cmd.info "lookup" ~doc:"Trace one HIERAS lookup hop by hop") term
+
+(* ---- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run model nodes landmarks depth requests seed jobs backend trace_out metrics =
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale:1.0 ~backend in
+    with_jobs jobs @@ fun pool ->
+    let env = Experiments.Runner.build_env ~pool cfg in
+    let hnet = Experiments.Runner.build_hieras env cfg in
+    let net = Experiments.Runner.chord_network env in
+    let lat = Experiments.Runner.latency_oracle env in
+    let reg = Obs.Metrics.create () in
+    let lookups = Obs.Metrics.counter reg "trace.lookups" in
+    let chord_hops = Obs.Metrics.counter reg "trace.chord.hops" in
+    let hieras_hops = Obs.Metrics.counter reg "trace.hieras.hops" in
+    let chord_lat = Obs.Metrics.histogram reg "trace.chord.latency_ms" in
+    let hieras_lat = Obs.Metrics.histogram reg "trace.hieras.latency_ms" in
+    with_trace_out trace_out (fun tr ->
+        (* same deterministic request stream as Runner.measure *)
+        let rng = Prng.Rng.create ~seed:(cfg.Experiments.Config.seed + 104729) in
+        let spec = Workload.Requests.paper_default ~count:cfg.Experiments.Config.requests in
+        Workload.Requests.iter spec ~nodes:cfg.Experiments.Config.nodes
+          ~space:Hashid.Id.sha1_space rng (fun { Workload.Requests.origin; key } ->
+            let rc = Chord.Lookup.route ~trace:tr net lat ~origin ~key in
+            let rh = Hieras.Hlookup.route ~trace:tr hnet ~origin ~key in
+            Obs.Metrics.incr lookups;
+            Obs.Metrics.add chord_hops rc.Chord.Lookup.hop_count;
+            Obs.Metrics.add hieras_hops rh.Hieras.Hlookup.hop_count;
+            Obs.Metrics.observe chord_lat rc.Chord.Lookup.latency;
+            Obs.Metrics.observe hieras_lat rh.Hieras.Hlookup.latency));
+    Printf.printf "replayed %d paired lookups on %d nodes (%s, depth %d)\n"
+      cfg.Experiments.Config.requests cfg.Experiments.Config.nodes
+      (Topology.Model.name cfg.Experiments.Config.model)
+      cfg.Experiments.Config.depth;
+    if metrics then begin
+      Topology.Latency.export_metrics lat reg;
+      Parallel.Pool.export_metrics pool reg;
+      print_newline ();
+      print_metrics reg
+    end
+  in
+  let term =
+    Term.(
+      const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t
+      $ Arg.(
+          value
+          & opt int 100
+          & info [ "requests" ] ~docv:"R" ~doc:"Routing requests to replay and trace.")
+      $ seed_t $ jobs_t $ backend_t $ trace_out_t $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a request stream through Chord and HIERAS with structured \
+          JSONL tracing and a metrics registry")
+    term
 
 (* ---- extensions -------------------------------------------------------- *)
 
@@ -240,6 +361,6 @@ let extensions_cmd =
 let main =
   let doc = "HIERAS: DHT-based hierarchical P2P routing — paper reproduction" in
   Cmd.group (Cmd.info "hieras-sim" ~doc)
-    [ figure_cmd; all_cmd; topology_cmd; cost_cmd; lookup_cmd; extensions_cmd ]
+    [ figure_cmd; all_cmd; topology_cmd; cost_cmd; lookup_cmd; trace_cmd; extensions_cmd ]
 
 let () = exit (Cmd.eval main)

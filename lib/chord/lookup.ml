@@ -50,17 +50,26 @@ let walk net ~origin ~key ~record =
     !current
   end
 
-let route net lat ~origin ~key =
+let route ?(trace = Obs.Trace.disabled) net lat ~origin ~key =
+  let traced = Obs.Trace.enabled trace in
+  let lid =
+    if traced then Obs.Trace.start trace ~algo:"chord" ~origin ~key:(Id.to_hex key) else 0
+  in
   let hops = ref [] in
   let total = ref 0.0 in
   let count = ref 0 in
   let record from_node to_node =
     let l = Topology.Latency.host_latency lat (Network.host net from_node) (Network.host net to_node) in
+    if traced then
+      Obs.Trace.hop trace ~lookup:lid ~seq:!count ~layer:1 ~from_node ~to_node ~latency_ms:l;
     hops := { from_node; to_node; latency = l } :: !hops;
     total := !total +. l;
     incr count
   in
   let destination = walk net ~origin ~key ~record in
+  if traced then
+    Obs.Trace.finish trace ~lookup:lid ~destination ~hops:!count ~latency_ms:!total
+      ~finished_at_layer:1;
   { origin; key; destination; hops = List.rev !hops; hop_count = !count; latency = !total }
 
 let route_hops_only net ~origin ~key =

@@ -17,9 +17,15 @@ type result = {
   latency : float;  (** total one-way routing latency, ms *)
 }
 
-val route : Network.t -> Topology.Latency.t -> origin:int -> key:Hashid.Id.t -> result
+val route :
+  ?trace:Obs.Trace.t -> Network.t -> Topology.Latency.t -> origin:int -> key:Hashid.Id.t -> result
 (** Raises [Failure] only on internal invariant violation (non-termination
-    guard); a well-formed network always terminates in [O(log n)] hops. *)
+    guard); a well-formed network always terminates in [O(log n)] hops.
+
+    [trace] (default {!Obs.Trace.disabled}) receives one start event, one hop
+    event per traversed edge (all tagged layer 1 — Chord has no hierarchy)
+    and one end event mirroring the returned accounting; when disabled the
+    instrumentation costs one branch per hop and allocates nothing. *)
 
 val route_hops_only : Network.t -> origin:int -> key:Hashid.Id.t -> int * int
 (** [(hop_count, destination)] without latency bookkeeping — for pure

@@ -88,12 +88,16 @@ let walk_global hnet ~start ~key ~record =
   done;
   !current
 
-let route hnet ~origin ~key =
+let route ?(trace = Obs.Trace.disabled) hnet ~origin ~key =
   let net = Hnetwork.chord hnet in
   let lat = Hnetwork.latency_oracle hnet in
   let depth = Hnetwork.depth hnet in
   let owner = Chord.Network.successor_of_key net key in
   let id_of i = Chord.Network.id net i in
+  let traced = Obs.Trace.enabled trace in
+  let lid =
+    if traced then Obs.Trace.start trace ~algo:"hieras" ~origin ~key:(Id.to_hex key) else 0
+  in
   let hops = ref [] in
   let count = ref 0 in
   let total = ref 0.0 in
@@ -104,6 +108,8 @@ let route hnet ~origin ~key =
       Topology.Latency.host_latency lat (Chord.Network.host net from_node)
         (Chord.Network.host net to_node)
     in
+    if traced then
+      Obs.Trace.hop trace ~lookup:lid ~seq:!count ~layer ~from_node ~to_node ~latency_ms:l;
     hops := { from_node; to_node; latency = l; layer } :: !hops;
     incr count;
     total := !total +. l;
@@ -136,6 +142,9 @@ let route hnet ~origin ~key =
      finished_at := 1
    with Exit -> ());
   assert (!current = owner);
+  if traced then
+    Obs.Trace.finish trace ~lookup:lid ~destination:!current ~hops:!count ~latency_ms:!total
+      ~finished_at_layer:!finished_at;
   {
     origin;
     key;
@@ -148,8 +157,8 @@ let route hnet ~origin ~key =
     finished_at_layer = !finished_at;
   }
 
-let route_checked hnet ~origin ~key =
-  let r = route hnet ~origin ~key in
+let route_checked ?trace hnet ~origin ~key =
+  let r = route ?trace hnet ~origin ~key in
   let owner = Chord.Network.successor_of_key (Hnetwork.chord hnet) key in
   if r.destination <> owner then
     failwith "Hieras.Hlookup.route_checked: destination is not the key's owner";

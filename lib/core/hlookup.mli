@@ -28,9 +28,13 @@ type result = {
           1 = needed the global ring) *)
 }
 
-val route : Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
+val route : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
+(** [trace] (default {!Obs.Trace.disabled}) receives one start event, one hop
+    event per traversed edge — tagged with the layer whose finger table chose
+    it — and one end event mirroring the returned accounting; when disabled
+    the instrumentation costs one branch per hop and allocates nothing. *)
 
-val route_checked : Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
+val route_checked : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
 (** Like {!route} but asserts the destination equals the Chord owner of the
     key — used by tests; routing correctness must never depend on binning
     quality. *)

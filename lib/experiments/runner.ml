@@ -129,7 +129,33 @@ let measure_one env hnet m { Workload.Requests.origin; key } =
   Histogram.add m.chord_latency_hist rc.Chord.Lookup.latency;
   Histogram.add m.hieras_latency_hist rh.Hieras.Hlookup.latency
 
-let measure ?pool env hnet cfg =
+(* Registry export happens on the calling domain from the already-merged
+   accumulators, never from workers — the snapshot is therefore bit-identical
+   for any pool width, which test_parallel.ml pins down. *)
+let export_registry reg m =
+  let open Obs.Metrics in
+  let c name v = set_counter (counter reg name) v in
+  let g name v = set (gauge reg name) v in
+  c "runner.requests" (Summary.count m.chord_hops);
+  g "runner.chord.hops_mean" (Summary.mean m.chord_hops);
+  g "runner.chord.hops_max" (Summary.max_value m.chord_hops);
+  g "runner.chord.latency_mean_ms" (Summary.mean m.chord_latency);
+  g "runner.chord.latency_max_ms" (Summary.max_value m.chord_latency);
+  g "runner.hieras.hops_mean" (Summary.mean m.hieras_hops);
+  g "runner.hieras.hops_max" (Summary.max_value m.hieras_hops);
+  g "runner.hieras.latency_mean_ms" (Summary.mean m.hieras_latency);
+  g "runner.hieras.latency_max_ms" (Summary.max_value m.hieras_latency);
+  g "runner.hieras.lower_hop_share" (Summary.mean m.lower_hops /. Summary.mean m.hieras_hops);
+  g "runner.hieras.lower_latency_share"
+    (Summary.mean m.lower_latency /. Summary.mean m.hieras_latency);
+  Array.iteri
+    (fun k v -> g (Printf.sprintf "runner.hieras.layer%d.hops_mean" (k + 1)) v)
+    m.hops_per_layer;
+  Array.iteri
+    (fun k v -> g (Printf.sprintf "runner.hieras.layer%d.latency_mean_ms" (k + 1)) v)
+    m.latency_per_layer
+
+let measure ?pool ?registry env hnet cfg =
   let pool = Option.value pool ~default:Pool.sequential in
   let n = Chord.Network.size env.chord in
   let depth = Hieras.Hnetwork.depth hnet in
@@ -154,12 +180,13 @@ let measure ?pool env hnet cfg =
   let req = float_of_int (max cfg.Config.requests 1) in
   Array.iteri (fun k v -> m.hops_per_layer.(k) <- v /. req) (Array.copy m.hops_per_layer);
   Array.iteri (fun k v -> m.latency_per_layer.(k) <- v /. req) (Array.copy m.latency_per_layer);
+  Option.iter (fun reg -> export_registry reg m) registry;
   m
 
-let run ?pool cfg =
+let run ?pool ?registry cfg =
   let env = build_env ?pool cfg in
   let hnet = build_hieras env cfg in
-  measure ?pool env hnet cfg
+  measure ?pool ?registry env hnet cfg
 
 let latency_ratio m = Summary.mean m.hieras_latency /. Summary.mean m.chord_latency
 let hop_overhead m = (Summary.mean m.hieras_hops /. Summary.mean m.chord_hops) -. 1.0

@@ -43,7 +43,8 @@ type metrics = {
   latency_per_layer : float array;
 }
 
-val measure : ?pool:Parallel.Pool.t -> env -> Hieras.Hnetwork.t -> Config.t -> metrics
+val measure :
+  ?pool:Parallel.Pool.t -> ?registry:Obs.Metrics.t -> env -> Hieras.Hnetwork.t -> Config.t -> metrics
 (** Runs [config.requests] paired lookups. Raises [Failure] if any HIERAS
     lookup reaches a node other than the Chord owner (routing correctness is
     asserted on every request).
@@ -51,9 +52,15 @@ val measure : ?pool:Parallel.Pool.t -> env -> Hieras.Hnetwork.t -> Config.t -> m
     Deterministic parallelism: requests are pre-generated sequentially from
     the config seed, workers fill per-chunk accumulators over a chunk layout
     fixed by request count alone, and chunks are reduced in order — so every
-    metrics field is bit-identical whatever the pool width. *)
+    metrics field is bit-identical whatever the pool width.
 
-val run : ?pool:Parallel.Pool.t -> Config.t -> metrics
+    [registry] receives a [runner.*] export of the merged result (request
+    count, hop/latency means and maxima for both algorithms, per-layer
+    means, lower-layer shares). The export runs on the calling domain after
+    the deterministic merge — never from workers — so the registry snapshot
+    is bit-identical for any pool width too. *)
+
+val run : ?pool:Parallel.Pool.t -> ?registry:Obs.Metrics.t -> Config.t -> metrics
 (** [build_env] + [build_hieras] + [measure] in one step. *)
 
 (** {2 Derived quantities} *)

@@ -1,0 +1,30 @@
+(* Minimal JSON emission helpers shared by the metrics and trace renderers.
+   Emission only — the observability surface produces JSON, it never parses
+   it (consumers are jq / python / the CI smoke check). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest decimal representation that round-trips to the same double:
+   golden traces stay byte-stable while any sub-ulp change in an accounted
+   latency still produces a different line. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* JSON has no literal for non-finite numbers. *)
+let number f = if Float.is_finite f then float_repr f else "null"

@@ -1,0 +1,13 @@
+(** JSON emission helpers for the observability renderers (internal). *)
+
+val escape : string -> string
+(** Escape a string for embedding between JSON double quotes (the quotes
+    themselves are not added). *)
+
+val float_repr : float -> string
+(** Shortest decimal representation that round-trips to the same double —
+    integers render without an exponent ([42], not [4.2e1]). *)
+
+val number : float -> string
+(** {!float_repr}, except non-finite values render as ["null"] (JSON has no
+    literal for them). *)

@@ -1,0 +1,155 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  upper : float array; (* strictly increasing bucket upper bounds *)
+  counts : int array; (* length upper + 1; last slot = overflow (+inf) *)
+  mutable hcount : int;
+  mutable hsum : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+(* Registration is idempotent by name: re-registering returns the existing
+   metric, so instrumentation sites need no coordination about who created a
+   series first. A name can only ever hold one metric kind. *)
+let register t name make describe =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match describe m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is already registered as a %s" name (kind_name m)))
+  | None ->
+      let m, v = make () in
+      Hashtbl.add t.tbl name m;
+      v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c = 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g = 0.0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+(* ms-oriented latency buckets: three orders of magnitude around the paper's
+   transit-stub delay scales *)
+let default_buckets =
+  [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0 |]
+
+let histogram ?(buckets = default_buckets) t name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  register t name
+    (fun () ->
+      let h =
+        {
+          upper = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          hcount = 0;
+          hsum = 0.0;
+        }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let set_counter c v = c.c <- v
+let counter_value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let observe h v =
+  let n = Array.length h.upper in
+  let i = ref 0 in
+  while !i < n && v > h.upper.(!i) do
+    Stdlib.incr i
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v
+
+(* ---- snapshots --------------------------------------------------------- *)
+
+type hist_snapshot = { bounds : float array; bucket_counts : int array; count : int; sum : float }
+type value = Counter of int | Gauge of float | Hist of hist_snapshot
+type snapshot = (string * value) list
+
+let freeze = function
+  | C c -> Counter c.c
+  | G g -> Gauge g.g
+  | H h ->
+      Hist
+        { bounds = Array.copy h.upper; bucket_counts = Array.copy h.counts; count = h.hcount; sum = h.hsum }
+
+let snapshot t =
+  Hashtbl.fold (fun name m acc -> (name, freeze m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let to_text snap =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name c)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%-40s %s\n" name (Jsonu.float_repr g))
+      | Hist h ->
+          Buffer.add_string buf (Printf.sprintf "%-40s count=%d sum=%s" name h.count (Jsonu.float_repr h.sum));
+          Buffer.add_string buf " [";
+          Array.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_char buf ' ';
+              let le = if i < Array.length h.bounds then Jsonu.float_repr h.bounds.(i) else "+inf" in
+              Buffer.add_string buf (Printf.sprintf "%s:%d" le c))
+            h.bucket_counts;
+          Buffer.add_string buf "]\n")
+    snap;
+  Buffer.contents buf
+
+let to_json snap =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":" (Jsonu.escape name));
+      match v with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "{\"type\":\"counter\",\"value\":%d}" c)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "{\"type\":\"gauge\",\"value\":%s}" (Jsonu.number g))
+      | Hist h ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":["
+               h.count (Jsonu.number h.sum));
+          Array.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_char buf ',';
+              let le =
+                if i < Array.length h.bounds then Jsonu.number h.bounds.(i) else "\"+inf\""
+              in
+              Buffer.add_string buf (Printf.sprintf "{\"le\":%s,\"count\":%d}" le c))
+            h.bucket_counts;
+          Buffer.add_string buf "]}")
+    snap;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+type event =
+  | Start of { lookup : int; algo : string; origin : int; key : string }
+  | Hop of {
+      lookup : int;
+      seq : int;
+      layer : int;
+      from_node : int;
+      to_node : int;
+      latency_ms : float;
+    }
+  | End of {
+      lookup : int;
+      destination : int;
+      hops : int;
+      latency_ms : float;
+      finished_at_layer : int;
+    }
+
+type ring = { buf : event option array; cap : int; mutable head : int; mutable len : int }
+type sink = Null | Ring of ring | Writer of (string -> unit)
+type t = { sink : sink; mutable next_id : int }
+
+let disabled = { sink = Null; next_id = 0 }
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Trace.ring: capacity must be >= 1";
+  { sink = Ring { buf = Array.make capacity None; cap = capacity; head = 0; len = 0 }; next_id = 0 }
+
+let jsonl write = { sink = Writer write; next_id = 0 }
+let enabled t = match t.sink with Null -> false | Ring _ | Writer _ -> true
+
+let event_to_json = function
+  | Start { lookup; algo; origin; key } ->
+      Printf.sprintf {|{"ev":"start","lookup":%d,"algo":"%s","origin":%d,"key":"%s"}|} lookup
+        (Jsonu.escape algo) origin (Jsonu.escape key)
+  | Hop { lookup; seq; layer; from_node; to_node; latency_ms } ->
+      Printf.sprintf {|{"ev":"hop","lookup":%d,"seq":%d,"layer":%d,"from":%d,"to":%d,"lat_ms":%s}|}
+        lookup seq layer from_node to_node (Jsonu.number latency_ms)
+  | End { lookup; destination; hops; latency_ms; finished_at_layer } ->
+      Printf.sprintf
+        {|{"ev":"end","lookup":%d,"dest":%d,"hops":%d,"lat_ms":%s,"finished_at_layer":%d}|}
+        lookup destination hops (Jsonu.number latency_ms) finished_at_layer
+
+let emit t ev =
+  match t.sink with
+  | Null -> ()
+  | Writer w -> w (event_to_json ev ^ "\n")
+  | Ring r ->
+      r.buf.((r.head + r.len) mod r.cap) <- Some ev;
+      if r.len < r.cap then r.len <- r.len + 1 else r.head <- (r.head + 1) mod r.cap
+
+let start t ~algo ~origin ~key =
+  match t.sink with
+  | Null -> 0
+  | _ ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      emit t (Start { lookup = id; algo; origin; key });
+      id
+
+let hop t ~lookup ~seq ~layer ~from_node ~to_node ~latency_ms =
+  emit t (Hop { lookup; seq; layer; from_node; to_node; latency_ms })
+
+let finish t ~lookup ~destination ~hops ~latency_ms ~finished_at_layer =
+  emit t (End { lookup; destination; hops; latency_ms; finished_at_layer })
+
+let events t =
+  match t.sink with
+  | Null | Writer _ -> []
+  | Ring r -> List.init r.len (fun i -> Option.get r.buf.((r.head + i) mod r.cap))
+
+let clear t =
+  match t.sink with
+  | Null | Writer _ -> ()
+  | Ring r ->
+      Array.fill r.buf 0 r.cap None;
+      r.head <- 0;
+      r.len <- 0

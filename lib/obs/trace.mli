@@ -1,0 +1,91 @@
+(** Structured per-lookup tracing: span + hop events with pluggable sinks.
+
+    A tracer is passed to the routing entry points ([Chord.Lookup.route],
+    [Hieras.Hlookup.route]) as an optional argument; every lookup then emits
+    one [Start] event, one [Hop] event per traversed overlay edge, and one
+    [End] event carrying the final accounting. The per-hop stream is exactly
+    the data the paper's Figures 4–7 aggregate — tracing exposes it as a
+    machine-readable surface that golden-trace and invariant tests pin down.
+
+    {2 Cost model}
+
+    The {!disabled} tracer is the default everywhere. Instrumented code
+    checks {!enabled} once per lookup and skips every event construction when
+    it is false, so the disabled path costs one branch per hop and allocates
+    nothing — the bench's lookup ns/op budget (< 2% overhead) depends on
+    this. Tracers are single-domain objects; the parallel experiment runner
+    keeps them out of worker loops.
+
+    {2 Event stream invariants}
+
+    For every traced lookup (enforced by [test/test_obs.ml]):
+    - [Hop] events carry consecutive [seq] numbers starting at 0;
+    - the hop chain is contiguous: [to_node] of hop [i] equals [from_node]
+      of hop [i+1], the first [from_node] is the origin and the last
+      [to_node] is the [End] event's [destination] (when there are hops);
+    - [End.hops] is the hop count and [End.latency_ms] the sum of the hops'
+      [latency_ms] in emission order;
+    - [layer] is 1 (the global ring; Chord hops are always layer 1) up to the
+      HIERAS hierarchy depth. *)
+
+type event =
+  | Start of { lookup : int; algo : string; origin : int; key : string }
+      (** [lookup] is a tracer-local sequential id; [key] is the target
+          identifier in hex. *)
+  | Hop of {
+      lookup : int;
+      seq : int;
+      layer : int;  (** 1 = global ring, >= 2 = lower HIERAS rings *)
+      from_node : int;
+      to_node : int;
+      latency_ms : float;
+    }
+  | End of {
+      lookup : int;
+      destination : int;
+      hops : int;
+      latency_ms : float;
+      finished_at_layer : int;  (** 1 for Chord; see [Hieras.Hlookup.result] *)
+    }
+
+type t
+
+val disabled : t
+(** The null sink: {!enabled} is [false], {!start} returns 0 without
+    consuming an id, every emission is a no-op. *)
+
+val ring : capacity:int -> t
+(** In-memory ring buffer keeping the most recent [capacity] events —
+    the test-suite and flight-recorder sink. Raises [Invalid_argument] if
+    [capacity < 1]. *)
+
+val jsonl : (string -> unit) -> t
+(** Streaming JSONL sink: each event is rendered with {!event_to_json} and
+    passed to the writer as one line terminated by ['\n']. Pass
+    [output_string oc] for a file, [Buffer.add_string buf] for memory. *)
+
+val enabled : t -> bool
+
+(** {2 Emission} *)
+
+val start : t -> algo:string -> origin:int -> key:string -> int
+(** Open a lookup span and return its id (0 on the disabled tracer). *)
+
+val hop :
+  t -> lookup:int -> seq:int -> layer:int -> from_node:int -> to_node:int -> latency_ms:float -> unit
+
+val finish :
+  t -> lookup:int -> destination:int -> hops:int -> latency_ms:float -> finished_at_layer:int -> unit
+
+val emit : t -> event -> unit
+
+(** {2 Inspection} *)
+
+val events : t -> event list
+(** Ring sink: buffered events, oldest first. Other sinks: []. *)
+
+val clear : t -> unit
+(** Ring sink: drop buffered events (lookup ids keep counting). *)
+
+val event_to_json : event -> string
+(** One-line JSON rendering, no trailing newline. Fields: see DESIGN.md §8. *)

@@ -18,6 +18,10 @@ type t = {
   mutable completed : int;
   mutable failure : exn option;
   mutable closed : bool;
+  (* lifetime instrumentation, written only by the calling domain (regions
+     are not reentrant, so this is race-free) *)
+  mutable regions_run : int;
+  mutable chunks_run : int;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -68,6 +72,8 @@ let create ?jobs () =
       completed = 0;
       failure = None;
       closed = false;
+      regions_run = 0;
+      chunks_run = 0;
     }
   in
   if jobs > 1 then
@@ -91,8 +97,18 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let regions_run t = t.regions_run
+let chunks_run t = t.chunks_run
+
+let export_metrics ?(prefix = "pool") t m =
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".jobs")) (float_of_int t.jobs);
+  Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ ".regions")) t.regions_run;
+  Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ ".chunks")) t.chunks_run
+
 let run_chunks t ~count body =
   if count < 0 then invalid_arg "Pool.run_chunks: negative count";
+  t.regions_run <- t.regions_run + 1;
+  t.chunks_run <- t.chunks_run + count;
   if count > 0 then
     if t.jobs = 1 || count = 1 || t.closed then
       for i = 0 to count - 1 do

@@ -55,6 +55,20 @@ val chunks : n:int -> count:int -> (int * int) array
     [min count n] chunks (no empty chunks; [[||]] when [n = 0]). Raises
     [Invalid_argument] if [count < 1] or [n < 0]. *)
 
+val regions_run : t -> int
+(** Parallel regions ({!run_chunks} calls, directly or via the combinators)
+    executed over the pool's lifetime. *)
+
+val chunks_run : t -> int
+(** Total chunks dispatched over the pool's lifetime. Chunk counts of
+    {!parallel_for}/{!parallel_map} depend on the pool width; only
+    {!map_chunks} layouts are width-independent. *)
+
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Mirror the pool's instrumentation into a metrics registry: gauge
+    [<prefix>.jobs], counters [<prefix>.regions] and [<prefix>.chunks]
+    (default prefix ["pool"]). Idempotent: re-exporting overwrites. *)
+
 val run_chunks : t -> count:int -> (int -> unit) -> unit
 (** Run [f 0 .. f (count - 1)], spread over the pool. The first exception
     raised by any chunk is re-raised on the calling domain (other chunks may

@@ -93,3 +93,12 @@ let sent t = t.sent
 let delivered t = t.delivered
 let dropped_dead t = t.dropped_dead
 let dropped_loss t = t.dropped_loss
+
+let export_metrics ?(prefix = "simnet") t m =
+  let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
+  c "sent" t.sent;
+  c "delivered" t.delivered;
+  c "dropped_dead" t.dropped_dead;
+  c "dropped_loss" t.dropped_loss;
+  c "pending_events" (Event_heap.size t.heap);
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".clock_ms")) t.clock

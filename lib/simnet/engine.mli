@@ -63,3 +63,13 @@ val dropped_dead : t -> int
 
 val dropped_loss : t -> int
 (** Messages discarded by random loss injection. *)
+
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Mirror the engine's cumulative state into a metrics registry: counters
+    [<prefix>.sent], [.delivered], [.dropped_dead], [.dropped_loss] and
+    [.pending_events], gauge [<prefix>.clock_ms] (default prefix
+    ["simnet"]). The conservation law [sent = delivered + dropped_dead +
+    dropped_loss] holds whenever the event queue has drained and no timers
+    were used ([timer] drops on dead nodes also count into [dropped_dead],
+    [schedule] god-events are never counted). Idempotent: re-exporting
+    overwrites the same series. *)

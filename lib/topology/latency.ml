@@ -153,6 +153,17 @@ let stats t =
     resident_bytes;
   }
 
+let export_metrics ?(prefix = "oracle") t m =
+  let st = stats t in
+  let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
+  c "rows_computed" st.rows_computed;
+  c "row_hits" st.row_hits;
+  c "resident_bytes" st.resident_bytes;
+  let g name v = Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ "." ^ name)) v in
+  g "routers" (float_of_int st.routers);
+  g "hosts" (float_of_int (hosts t));
+  g "lazy" (match effective_backend t with Lazy -> 1.0 | Eager | Auto -> 0.0)
+
 let mean_host_latency t ?(samples = 20_000) rng =
   let n = hosts t in
   if n < 2 then 0.0

@@ -92,6 +92,12 @@ type stats = {
 
 val stats : t -> stats
 
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Mirror {!stats} into a metrics registry (default prefix ["oracle"]):
+    counters [<prefix>.rows_computed], [.row_hits], [.resident_bytes];
+    gauges [<prefix>.routers], [.hosts] and [.lazy] (1.0 when the effective
+    backend is {!Lazy}). Idempotent: re-exporting overwrites. *)
+
 val mean_host_latency : t -> ?samples:int -> Prng.Rng.t -> float
 (** Monte-Carlo estimate of the mean delay between two random distinct
     hosts (diagnostics; default 20 000 samples).

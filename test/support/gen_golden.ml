@@ -1,0 +1,3 @@
+(* Regenerate the committed golden trace:
+     dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl *)
+let () = print_string (Obs_test_support.Golden.build_trace ())

@@ -1,0 +1,42 @@
+(* The canonical golden-trace scenario, shared by the regression test
+   (test/test_obs.ml) and the regeneration tool (gen_golden.exe):
+
+     dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl
+
+   A fixed-seed 64-node Transit-Stub network replays the first 12 requests
+   of the standard measurement stream through both Chord and HIERAS with a
+   JSONL tracer attached. Any change to routing decisions, latency
+   accounting, hop ordering or the trace schema changes these bytes — which
+   is the point: such changes must be made (and reviewed) explicitly, by
+   regenerating the file. *)
+
+module Config = Experiments.Config
+module Runner = Experiments.Runner
+
+let cfg =
+  let c = Config.paper_default in
+  let c = Config.with_nodes c 64 in
+  let c = Config.with_requests c 12 in
+  let c = Config.with_landmarks c 4 in
+  let c = Config.with_seed c 2003 in
+  Config.with_latency_backend c Topology.Latency.Eager
+
+let build_trace () =
+  let env = Runner.build_env cfg in
+  let hnet = Runner.build_hieras env cfg in
+  let chord = Runner.chord_network env in
+  let lat = Runner.latency_oracle env in
+  let buf = Buffer.create 8192 in
+  let tr = Obs.Trace.jsonl (Buffer.add_string buf) in
+  (* the exact request stream Runner.measure replays for this config *)
+  let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 104729) in
+  let spec = Workload.Requests.paper_default ~count:cfg.Config.requests in
+  let requests =
+    Workload.Requests.to_array spec ~nodes:cfg.Config.nodes ~space:Hashid.Id.sha1_space rng
+  in
+  Array.iter
+    (fun { Workload.Requests.origin; key } ->
+      ignore (Chord.Lookup.route ~trace:tr chord lat ~origin ~key);
+      ignore (Hieras.Hlookup.route ~trace:tr hnet ~origin ~key))
+    requests;
+  Buffer.contents buf

@@ -1,0 +1,508 @@
+(* Tests for the observability layer: the metrics registry, the trace
+   sinks, the trace-stream invariants of both routing algorithms (qcheck
+   properties over random seeds/topologies), the golden-trace regression,
+   and the simulation engine's counter conservation law. *)
+
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Lookup = Chord.Lookup
+module Hlookup = Hieras.Hlookup
+
+(* --- a minimal JSON validity checker ---------------------------------------
+   The repo has no JSON parser dependency; the observability layer only
+   emits. This recursive-descent acceptor is enough to assert that every
+   emitted line/object is well-formed standalone JSON. *)
+
+let json_valid (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let fail = ref false in
+  let expect c = match peek () with Some x when x = c -> advance () | _ -> fail := true in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail := true);
+    skip_ws ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' ->
+            advance ();
+            continue := false
+        | _ ->
+            fail := true;
+            continue := false
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        value ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' ->
+            advance ();
+            continue := false
+        | _ ->
+            fail := true;
+            continue := false
+      done
+    end
+  and string_lit () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && not !fail do
+      match peek () with
+      | None -> fail := true
+      | Some '\\' ->
+          advance ();
+          if peek () = None then fail := true else advance ()
+      | Some '"' ->
+          advance ();
+          closed := true
+      | Some _ -> advance ()
+    done
+  and keyword () =
+    let kw = [ "true"; "false"; "null" ] in
+    match
+      List.find_opt (fun k -> !pos + String.length k <= n && String.sub s !pos (String.length k) = k) kw
+    with
+    | Some k -> pos := !pos + String.length k
+    | None -> fail := true
+  and number () =
+    (* permissive: consume the number-ish characters, float_of_string checks *)
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if float_of_string_opt (String.sub s start (!pos - start)) = None then fail := true
+  in
+  value ();
+  (not !fail) && !pos = n
+
+(* --- metrics registry ------------------------------------------------------ *)
+
+let test_counter_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr+add" 5 (Metrics.counter_value c);
+  (* re-registration returns the same handle *)
+  Metrics.incr (Metrics.counter m "a.count");
+  Alcotest.(check int) "idempotent registration" 6 (Metrics.counter_value c);
+  Metrics.set_counter c 42;
+  Alcotest.(check int) "set_counter" 42 (Metrics.counter_value c);
+  let g = Metrics.gauge m "a.gauge" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value (Metrics.gauge m "a.gauge"));
+  ignore (Metrics.gauge_value g)
+
+let test_kind_clash_raises () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics: x is already registered as a counter") (fun () ->
+      ignore (Metrics.gauge m "x"));
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Metrics: x is already registered as a counter") (fun () ->
+      ignore (Metrics.histogram m "x"))
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] m "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 10.0; 99.0; 100.5; 1e9 ];
+  match Metrics.find (Metrics.snapshot m) "h" with
+  | Some (Metrics.Hist hs) ->
+      Alcotest.(check int) "count" 7 hs.Metrics.count;
+      Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 2 |] hs.Metrics.bucket_counts;
+      Alcotest.(check (float 1e-9)) "sum" (0.5 +. 1.0 +. 5.0 +. 10.0 +. 99.0 +. 100.5 +. 1e9)
+        hs.Metrics.sum
+  | _ -> Alcotest.fail "histogram not in snapshot"
+
+let test_histogram_validation () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing") (fun () ->
+      ignore (Metrics.histogram ~buckets:[| 1.0; 1.0 |] m "bad"));
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.histogram: empty buckets") (fun () ->
+      ignore (Metrics.histogram ~buckets:[||] m "bad2"))
+
+let test_snapshot_sorted_and_rendering () =
+  let m = Metrics.create () in
+  Metrics.set (Metrics.gauge m "zz") 1.0;
+  Metrics.incr (Metrics.counter m "aa");
+  Metrics.observe (Metrics.histogram m "mm") 3.0;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check (list string)) "sorted names" [ "aa"; "mm"; "zz" ] (List.map fst snap);
+  (* snapshot is a frozen copy *)
+  Metrics.incr (Metrics.counter m "aa");
+  Alcotest.(check bool) "frozen" true (Metrics.find snap "aa" = Some (Metrics.Counter 1));
+  let json = Metrics.to_json snap in
+  Alcotest.(check bool) ("valid JSON: " ^ json) true (json_valid json);
+  let text = Metrics.to_text snap in
+  Alcotest.(check int) "one line per series" 3
+    (List.length (String.split_on_char '\n' (String.trim text)))
+
+(* --- trace sinks ------------------------------------------------------------ *)
+
+let ev_hop i =
+  Trace.Hop { lookup = 0; seq = i; layer = 1; from_node = i; to_node = i + 1; latency_ms = 1.0 }
+
+let test_disabled_tracer () =
+  Alcotest.(check bool) "disabled" false (Trace.enabled Trace.disabled);
+  Alcotest.(check int) "start is 0" 0
+    (Trace.start Trace.disabled ~algo:"chord" ~origin:3 ~key:"ff");
+  Trace.hop Trace.disabled ~lookup:0 ~seq:0 ~layer:1 ~from_node:0 ~to_node:1 ~latency_ms:1.0;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events Trace.disabled))
+
+let test_ring_keeps_most_recent () =
+  let tr = Trace.ring ~capacity:4 in
+  Alcotest.(check bool) "enabled" true (Trace.enabled tr);
+  for i = 0 to 9 do
+    Trace.emit tr (ev_hop i)
+  done;
+  let seqs =
+    List.map (function Trace.Hop { seq; _ } -> seq | _ -> -1) (Trace.events tr)
+  in
+  Alcotest.(check (list int)) "last 4, oldest first" [ 6; 7; 8; 9 ] seqs;
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events tr))
+
+let test_ring_ids_sequential () =
+  let tr = Trace.ring ~capacity:16 in
+  let a = Trace.start tr ~algo:"chord" ~origin:0 ~key:"00" in
+  let b = Trace.start tr ~algo:"hieras" ~origin:1 ~key:"01" in
+  Alcotest.(check int) "first id" 0 a;
+  Alcotest.(check int) "second id" 1 b
+
+let test_jsonl_sink_lines () =
+  let buf = Buffer.create 256 in
+  let tr = Trace.jsonl (Buffer.add_string buf) in
+  let id = Trace.start tr ~algo:"chord" ~origin:7 ~key:"abcd" in
+  Trace.hop tr ~lookup:id ~seq:0 ~layer:1 ~from_node:7 ~to_node:9 ~latency_ms:12.5;
+  Trace.finish tr ~lookup:id ~destination:9 ~hops:1 ~latency_ms:12.5 ~finished_at_layer:1;
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  Alcotest.(check int) "3 lines + trailing" 4 (List.length lines);
+  Alcotest.(check string) "trailing newline" "" (List.nth lines 3);
+  List.iteri
+    (fun i l ->
+      if i < 3 then Alcotest.(check bool) ("line parses: " ^ l) true (json_valid l))
+    lines;
+  Alcotest.(check bool) "start line tagged" true
+    (String.length (List.nth lines 0) > 0
+    && String.sub (List.nth lines 0) 0 14 = {|{"ev":"start",|})
+
+(* --- trace-stream invariants (qcheck) --------------------------------------- *)
+
+type scenario = {
+  net : Chord.Network.t;
+  hnet : Hieras.Hnetwork.t;
+  lat : Topology.Latency.t;
+  nodes : int;
+  depth : int;
+}
+
+(* Topology construction dominates; cache scenarios per (seed mod variants). *)
+let scenario_cache : (int, scenario) Hashtbl.t = Hashtbl.create 8
+
+let scenario_of_seed seed =
+  let variant = abs seed mod 6 in
+  match Hashtbl.find_opt scenario_cache variant with
+  | Some s -> s
+  | None ->
+      let rng = Prng.Rng.create ~seed:(1000 + variant) in
+      let nodes = 48 + (17 * variant) in
+      let depth = 2 + (variant mod 2) in
+      let lat = Topology.Transit_stub.generate ~hosts:nodes rng in
+      let net =
+        Chord.Network.build ~space:Hashid.Id.sha1_space ~hosts:(Array.init nodes (fun i -> i)) ()
+      in
+      let lm = Binning.Landmark.choose_spread lat ~count:4 rng in
+      let hnet = Hieras.Hnetwork.build ~chord:net ~lat ~landmarks:lm ~depth () in
+      let s = { net; hnet; lat; nodes; depth } in
+      Hashtbl.add scenario_cache variant s;
+      s
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+
+(* Inline constructor records can't escape a match, so events are destructured
+   into these plain mirrors before checking. *)
+type start_ev = { s_origin : int; s_key : string }
+type hop_ev = { h_seq : int; h_layer : int; h_from : int; h_to : int; h_lat : float }
+type end_ev = { e_dest : int; e_hops : int; e_lat : float; e_flayer : int }
+
+(* Split a ring-buffered event stream back into per-lookup (start, hops, end)
+   triples and check every invariant the mli promises. *)
+let check_traced_lookup ~what ~origin ~key ~(events : Trace.event list) ~destination ~hop_count
+    ~latency ~depth ~finished_at_layer =
+  let starts, hops, ends =
+    List.fold_left
+      (fun (s, h, e) ev ->
+        match ev with
+        | Trace.Start { origin; key; _ } -> ({ s_origin = origin; s_key = key } :: s, h, e)
+        | Trace.Hop { seq; layer; from_node; to_node; latency_ms; _ } ->
+            ( s,
+              { h_seq = seq; h_layer = layer; h_from = from_node; h_to = to_node; h_lat = latency_ms }
+              :: h,
+              e )
+        | Trace.End { destination; hops; latency_ms; finished_at_layer; _ } ->
+            ( s,
+              h,
+              { e_dest = destination; e_hops = hops; e_lat = latency_ms; e_flayer = finished_at_layer }
+              :: e ))
+      ([], [], []) events
+  in
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  (match (starts, ends) with
+  | [ st ], [ en ] ->
+      if st.s_origin <> origin then fail "%s: start origin %d <> %d" what st.s_origin origin;
+      if st.s_key <> key then fail "%s: start key mismatch" what;
+      if en.e_dest <> destination then
+        fail "%s: end destination %d <> %d" what en.e_dest destination;
+      if en.e_hops <> hop_count then fail "%s: end hops %d <> %d" what en.e_hops hop_count;
+      if not (close en.e_lat latency) then fail "%s: end latency %g <> %g" what en.e_lat latency;
+      if en.e_flayer <> finished_at_layer then
+        fail "%s: finished_at_layer %d <> %d" what en.e_flayer finished_at_layer
+  | _ -> fail "%s: expected exactly one start and one end event" what);
+  let hops = List.rev hops in
+  if List.length hops <> hop_count then
+    fail "%s: %d hop events <> hop_count %d" what (List.length hops) hop_count;
+  List.iteri
+    (fun i h ->
+      if h.h_seq <> i then fail "%s: hop %d has seq %d" what i h.h_seq;
+      if h.h_layer < 1 || h.h_layer > depth then
+        fail "%s: hop %d layer %d outside 1..%d" what i h.h_layer depth)
+    hops;
+  (* hop-chain contiguity, anchored at origin and destination *)
+  let rec chain prev = function
+    | [] -> if prev <> destination then fail "%s: chain ends at %d, not destination %d" what prev destination
+    | h :: rest ->
+        if h.h_from <> prev then
+          fail "%s: hop seq %d from %d, previous node %d" what h.h_seq h.h_from prev;
+        chain h.h_to rest
+  in
+  if hop_count > 0 then chain origin hops
+  else if origin <> destination then fail "%s: zero hops but origin <> destination" what;
+  (* per-hop latencies sum to the result's total *)
+  let sum = List.fold_left (fun acc h -> acc +. h.h_lat) 0.0 hops in
+  if not (close sum latency) then fail "%s: hop latencies sum %g <> total %g" what sum latency
+
+let trace_prop seed =
+  let s = scenario_of_seed seed in
+  let rng = Prng.Rng.create ~seed in
+  let tr = Trace.ring ~capacity:8192 in
+  for _ = 1 to 5 do
+    let key = Hashid.Id.random Hashid.Id.sha1_space rng in
+    let origin = Prng.Rng.int rng s.nodes in
+    (* chord *)
+    Trace.clear tr;
+    let rc = Lookup.route ~trace:tr s.net s.lat ~origin ~key in
+    check_traced_lookup ~what:"chord" ~origin ~key:(Hashid.Id.to_hex key) ~events:(Trace.events tr)
+      ~destination:rc.Lookup.destination ~hop_count:rc.Lookup.hop_count ~latency:rc.Lookup.latency
+      ~depth:1 ~finished_at_layer:1;
+    (* hieras *)
+    Trace.clear tr;
+    let rh = Hlookup.route_checked ~trace:tr s.hnet ~origin ~key in
+    check_traced_lookup ~what:"hieras" ~origin ~key:(Hashid.Id.to_hex key)
+      ~events:(Trace.events tr) ~destination:rh.Hlookup.destination ~hop_count:rh.Hlookup.hop_count
+      ~latency:rh.Hlookup.latency ~depth:s.depth ~finished_at_layer:rh.Hlookup.finished_at_layer;
+    (* per-layer accounting closes over the totals *)
+    let layer_hops = Array.fold_left ( + ) 0 rh.Hlookup.hops_per_layer in
+    if layer_hops <> rh.Hlookup.hop_count then
+      QCheck.Test.fail_reportf "hops_per_layer sums to %d, hop_count %d" layer_hops
+        rh.Hlookup.hop_count;
+    let layer_lat = Array.fold_left ( +. ) 0.0 rh.Hlookup.latency_per_layer in
+    if not (close layer_lat rh.Hlookup.latency) then
+      QCheck.Test.fail_reportf "latency_per_layer sums to %g, latency %g" layer_lat
+        rh.Hlookup.latency;
+    (* trace layer tags agree with the per-layer hop accounting *)
+    let per_layer = Array.make s.depth 0 in
+    List.iter
+      (function
+        | Trace.Hop { layer; _ } -> per_layer.(layer - 1) <- per_layer.(layer - 1) + 1
+        | _ -> ())
+      (Trace.events tr);
+    Array.iteri
+      (fun k c ->
+        if c <> rh.Hlookup.hops_per_layer.(k) then
+          QCheck.Test.fail_reportf "layer %d: %d traced hops, %d accounted" (k + 1) c
+            rh.Hlookup.hops_per_layer.(k))
+      per_layer
+  done;
+  true
+
+let test_trace_invariants =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"traced lookups satisfy stream invariants" ~count:40
+       QCheck.(int_range 0 100_000)
+       trace_prop)
+
+(* --- golden trace ----------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden_path = Filename.concat "golden" "trace_ts64.jsonl"
+
+let test_golden_trace () =
+  let want = read_file golden_path in
+  let got = Obs_test_support.Golden.build_trace () in
+  let want_lines = String.split_on_char '\n' want in
+  let got_lines = String.split_on_char '\n' got in
+  Alcotest.(check int)
+    "line count (regenerate with: dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl)"
+    (List.length want_lines) (List.length got_lines);
+  List.iteri
+    (fun i w -> Alcotest.(check string) (Printf.sprintf "line %d" (i + 1)) w (List.nth got_lines i))
+    want_lines;
+  Alcotest.(check string) "byte-identical" want got
+
+let test_golden_trace_is_valid_jsonl () =
+  read_file golden_path |> String.split_on_char '\n'
+  |> List.iteri (fun i line ->
+         if line <> "" then
+           Alcotest.(check bool) (Printf.sprintf "golden line %d parses" (i + 1)) true
+             (json_valid line))
+
+(* --- engine counter conservation (qcheck) ------------------------------------ *)
+
+let engine_prop (seed, loss_centi, nodes, ops) =
+  let rng = Prng.Rng.create ~seed in
+  let eng =
+    Simnet.Engine.create ~latency:(fun a b -> 1.0 +. float_of_int (abs (a - b))) ~nodes
+  in
+  let rate = float_of_int loss_centi /. 100.0 in
+  if rate > 0.0 then Simnet.Engine.set_loss eng ~rate ~rng:(Prng.Rng.create ~seed:(seed + 1));
+  (* interleave sends from node 0 (kept alive) with kills/revives of others,
+     plus scheduled mid-flight kills — every drop path gets exercised *)
+  for op = 1 to ops do
+    match Prng.Rng.int rng 4 with
+    | 0 | 1 -> Simnet.Engine.send eng ~src:0 ~dst:(Prng.Rng.int rng nodes) (fun () -> ())
+    | 2 ->
+        if nodes > 1 then
+          let victim = 1 + Prng.Rng.int rng (nodes - 1) in
+          if Prng.Rng.int rng 2 = 0 then Simnet.Engine.kill eng victim
+          else Simnet.Engine.revive eng victim
+    | _ ->
+        if nodes > 1 then
+          let victim = 1 + Prng.Rng.int rng (nodes - 1) in
+          Simnet.Engine.schedule eng ~delay:(float_of_int (op mod 7))
+            (fun () -> Simnet.Engine.kill eng victim)
+  done;
+  Simnet.Engine.run eng;
+  let sent = Simnet.Engine.sent eng
+  and delivered = Simnet.Engine.delivered eng
+  and dead = Simnet.Engine.dropped_dead eng
+  and loss = Simnet.Engine.dropped_loss eng in
+  if sent <> delivered + dead + loss then
+    QCheck.Test.fail_reportf "sent %d <> delivered %d + dropped_dead %d + dropped_loss %d" sent
+      delivered dead loss;
+  (* the registry export mirrors the engine's own fields exactly *)
+  let m = Metrics.create () in
+  Simnet.Engine.export_metrics eng m;
+  let snap = Metrics.snapshot m in
+  let check name v =
+    match Metrics.find snap name with
+    | Some (Metrics.Counter c) when c = v -> ()
+    | Some (Metrics.Counter c) -> QCheck.Test.fail_reportf "%s: registry %d <> engine %d" name c v
+    | _ -> QCheck.Test.fail_reportf "%s missing from registry snapshot" name
+  in
+  check "simnet.sent" sent;
+  check "simnet.delivered" delivered;
+  check "simnet.dropped_dead" dead;
+  check "simnet.dropped_loss" loss;
+  check "simnet.pending_events" 0;
+  true
+
+let test_engine_conservation =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"sent = delivered + dropped_dead + dropped_loss" ~count:100
+       QCheck.(
+         quad (int_range 0 1_000_000) (int_range 0 90) (int_range 1 24) (int_range 0 400))
+       engine_prop)
+
+(* --- registry export from the runner ----------------------------------------- *)
+
+let test_runner_registry_export () =
+  let cfg =
+    let open Experiments.Config in
+    let c = paper_default in
+    let c = with_nodes c 96 in
+    let c = with_requests c 400 in
+    with_seed c 11
+  in
+  let reg = Metrics.create () in
+  let m = Experiments.Runner.run ~registry:reg cfg in
+  let snap = Metrics.snapshot reg in
+  (match Metrics.find snap "runner.requests" with
+  | Some (Metrics.Counter c) -> Alcotest.(check int) "request count" 400 c
+  | _ -> Alcotest.fail "runner.requests missing");
+  (match Metrics.find snap "runner.hieras.hops_mean" with
+  | Some (Metrics.Gauge g) ->
+      Alcotest.(check (float 0.0)) "hops mean matches metrics" (Stats.Summary.mean m.Experiments.Runner.hieras_hops) g
+  | _ -> Alcotest.fail "runner.hieras.hops_mean missing");
+  let json = Metrics.to_json snap in
+  Alcotest.(check bool) "registry JSON parses" true (json_valid json)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "kind clash raises" `Quick test_kind_clash_raises;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+          Alcotest.test_case "snapshot sorted + rendering" `Quick test_snapshot_sorted_and_rendering;
+        ] );
+      ( "trace-sinks",
+        [
+          Alcotest.test_case "disabled tracer" `Quick test_disabled_tracer;
+          Alcotest.test_case "ring keeps most recent" `Quick test_ring_keeps_most_recent;
+          Alcotest.test_case "ring ids sequential" `Quick test_ring_ids_sequential;
+          Alcotest.test_case "jsonl one line per event" `Quick test_jsonl_sink_lines;
+        ] );
+      ("trace-invariants", [ test_trace_invariants ]);
+      ( "golden",
+        [
+          Alcotest.test_case "fixed-seed TS-64 trace is byte-identical" `Quick test_golden_trace;
+          Alcotest.test_case "golden file is valid JSONL" `Quick test_golden_trace_is_valid_jsonl;
+        ] );
+      ("engine", [ test_engine_conservation ]);
+      ("runner", [ Alcotest.test_case "registry export" `Quick test_runner_registry_export ]);
+    ]

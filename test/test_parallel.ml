@@ -270,6 +270,22 @@ let test_measure_backend_independent () =
   check_metrics_equal eager1 (run Topology.Latency.Lazy 4);
   check_metrics_equal eager1 (run Topology.Latency.Auto 4)
 
+let test_registry_snapshot_jobs_independent () =
+  (* the runner.* registry export happens after the deterministic merge, on
+     the calling domain — so the rendered snapshot must be byte-identical for
+     any pool width, both as text and as JSON *)
+  let snapshot jobs =
+    let reg = Obs.Metrics.create () in
+    (if jobs = 1 then ignore (Runner.run ~registry:reg det_cfg)
+     else Pool.with_pool ~jobs (fun pool -> ignore (Runner.run ~pool ~registry:reg det_cfg)));
+    Obs.Metrics.snapshot reg
+  in
+  let s1 = snapshot 1 and s4 = snapshot 4 in
+  Alcotest.(check string) "to_text jobs 1 = jobs 4" (Obs.Metrics.to_text s1)
+    (Obs.Metrics.to_text s4);
+  Alcotest.(check string) "to_json jobs 1 = jobs 4" (Obs.Metrics.to_json s1)
+    (Obs.Metrics.to_json s4)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -303,5 +319,7 @@ let () =
           Alcotest.test_case "measure jobs 1 = jobs 4" `Slow test_measure_jobs1_equals_jobs4;
           Alcotest.test_case "measure default = pooled" `Slow test_measure_default_equals_pooled;
           Alcotest.test_case "measure backend-independent" `Slow test_measure_backend_independent;
+          Alcotest.test_case "registry snapshot jobs-independent" `Slow
+            test_registry_snapshot_jobs_independent;
         ] );
     ]
