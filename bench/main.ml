@@ -23,7 +23,13 @@
      dune exec bench/main.exe -- --trace-out t.jsonl
                                               write a structured JSONL trace
                                               of a 200-lookup batch on a
-                                              512-node network *)
+                                              512-node network
+     dune exec bench/main.exe -- --timings    print the hierarchical phase
+                                              profile (per figure: topology,
+                                              binning, builds, lookup replay)
+     dune exec bench/main.exe -- --folded f.txt
+                                              write flamegraph-ready folded
+                                              stacks of the phase profile *)
 
 let scale = ref 1.0
 let only = ref None
@@ -37,10 +43,16 @@ let json = ref false
 let label = ref None
 let metrics_flag = ref false
 let trace_out = ref None
+let timings_flag = ref false
+let folded_out = ref None
 
 (* one registry for the whole bench run: the runner, oracle and pool exports
    land here, --metrics prints it and --json embeds it *)
 let registry = Obs.Metrics.create ()
+
+(* one phase profiler for the whole run (real only under --timings/--folded,
+   so the default bench keeps the disabled-timer cost) *)
+let timer = ref Obs.Timer.disabled
 
 let () =
   let rec parse = function
@@ -82,6 +94,12 @@ let () =
     | "--trace-out" :: v :: rest ->
         trace_out := Some v;
         parse rest
+    | "--timings" :: rest ->
+        timings_flag := true;
+        parse rest
+    | "--folded" :: v :: rest ->
+        folded_out := Some v;
+        parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         parse rest
@@ -120,13 +138,13 @@ let run_figures pool =
   let timings = ref [] in
   let timed id f =
     let t0 = Unix.gettimeofday () in
-    emit (f ());
+    Obs.Timer.span !timer id (fun () -> emit (f ()));
     timings := (id, Unix.gettimeofday () -. t0) :: !timings
   in
   (match !only with
   | Some id -> (
       match Experiments.Figures.by_id id with
-      | Some f -> timed id (fun () -> f ~pool cfg)
+      | Some f -> timed id (fun () -> f ~pool ~timer:!timer cfg)
       | None ->
           prerr_endline
             ("bench: unknown experiment id " ^ id ^ "; known: "
@@ -137,7 +155,7 @@ let run_figures pool =
       List.iter
         (fun id ->
           match Experiments.Figures.by_id id with
-          | Some f -> timed id (fun () -> f ~pool cfg)
+          | Some f -> timed id (fun () -> f ~pool ~timer:!timer cfg)
           | None -> ())
         [ "table1"; "table2"; "fig2"; "fig4"; "fig6"; "fig8" ]);
   List.rev !timings
@@ -153,7 +171,8 @@ let run_extensions pool =
   print_endline "=== extensions: beyond the paper's figures ===";
   Printf.printf "configuration: %s\n\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
   let t0 = Unix.gettimeofday () in
-  Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg);
+  Obs.Timer.span !timer "extensions" (fun () ->
+      Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg));
   ("extensions", Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
@@ -169,9 +188,14 @@ let oracle_probe pool =
   let cfg =
     Experiments.Config.with_requests cfg (min cfg.Experiments.Config.requests 10_000)
   in
-  let env = Experiments.Runner.build_env ~pool cfg in
-  let hnet = Experiments.Runner.build_hieras env cfg in
-  ignore (Experiments.Runner.measure ~pool ~registry env hnet cfg);
+  let env, hnet =
+    Obs.Timer.span !timer "oracle-probe" (fun () ->
+        let env = Experiments.Runner.build_env ~pool ~timer:!timer cfg in
+        let hnet = Experiments.Runner.build_hieras ~timer:!timer env cfg in
+        ignore (Experiments.Runner.measure ~pool ~registry ~timer:!timer env hnet cfg);
+        (env, hnet))
+  in
+  ignore hnet;
   let lat = Experiments.Runner.latency_oracle env in
   Topology.Latency.export_metrics lat registry;
   let st = Topology.Latency.stats lat in
@@ -218,6 +242,7 @@ let oracle_probe pool =
    registry histograms — the only place the bench exercises that series
    kind. *)
 let traced_batch pool path =
+  Obs.Timer.span !timer "traced-batch" @@ fun () ->
   let rng = Prng.Rng.create ~seed:(!seed + 13) in
   let n = 512 in
   let lat = Topology.Transit_stub.generate ~backend:!backend ~pool ~hosts:n rng in
@@ -301,6 +326,7 @@ let micro_tests pool =
   ]
 
 let run_micro pool =
+  Obs.Timer.span !timer "micro" @@ fun () ->
   print_newline ();
   print_endline "=== micro-benchmarks (bechamel) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -391,6 +417,8 @@ let write_json ~jobs ~figures ~oracle ~micro_results =
   Printf.printf "\nwrote %s\n" path
 
 let () =
+  if !timings_flag || !folded_out <> None then
+    timer := Obs.Timer.create ~clock:Unix.gettimeofday;
   let jobs = if !jobs <= 0 then Parallel.Pool.default_jobs () else !jobs in
   Parallel.Pool.with_pool ~jobs (fun pool ->
       let fig_times = run_figures pool in
@@ -403,6 +431,17 @@ let () =
         (if !micro && !only = None then run_micro pool else []) @ oracle_micro
       in
       Parallel.Pool.export_metrics pool registry;
+      if Obs.Timer.enabled !timer then Obs.Timer.export_metrics !timer registry;
+      if !timings_flag then begin
+        print_newline ();
+        print_endline "=== phase profile ===";
+        print_string (Obs.Timer.to_text !timer)
+      end;
+      (match !folded_out with
+      | None -> ()
+      | Some path ->
+          Out_channel.with_open_text path (fun oc -> output_string oc (Obs.Timer.folded !timer));
+          Printf.printf "\nwrote folded stacks to %s\n" path);
       if !metrics_flag then begin
         print_newline ();
         print_endline "=== metrics ===";

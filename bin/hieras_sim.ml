@@ -6,13 +6,22 @@
      topology generate a topology and print its statistics
      cost     print the HIERAS state/maintenance cost model
      lookup   trace a single HIERAS lookup hop by hop
-     trace    replay a request stream with structured JSONL tracing *)
+     trace    replay a request stream with structured JSONL tracing
+     analyze  analyze a JSONL trace / compare two reports
+     churn    protocol-level churn run with time-series telemetry
+
+   Exit codes: 0 success, 1 runtime failure (also: regressions found by
+   `analyze compare`), 2 invalid command line. *)
 
 open Cmdliner
 
 let exit_err msg =
   prerr_endline ("hieras-sim: " ^ msg);
   exit 1
+
+let exit_usage msg =
+  prerr_endline ("hieras-sim: " ^ msg);
+  exit 2
 
 (* ---- shared options --------------------------------------------------- *)
 
@@ -113,6 +122,41 @@ let with_trace_out path f =
 
 let print_metrics reg = print_string (Obs.Metrics.to_text (Obs.Metrics.snapshot reg))
 
+let timings_t =
+  Arg.(
+    value
+    & flag
+    & info [ "timings" ]
+        ~doc:"Print a hierarchical wall-clock phase profile after the run.")
+
+let folded_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ] ~docv:"FILE"
+        ~doc:
+          "Write flamegraph-ready folded-stack lines (phase;subphase self-µs) \
+           to $(docv). Implies the phase profiler is on.")
+
+(* Run [f] under a wall-clock phase profiler when asked for; print the phase
+   table / write the folded stacks afterwards. *)
+let with_timer ~timings ~folded f =
+  if (not timings) && folded = None then f Obs.Timer.disabled
+  else begin
+    let tm = Obs.Timer.create ~clock:Unix.gettimeofday in
+    let r = f tm in
+    if timings then begin
+      print_newline ();
+      print_string (Obs.Timer.to_text tm)
+    end;
+    (match folded with
+    | None -> ()
+    | Some file ->
+        Out_channel.with_open_text file (fun oc -> output_string oc (Obs.Timer.folded tm));
+        Printf.printf "wrote folded stacks to %s\n" file);
+    r
+  end
+
 let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend =
   let cfg =
     {
@@ -126,7 +170,13 @@ let config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend =
       latency_backend = backend;
     }
   in
-  if scale = 1.0 then cfg else Experiments.Config.scaled cfg scale
+  if scale <= 0.0 then exit_usage (Printf.sprintf "--scale must be > 0 (got %g)" scale);
+  (* reject out-of-range parameters here, with exit code 2, instead of
+     failing deep inside the pipeline; validate the raw flags (scaling
+     clamps nodes/requests up to a working minimum and would mask them) *)
+  match Experiments.Config.validate cfg with
+  | Error msg -> exit_usage msg
+  | Ok () -> if scale = 1.0 then cfg else Experiments.Config.scaled cfg scale
 
 (* ---- figure ----------------------------------------------------------- *)
 
@@ -137,7 +187,8 @@ let figure_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id: table1 table2 fig2..fig9.")
   in
-  let run id model nodes landmarks depth requests seed scale jobs backend =
+  let run id model nodes landmarks depth requests seed scale jobs backend trace_out metrics
+      timings folded =
     match Experiments.Figures.by_id id with
     | None ->
         exit_err
@@ -145,27 +196,50 @@ let figure_cmd =
              (String.concat " " Experiments.Figures.ids))
     | Some f ->
         let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
-        with_jobs jobs (fun pool -> Experiments.Report.print_all (f ~pool cfg))
+        with_jobs jobs (fun pool ->
+            let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+            with_timer ~timings ~folded (fun timer ->
+                with_trace_out trace_out (fun trace ->
+                    Experiments.Report.print_all (f ~pool ?registry ~trace ~timer cfg));
+                Option.iter (fun reg -> Obs.Timer.export_metrics timer reg) registry);
+            match registry with
+            | None -> ()
+            | Some reg ->
+                Parallel.Pool.export_metrics pool reg;
+                print_newline ();
+                print_metrics reg)
   in
   let term =
     Term.(
       const run $ id_t $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t
-      $ seed_t $ scale_t $ jobs_t $ backend_t)
+      $ seed_t $ scale_t $ jobs_t $ backend_t $ trace_out_t $ metrics_t $ timings_t $ folded_t)
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce one table or figure of the paper") term
 
 (* ---- all -------------------------------------------------------------- *)
 
 let all_cmd =
-  let run model nodes landmarks depth requests seed scale jobs backend =
+  let run model nodes landmarks depth requests seed scale jobs backend trace_out metrics timings
+      folded =
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
     with_jobs jobs (fun pool ->
-        Experiments.Report.print_all (Experiments.Figures.all ~pool cfg))
+        let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+        with_timer ~timings ~folded (fun timer ->
+            with_trace_out trace_out (fun trace ->
+                Experiments.Report.print_all
+                  (Experiments.Figures.all ~pool ?registry ~trace ~timer cfg));
+            Option.iter (fun reg -> Obs.Timer.export_metrics timer reg) registry);
+        match registry with
+        | None -> ()
+        | Some reg ->
+            Parallel.Pool.export_metrics pool reg;
+            print_newline ();
+            print_metrics reg)
   in
   let term =
     Term.(
       const run $ model_t $ nodes_t 10_000 $ landmarks_t $ depth_t $ requests_t $ seed_t
-      $ scale_t $ jobs_t $ backend_t)
+      $ scale_t $ jobs_t $ backend_t $ trace_out_t $ metrics_t $ timings_t $ folded_t)
   in
   Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure") term
 
@@ -218,7 +292,7 @@ let topology_cmd =
 
 let cost_cmd =
   let run model nodes landmarks depth seed jobs backend =
-    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 ~backend in
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:1 ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
     let hnet = Experiments.Runner.build_hieras env cfg in
@@ -234,7 +308,7 @@ let cost_cmd =
 
 let lookup_cmd =
   let run model nodes landmarks depth seed jobs backend trace_out metrics =
-    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:0 ~seed ~scale:1.0 ~backend in
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:1 ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
     let hnet = Experiments.Runner.build_hieras env cfg in
@@ -339,6 +413,254 @@ let trace_cmd =
           JSONL tracing and a metrics registry")
     term
 
+(* ---- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let args_t =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"ARGS"
+          ~doc:
+            "Either a JSONL trace file (as written by $(b,--trace-out); schema \
+             in DESIGN.md \\S8), or $(b,compare) $(i,BASE) $(i,CAND) to diff \
+             two `analyze --json` reports / two BENCH_*.json snapshots.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as deterministic single-line JSON (DESIGN.md \\S9) \
+             instead of text tables.")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Forwarding hotspots to list per algorithm.")
+  in
+  let threshold_t =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "threshold" ] ~docv:"F"
+          ~doc:
+            "(compare mode) Relative regression threshold: flag metrics where \
+             (cand - base) / base exceeds $(docv) (0.2 = 20%).")
+  in
+  let analyze_file file json top_k =
+    if top_k < 0 then exit_usage (Printf.sprintf "--top must be >= 0 (got %d)" top_k);
+    let t =
+      try Obs.Analyze.of_file ~top_k file with
+      | Sys_error msg -> exit_err msg
+      | Failure msg -> exit_err msg
+    in
+    let r = Obs.Analyze.report t in
+    if json then print_endline (Obs.Analyze.report_json r)
+    else print_string (Obs.Analyze.report_text r)
+  in
+  let compare_reports base cand threshold =
+    if threshold <= 0.0 then
+      exit_usage (Printf.sprintf "--threshold must be > 0 (got %g)" threshold);
+    match Obs.Analyze.compare_files ~base ~cand ~threshold with
+    | Error msg -> exit_err msg
+    | Ok c ->
+        print_string (Obs.Analyze.comparison_text c);
+        if c.Obs.Analyze.regressions <> [] then exit 1
+  in
+  let run args json top_k threshold =
+    match args with
+    | [ file ] -> analyze_file file json top_k
+    | [ "compare"; base; cand ] -> compare_reports base cand threshold
+    | "compare" :: rest ->
+        exit_usage
+          (Printf.sprintf "analyze compare takes exactly BASE and CAND (got %d argument(s))"
+             (List.length rest))
+    | _ -> exit_usage "usage: analyze TRACE [--json] [--top K] | analyze compare BASE CAND"
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze a JSONL lookup trace (per-layer attribution, distributions, \
+          hotspots), or `analyze compare BASE CAND` to diff two reports — \
+          exit 1 when any metric regresses beyond the threshold")
+    Term.(const run $ args_t $ json_t $ top_t $ threshold_t)
+
+(* ---- churn ------------------------------------------------------------- *)
+
+let churn_cmd =
+  let pool_t =
+    Arg.(value & opt int 48 & info [ "pool" ] ~docv:"N" ~doc:"Total node address pool.")
+  in
+  let initial_t =
+    Arg.(value & opt int 12 & info [ "initial" ] ~docv:"N" ~doc:"Nodes alive before churn starts.")
+  in
+  let horizon_t =
+    Arg.(value & opt float 60.0 & info [ "horizon" ] ~docv:"S" ~doc:"Churn window length, seconds.")
+  in
+  let join_rate_t =
+    Arg.(value & opt float 0.25 & info [ "join-rate" ] ~docv:"R" ~doc:"Expected joins per second.")
+  in
+  let fail_rate_t =
+    Arg.(
+      value
+      & opt float 0.08
+      & info [ "fail-rate" ] ~docv:"R" ~doc:"Expected silent failures per second.")
+  in
+  let leave_rate_t =
+    Arg.(
+      value
+      & opt float 0.04
+      & info [ "leave-rate" ] ~docv:"R" ~doc:"Expected graceful leaves per second.")
+  in
+  let loss_t =
+    Arg.(value & opt float 0.01 & info [ "loss" ] ~docv:"P" ~doc:"Message loss probability.")
+  in
+  let bucket_t =
+    Arg.(
+      value
+      & opt float 1000.0
+      & info [ "bucket-ms" ] ~docv:"MS" ~doc:"Time-series bucket width, simulated ms.")
+  in
+  let lookups_t =
+    Arg.(
+      value
+      & opt int 60
+      & info [ "lookups" ] ~docv:"N" ~doc:"Probe lookups fired at 1 s intervals during churn.")
+  in
+  let run pool initial horizon join_rate fail_rate leave_rate loss bucket_ms lookups landmarks
+      depth seed trace_out metrics =
+    if pool < 2 then exit_usage (Printf.sprintf "--pool must be >= 2 (got %d)" pool);
+    if initial < 1 || initial > pool then
+      exit_usage (Printf.sprintf "--initial must be in 1..pool (got %d)" initial);
+    if depth < 2 || depth > 4 then
+      exit_usage (Printf.sprintf "--depth must be between 2 and 4 (got %d)" depth);
+    if landmarks < 1 then exit_usage (Printf.sprintf "--landmarks must be >= 1 (got %d)" landmarks);
+    if horizon <= 0.0 then exit_usage (Printf.sprintf "--horizon must be > 0 (got %g)" horizon);
+    if loss < 0.0 || loss >= 1.0 then
+      exit_usage (Printf.sprintf "--loss must be in [0, 1) (got %g)" loss);
+    if bucket_ms <= 0.0 then
+      exit_usage (Printf.sprintf "--bucket-ms must be > 0 (got %g)" bucket_ms);
+    let module Id = Hashid.Id in
+    let module Engine = Simnet.Engine in
+    let rng = Prng.Rng.create ~seed in
+    let lat = Topology.Transit_stub.generate ~hosts:pool rng in
+    let eng = Engine.create ~latency:(fun a b -> Topology.Latency.host_latency lat a b) ~nodes:pool in
+    if loss > 0.0 then Engine.set_loss eng ~rate:loss ~rng:(Prng.Rng.split rng);
+    let ts = Obs.Timeseries.create ~bucket_ms () in
+    Engine.attach_timeseries eng ts;
+    let space = Id.space ~bits:32 in
+    let lms = Binning.Landmark.choose_spread lat ~count:landmarks (Prng.Rng.split rng) in
+    let cfg = Hieras.Hprotocol.default_config space ~depth in
+    let p = Hieras.Hprotocol.create ~ts cfg eng ~lat ~landmarks:lms in
+    let id_of i = Id.of_hash space (Printf.sprintf "peer-%d" i) in
+    (* initial population joins sequentially, then settles *)
+    Hieras.Hprotocol.spawn p ~addr:0 ~id:(id_of 0);
+    for i = 1 to initial - 1 do
+      Engine.schedule eng ~delay:(float_of_int i *. 400.0) (fun () ->
+          Hieras.Hprotocol.join p ~addr:i ~id:(id_of i) ~bootstrap:0)
+    done;
+    let settle = (float_of_int initial *. 400.0) +. 15_000.0 in
+    Engine.run ~until:settle eng;
+    Printf.printf "t=%.0fs: %d members settled, global ring %d nodes\n" (settle /. 1000.0)
+      (List.length (Hieras.Hprotocol.live_members p))
+      (List.length (Hieras.Hprotocol.ring_from p 0 ~layer:1));
+    (* churn schedule (planned series) replayed against the protocol *)
+    let spec =
+      {
+        Workload.Churn.horizon = horizon *. 1000.0;
+        join_rate;
+        fail_rate;
+        leave_rate;
+      }
+    in
+    let events = Workload.Churn.generate ~ts spec ~initial ~pool (Prng.Rng.split rng) in
+    Printf.printf "replaying %d churn events over %gs...\n" (List.length events) horizon;
+    List.iter
+      (fun e ->
+        Engine.schedule eng ~delay:e.Workload.Churn.at (fun () ->
+            match e.Workload.Churn.kind with
+            | Workload.Churn.Join ->
+                if not (Hieras.Hprotocol.is_member p e.Workload.Churn.node) then begin
+                  match Hieras.Hprotocol.live_members p with
+                  | b :: _ ->
+                      Hieras.Hprotocol.join p ~addr:e.Workload.Churn.node
+                        ~id:(id_of e.Workload.Churn.node) ~bootstrap:b
+                  | [] -> ()
+                end
+            | Workload.Churn.Fail | Workload.Churn.Leave ->
+                if Hieras.Hprotocol.is_member p e.Workload.Churn.node then
+                  Hieras.Hprotocol.fail_node p e.Workload.Churn.node))
+      events;
+    (* probe lookups throughout the churn window *)
+    let issued = ref 0 and answered = ref 0 and correct = ref 0 in
+    let check_rng = Prng.Rng.split rng in
+    for k = 1 to lookups do
+      Engine.schedule eng ~delay:(float_of_int k *. 1000.0) (fun () ->
+          match Hieras.Hprotocol.live_members p with
+          | [] -> ()
+          | members ->
+              let arr = Array.of_list members in
+              let origin = arr.(Prng.Rng.int check_rng (Array.length arr)) in
+              let key = Id.random space check_rng in
+              incr issued;
+              Hieras.Hprotocol.lookup p ~origin ~key (fun r ->
+                  match r with
+                  | None -> ()
+                  | Some o ->
+                      incr answered;
+                      let live = Hieras.Hprotocol.live_members p in
+                      if
+                        List.exists
+                          (fun m -> Id.equal (Hieras.Hprotocol.node_id p m) o.Hieras.Hprotocol.owner_id)
+                          live
+                      then incr correct))
+    done;
+    Engine.run ~until:(settle +. (horizon *. 1000.0) +. 30_000.0) eng;
+    Printf.printf "t=%.0fs: %d members alive\n" (Engine.now eng /. 1000.0)
+      (List.length (Hieras.Hprotocol.live_members p));
+    Printf.printf "lookups: issued %d, answered %d, answered-by-live-member %d\n" !issued !answered
+      !correct;
+    Printf.printf "messages: sent %d, delivered %d, lost %d, to-dead %d\n" (Engine.sent eng)
+      (Engine.delivered eng) (Engine.dropped_loss eng) (Engine.dropped_dead eng);
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc (Obs.Timeseries.to_json ts);
+            output_char oc '\n');
+        Printf.printf "wrote %d time series to %s\n"
+          (List.length (Obs.Timeseries.names ts))
+          file);
+    if metrics then begin
+      let reg = Obs.Metrics.create () in
+      Engine.export_metrics eng reg;
+      Obs.Timeseries.export_metrics ts reg;
+      print_newline ();
+      print_metrics reg
+    end
+  in
+  let term =
+    Term.(
+      const run $ pool_t $ initial_t $ horizon_t $ join_rate_t $ fail_rate_t $ leave_rate_t
+      $ loss_t $ bucket_t $ lookups_t $ landmarks_t $ depth_t $ seed_t
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace-out" ] ~docv:"FILE"
+              ~doc:
+                "Write the bucketed time series (membership, per-layer ring \
+                 counts, joins/leaves/fails, network traffic) as one JSON \
+                 object to $(docv).")
+      $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Run the message-level HIERAS protocol under churn with time-series \
+          telemetry (membership, ring counts, maintenance traffic)")
+    term
+
 (* ---- extensions -------------------------------------------------------- *)
 
 let extensions_cmd =
@@ -361,6 +683,16 @@ let extensions_cmd =
 let main =
   let doc = "HIERAS: DHT-based hierarchical P2P routing — paper reproduction" in
   Cmd.group (Cmd.info "hieras-sim" ~doc)
-    [ figure_cmd; all_cmd; topology_cmd; cost_cmd; lookup_cmd; trace_cmd; extensions_cmd ]
+    [
+      figure_cmd;
+      all_cmd;
+      topology_cmd;
+      cost_cmd;
+      lookup_cmd;
+      trace_cmd;
+      analyze_cmd;
+      churn_cmd;
+      extensions_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -43,9 +43,27 @@ type pnode = {
          single lost reply must not expunge a healthy peer *)
 }
 
-type t = { cfg : config; eng : Engine.t; nodes : (int, pnode) Hashtbl.t }
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  nodes : (int, pnode) Hashtbl.t;
+  ts_members : Obs.Timeseries.series;
+  ts_joins : Obs.Timeseries.series;
+  ts_join_done : Obs.Timeseries.series;
+  ts_fails : Obs.Timeseries.series;
+}
 
-let create cfg eng = { cfg; eng; nodes = Hashtbl.create 64 }
+let create ?(ts = Obs.Timeseries.disabled) cfg eng =
+  {
+    cfg;
+    eng;
+    nodes = Hashtbl.create 64;
+    ts_members = Obs.Timeseries.gauge ts "chord.members";
+    ts_joins = Obs.Timeseries.counter ts "chord.joins";
+    ts_join_done = Obs.Timeseries.counter ts "chord.joins_completed";
+    ts_fails = Obs.Timeseries.counter ts "chord.fails";
+  }
+
 let engine t = t.eng
 let config t = t.cfg
 
@@ -65,6 +83,12 @@ let finger_addrs t addr = Array.map (Option.map (fun p -> p.paddr)) (get t addr)
 let live_members t =
   Hashtbl.fold (fun addr _ acc -> if Engine.is_alive t.eng addr then addr :: acc else acc) t.nodes []
   |> List.sort Stdlib.compare
+
+(* Lifecycle events are rare relative to messages, so counting live members
+   on each one is cheap enough for the membership gauge. *)
+let emit_members t =
+  let count = Hashtbl.fold (fun a _ n -> if Engine.is_alive t.eng a then n + 1 else n) t.nodes 0 in
+  Obs.Timeseries.set t.ts_members ~at:(Engine.now t.eng) (float_of_int count)
 
 let ring_from t start =
   let guard = 2 * (Hashtbl.length t.nodes + 1) in
@@ -323,11 +347,14 @@ let fresh_node t ~addr ~id =
 let spawn t ~addr ~id =
   let pn = fresh_node t ~addr ~id in
   pn.succs <- [ self_peer pn ];
-  start_maintenance t pn
+  start_maintenance t pn;
+  emit_members t
 
 let join t ~addr ~id ~bootstrap =
   let pn = fresh_node t ~addr ~id in
   pn.anchor <- bootstrap;
+  Obs.Timeseries.add t.ts_joins ~at:(Engine.now t.eng) 1.0;
+  emit_members t;
   let rec attempt n =
     (* route the join query through the bootstrap node *)
     let settled = ref false in
@@ -339,7 +366,8 @@ let join t ~addr ~id ~bootstrap =
                 if not !settled then begin
                   settled := true;
                   pn.succs <- [ p ];
-                  start_maintenance t pn
+                  start_maintenance t pn;
+                  Obs.Timeseries.add t.ts_join_done ~at:(Engine.now t.eng) 1.0
                 end));
     Engine.timer t.eng ~node:addr ~delay:t.cfg.rpc_timeout (fun () ->
         if not !settled then begin
@@ -354,7 +382,9 @@ let join t ~addr ~id ~bootstrap =
 
 let fail_node t addr =
   if not (Hashtbl.mem t.nodes addr) then invalid_arg "Chord.Protocol.fail_node: unknown node";
-  Engine.kill t.eng addr
+  Engine.kill t.eng addr;
+  Obs.Timeseries.add t.ts_fails ~at:(Engine.now t.eng) 1.0;
+  emit_members t
 
 type lookup_outcome = { owner_addr : int; owner_id : Id.t; hops : int; retries : int }
 

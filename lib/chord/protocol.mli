@@ -27,7 +27,13 @@ val default_config : Hashid.Id.space -> config
 
 type t
 
-val create : config -> Simnet.Engine.t -> t
+val create : ?ts:Obs.Timeseries.t -> config -> Simnet.Engine.t -> t
+(** [ts] (default disabled) receives churn series stamped with sim time:
+    gauge [chord.members] (nodes present and alive, set on every lifecycle
+    event — joins still in progress count) and counters [chord.joins]
+    (initiated), [chord.joins_completed] (first successor learned,
+    maintenance started) and [chord.fails]. *)
+
 val engine : t -> Simnet.Engine.t
 val config : t -> config
 

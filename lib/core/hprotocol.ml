@@ -62,9 +62,15 @@ type t = {
   landmarks : Binning.Landmark.t;
   chain : Binning.Scheme.thresholds array;
   nodes : (int, pnode) Hashtbl.t;
+  ts_collector : Obs.Timeseries.t;
+  ts_members : Obs.Timeseries.series;
+  ts_joins : Obs.Timeseries.series;
+  ts_join_done : Obs.Timeseries.series;
+  ts_fails : Obs.Timeseries.series;
+  ts_rings : Obs.Timeseries.series array; (* ts_rings.(k-2) = layer-k ring count *)
 }
 
-let create cfg eng ~lat ~landmarks =
+let create ?(ts = Obs.Timeseries.disabled) cfg eng ~lat ~landmarks =
   if cfg.depth < 2 then invalid_arg "Hprotocol.create: depth must be >= 2";
   {
     cfg;
@@ -73,6 +79,14 @@ let create cfg eng ~lat ~landmarks =
     landmarks;
     chain = Binning.Scheme.refinement_chain ~depth:cfg.depth;
     nodes = Hashtbl.create 64;
+    ts_collector = ts;
+    ts_members = Obs.Timeseries.gauge ts "hieras.members";
+    ts_joins = Obs.Timeseries.counter ts "hieras.joins";
+    ts_join_done = Obs.Timeseries.counter ts "hieras.joins_completed";
+    ts_fails = Obs.Timeseries.counter ts "hieras.fails";
+    ts_rings =
+      Array.init (cfg.depth - 1) (fun k ->
+          Obs.Timeseries.gauge ts (Printf.sprintf "hieras.layer%d.rings" (k + 2)));
   }
 
 let engine t = t.eng
@@ -91,6 +105,27 @@ let order_of t addr ~layer =
   (get t addr).orders.(layer - 2)
 
 let layer_state pn ~layer = pn.layers.(layer - 1)
+
+(* Membership + ring-count gauges, stamped with sim time. Walks the node
+   table once per lifecycle event (join/spawn/fail) — rare next to message
+   traffic, and a no-op when the collector is disabled. *)
+let emit_churn t =
+  if Obs.Timeseries.enabled t.ts_collector then begin
+    let at = Engine.now t.eng in
+    let live = ref 0 in
+    let rings = Array.init (t.cfg.depth - 1) (fun _ -> Hashtbl.create 16) in
+    Hashtbl.iter
+      (fun addr pn ->
+        if Engine.is_alive t.eng addr then begin
+          incr live;
+          Array.iteri (fun k order -> Hashtbl.replace rings.(k) order ()) pn.orders
+        end)
+      t.nodes;
+    Obs.Timeseries.set t.ts_members ~at (float_of_int !live);
+    Array.iteri
+      (fun k s -> Obs.Timeseries.set s ~at (float_of_int (Hashtbl.length rings.(k))))
+      t.ts_rings
+  end
 
 let successor_addr t addr ~layer =
   check_layer t layer;
@@ -534,7 +569,8 @@ let spawn t ~addr ~id =
     in
     store_ring_table t pn rt
   done;
-  start_maintenance t pn
+  start_maintenance t pn;
+  emit_churn t
 
 (* Join one lower layer (paper §3.3): locate the ring table through the top
    layer, ask a recorded member for our ring-level successor, register
@@ -619,6 +655,8 @@ let join_lower_layer t pn ~layer ~and_then =
 let join t ~addr ~id ~bootstrap =
   let pn = fresh_node t ~addr ~id in
   pn.anchor <- bootstrap;
+  Obs.Timeseries.add t.ts_joins ~at:(Engine.now t.eng) 1.0;
+  emit_churn t;
   (* step 1-2: fetch the landmark table from the bootstrap and ping the
      landmarks; we charge one RTT to the farthest landmark before the
      overlay join proceeds. The fetch retries forever — losing it must not
@@ -648,7 +686,11 @@ let join t ~addr ~id ~bootstrap =
                           (layer_state pn ~layer:1).succs <- [ p ];
                           (* step 4: join each lower layer in turn *)
                           let rec lower layer =
-                            if layer > t.cfg.depth then start_maintenance t pn
+                            if layer > t.cfg.depth then begin
+                              start_maintenance t pn;
+                              Obs.Timeseries.add t.ts_join_done ~at:(Engine.now t.eng) 1.0;
+                              emit_churn t
+                            end
                             else
                               join_lower_layer t pn ~layer ~and_then:(fun () ->
                                   lower (layer + 1))
@@ -671,7 +713,9 @@ let join t ~addr ~id ~bootstrap =
 
 let fail_node t addr =
   if not (Hashtbl.mem t.nodes addr) then invalid_arg "Hprotocol.fail_node: unknown node";
-  Engine.kill t.eng addr
+  Engine.kill t.eng addr;
+  Obs.Timeseries.add t.ts_fails ~at:(Engine.now t.eng) 1.0;
+  emit_churn t
 
 (* ---- hierarchical lookup ------------------------------------------------ *)
 

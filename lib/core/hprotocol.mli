@@ -45,13 +45,22 @@ val default_config : Hashid.Id.space -> depth:int -> config
 type t
 
 val create :
+  ?ts:Obs.Timeseries.t ->
   config ->
   Simnet.Engine.t ->
   lat:Topology.Latency.t ->
   landmarks:Binning.Landmark.t ->
   t
 (** Engine addresses must be topology host indices (the landmark "pings" of
-    joining nodes are answered from the latency oracle). *)
+    joining nodes are answered from the latency oracle).
+
+    [ts] (default disabled) receives churn series stamped with sim time:
+    gauges [hieras.members] (nodes present and alive, including joins in
+    progress) and [hieras.layer<k>.rings] (distinct layer-[k] ring names
+    over the live members, [k] in 2..depth), plus counters [hieras.joins]
+    (initiated), [hieras.joins_completed] (all layers joined, maintenance
+    started) and [hieras.fails]. All are refreshed on every
+    join/spawn/fail. *)
 
 val engine : t -> Simnet.Engine.t
 val config : t -> config

@@ -37,6 +37,16 @@ let scaled t f =
     requests = max 100 (int_of_float (float_of_int t.requests *. f));
   }
 
+let validate t =
+  if t.nodes < 2 then Error (Printf.sprintf "--nodes must be >= 2 (got %d)" t.nodes)
+  else if t.landmarks < 1 then Error (Printf.sprintf "--landmarks must be >= 1 (got %d)" t.landmarks)
+  else if t.depth < 2 || t.depth > 4 then
+    Error (Printf.sprintf "--depth must be between 2 and 4 (got %d)" t.depth)
+  else if t.requests < 1 then Error (Printf.sprintf "--requests must be >= 1 (got %d)" t.requests)
+  else if t.succ_list_len < 1 then
+    Error (Printf.sprintf "succ_list_len must be >= 1 (got %d)" t.succ_list_len)
+  else Ok ()
+
 let network_sizes t =
   let min_n = Topology.Model.min_hosts t.model in
   let scale = float_of_int t.nodes /. 10_000.0 in

@@ -31,6 +31,13 @@ val with_requests : t -> int -> t
 val with_seed : t -> int -> t
 val with_latency_backend : t -> Topology.Latency.backend -> t
 
+val validate : t -> (unit, string) result
+(** Checks the parameter ranges the system supports: [nodes >= 2],
+    [landmarks >= 1], [depth] in 2..4 (a depth-1 HIERAS {e is} Chord;
+    binning refinement chains are defined to depth 4), [requests >= 1],
+    [succ_list_len >= 1]. The error message names the offending CLI flag —
+    both CLIs print it and exit 2 before building anything. *)
+
 val scaled : t -> float -> t
 (** [scaled cfg f] multiplies node and request counts by [f] (minimum 64
     nodes / 100 requests) — used for fast test configurations. *)

@@ -2,7 +2,13 @@ module Summary = Stats.Summary
 module Histogram = Stats.Histogram
 module Table = Stats.Text_table
 
-type generator = ?pool:Parallel.Pool.t -> Config.t -> Report.section list
+type generator =
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section list
 
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x
@@ -12,9 +18,9 @@ let ms x = Printf.sprintf "%.1f" x
 (* Table 1: landmark orders of sample nodes                           *)
 (* ----------------------------------------------------------------- *)
 
-let table1 ?pool cfg =
+let table1 ?pool ?registry:_ ?trace:_ ?timer cfg =
   let cfg = { cfg with Config.nodes = min cfg.Config.nodes 1000 } in
-  let env = Runner.build_env ?pool cfg in
+  let env = Runner.build_env ?pool ?timer cfg in
   let lat = Runner.latency_oracle env in
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 7919) in
   let landmarks = Binning.Landmark.choose_spread lat ~count:cfg.Config.landmarks rng in
@@ -51,7 +57,7 @@ let table1 ?pool cfg =
 (* Table 2: two-layer finger tables of one node, 8-bit space          *)
 (* ----------------------------------------------------------------- *)
 
-let table2 ?pool cfg =
+let table2 ?pool ?registry:_ ?trace:_ ?timer:_ cfg =
   let space = Hashid.Id.space ~bits:8 in
   let nodes = 24 in
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 31) in
@@ -110,7 +116,7 @@ let table2 ?pool cfg =
 (* Figures 2 and 3: size sweep per model                              *)
 (* ----------------------------------------------------------------- *)
 
-let fig2_and_fig3 ?pool cfg =
+let fig2_and_fig3 ?pool ?registry ?trace ?timer cfg =
   let hops_table = Table.create [ "Model"; "Nodes"; "Chord hops"; "HIERAS hops"; "Overhead" ] in
   let lat_table =
     Table.create [ "Model"; "Nodes"; "Chord ms"; "HIERAS ms"; "HIERAS/Chord" ]
@@ -130,7 +136,7 @@ let fig2_and_fig3 ?pool cfg =
       List.iter
         (fun n ->
           let cfg = Config.with_nodes cfg n in
-          let m = Runner.run ?pool cfg in
+          let m = Runner.run ?pool ?registry ?trace ?timer cfg in
           let ch = Summary.mean m.Runner.chord_hops and hh = Summary.mean m.Runner.hieras_hops in
           let cl = Summary.mean m.Runner.chord_latency
           and hl = Summary.mean m.Runner.hieras_latency in
@@ -206,8 +212,8 @@ let fig2_and_fig3 ?pool cfg =
 (* Figures 4 and 5: hop PDF and latency CDF                           *)
 (* ----------------------------------------------------------------- *)
 
-let fig4_and_fig5 ?pool cfg =
-  let m = Runner.run ?pool cfg in
+let fig4_and_fig5 ?pool ?registry ?trace ?timer cfg =
+  let m = Runner.run ?pool ?registry ?trace ?timer cfg in
   let pdf_c = Histogram.pdf m.Runner.chord_hop_pdf in
   let pdf_h = Histogram.pdf m.Runner.hieras_hop_pdf in
   let pdf_l = Histogram.pdf m.Runner.lower_hop_pdf in
@@ -287,8 +293,8 @@ let fig4_and_fig5 ?pool cfg =
 (* Figures 6 and 7: landmark sweep                                    *)
 (* ----------------------------------------------------------------- *)
 
-let fig6_and_fig7 ?pool cfg =
-  let env = Runner.build_env ?pool cfg in
+let fig6_and_fig7 ?pool ?registry ?trace ?timer cfg =
+  let env = Runner.build_env ?pool ?timer cfg in
   let hops_table =
     Table.create [ "Landmarks"; "Chord hops"; "HIERAS hops"; "Lower-layer hops"; "Overhead" ]
   in
@@ -300,8 +306,8 @@ let fig6_and_fig7 ?pool cfg =
   List.iter
     (fun lm ->
       let cfg = Config.with_landmarks cfg lm in
-      let hnet = Runner.build_hieras env cfg in
-      let m = Runner.measure ?pool env hnet cfg in
+      let hnet = Runner.build_hieras ?timer env cfg in
+      let m = Runner.measure ?pool ?registry ?trace ?timer env hnet cfg in
       Table.add_row hops_table
         [
           string_of_int lm;
@@ -357,7 +363,7 @@ let fig6_and_fig7 ?pool cfg =
 (* Figures 8 and 9: hierarchy depth sweep                             *)
 (* ----------------------------------------------------------------- *)
 
-let fig8_and_fig9 ?pool cfg =
+let fig8_and_fig9 ?pool ?registry ?trace ?timer cfg =
   let cfg = Config.with_landmarks cfg 6 in
   let scale = float_of_int cfg.Config.nodes /. 10_000.0 in
   let sizes =
@@ -371,13 +377,13 @@ let fig8_and_fig9 ?pool cfg =
   List.iter
     (fun n ->
       let cfg = Config.with_nodes cfg n in
-      let env = Runner.build_env ?pool cfg in
+      let env = Runner.build_env ?pool ?timer cfg in
       let results =
         List.map
           (fun depth ->
             let cfg = Config.with_depth cfg depth in
-            let hnet = Runner.build_hieras env cfg in
-            Runner.measure ?pool env hnet cfg)
+            let hnet = Runner.build_hieras ?timer env cfg in
+            Runner.measure ?pool ?registry ?trace ?timer env hnet cfg)
           [ 2; 3; 4 ]
       in
       match results with
@@ -441,39 +447,42 @@ let fig8_and_fig9 ?pool cfg =
 
 (* ----------------------------------------------------------------- *)
 
-let all ?pool cfg =
-  let t1 = table1 ?pool cfg in
-  let t2 = table2 ?pool cfg in
-  let f2, f3 = fig2_and_fig3 ?pool cfg in
-  let f4, f5 = fig4_and_fig5 ?pool cfg in
-  let f6, f7 = fig6_and_fig7 ?pool cfg in
-  let f8, f9 = fig8_and_fig9 ?pool cfg in
+(* Each table/figure runs under a span named by its id, so a profiled `all`
+   shows where the suite's time goes before descending into Runner phases. *)
+let all ?pool ?registry ?trace ?timer cfg =
+  let sp id f = Obs.Timer.span (Option.value timer ~default:Obs.Timer.disabled) id f in
+  let t1 = sp "table1" (fun () -> table1 ?pool ?registry ?trace ?timer cfg) in
+  let t2 = sp "table2" (fun () -> table2 ?pool ?registry ?trace ?timer cfg) in
+  let f2, f3 = sp "fig2+3" (fun () -> fig2_and_fig3 ?pool ?registry ?trace ?timer cfg) in
+  let f4, f5 = sp "fig4+5" (fun () -> fig4_and_fig5 ?pool ?registry ?trace ?timer cfg) in
+  let f6, f7 = sp "fig6+7" (fun () -> fig6_and_fig7 ?pool ?registry ?trace ?timer cfg) in
+  let f8, f9 = sp "fig8+9" (fun () -> fig8_and_fig9 ?pool ?registry ?trace ?timer cfg) in
   [ t1; t2; f2; f3; f4; f5; f6; f7; f8; f9 ]
 
 let ids =
   [ "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9" ]
 
 let by_id = function
-  | "table1" -> Some (fun ?pool cfg -> [ table1 ?pool cfg ])
-  | "table2" -> Some (fun ?pool cfg -> [ table2 ?pool cfg ])
+  | "table1" -> Some (fun ?pool ?registry ?trace ?timer cfg -> [ table1 ?pool ?registry ?trace ?timer cfg ])
+  | "table2" -> Some (fun ?pool ?registry ?trace ?timer cfg -> [ table2 ?pool ?registry ?trace ?timer cfg ])
   | "fig2" | "fig3" ->
       Some
-        (fun ?pool cfg ->
-          let a, b = fig2_and_fig3 ?pool cfg in
+        (fun ?pool ?registry ?trace ?timer cfg ->
+          let a, b = fig2_and_fig3 ?pool ?registry ?trace ?timer cfg in
           [ a; b ])
   | "fig4" | "fig5" ->
       Some
-        (fun ?pool cfg ->
-          let a, b = fig4_and_fig5 ?pool cfg in
+        (fun ?pool ?registry ?trace ?timer cfg ->
+          let a, b = fig4_and_fig5 ?pool ?registry ?trace ?timer cfg in
           [ a; b ])
   | "fig6" | "fig7" ->
       Some
-        (fun ?pool cfg ->
-          let a, b = fig6_and_fig7 ?pool cfg in
+        (fun ?pool ?registry ?trace ?timer cfg ->
+          let a, b = fig6_and_fig7 ?pool ?registry ?trace ?timer cfg in
           [ a; b ])
   | "fig8" | "fig9" ->
       Some
-        (fun ?pool cfg ->
-          let a, b = fig8_and_fig9 ?pool cfg in
+        (fun ?pool ?registry ?trace ?timer cfg ->
+          let a, b = fig8_and_fig9 ?pool ?registry ?trace ?timer cfg in
           [ a; b ])
   | _ -> None

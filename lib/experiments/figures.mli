@@ -7,36 +7,85 @@
     are produced in pairs so the expensive substrate is reused. All functions
     honour the config's scale (nodes/requests), so tests run them shrunk. *)
 
-type generator = ?pool:Parallel.Pool.t -> Config.t -> Report.section list
+type generator =
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section list
 (** Every generator takes an optional domain pool; results are bit-identical
-    for any pool width (see {!Runner.measure}). *)
+    for any pool width (see {!Runner.measure}).
 
-val table1 : ?pool:Parallel.Pool.t -> Config.t -> Report.section
+    The observability hooks forward to the underlying {!Runner} calls:
+    [registry] receives the [runner.*] export of each measurement run (a
+    multi-run generator overwrites it per run — the last run wins), [trace]
+    receives every lookup of every run (and forces measurement onto the
+    calling domain), [timer] records the build/replay phases. *)
+
+val table1 :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section
 (** Landmark order examples: a sample of nodes with their measured distances
     to each landmark and the resulting order strings (paper Table 1). *)
 
-val table2 : ?pool:Parallel.Pool.t -> Config.t -> Report.section
+val table2 :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section
 (** Two-layer finger tables of one node in a small (8-bit) HIERAS system
     (paper Table 2): start, interval, layer-1 and layer-2 successors with
     their layer-2 ring names. *)
 
-val fig2_and_fig3 : ?pool:Parallel.Pool.t -> Config.t -> Report.section * Report.section
+val fig2_and_fig3 :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section * Report.section
 (** Size sweep per model: average hops (Fig 2) and average latency with the
     HIERAS/Chord ratio (Fig 3). *)
 
-val fig4_and_fig5 : ?pool:Parallel.Pool.t -> Config.t -> Report.section * Report.section
+val fig4_and_fig5 :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section * Report.section
 (** Hop-count PDF (Fig 4) and latency CDF (Fig 5) at the default
     configuration. *)
 
-val fig6_and_fig7 : ?pool:Parallel.Pool.t -> Config.t -> Report.section * Report.section
+val fig6_and_fig7 :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section * Report.section
 (** Landmark-count sweep 2..12: hops (Fig 6) and latency (Fig 7). *)
 
-val fig8_and_fig9 : ?pool:Parallel.Pool.t -> Config.t -> Report.section * Report.section
+val fig8_and_fig9 :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  Report.section * Report.section
 (** Hierarchy-depth sweep 2..4 over sizes 5000..10000 with 6 landmarks:
     hops (Fig 8) and latency (Fig 9). *)
 
 val all : generator
-(** Every table and figure, in paper order. *)
+(** Every table and figure, in paper order. A [timer] additionally wraps each
+    table/figure in a span named by its id. *)
 
 val by_id : string -> generator option
 (** Lookup by experiment id ("table1", "fig2", ... — paired figures return

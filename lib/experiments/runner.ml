@@ -10,30 +10,34 @@ type env = {
 
 let space = Hashid.Id.sha1_space
 
-let build_env ?pool cfg =
+let build_env ?pool ?(timer = Obs.Timer.disabled) cfg =
   let rng = Prng.Rng.create ~seed:cfg.Config.seed in
   let topo_rng = Prng.Rng.split rng in
   let lat =
-    Topology.Model.build ~backend:cfg.Config.latency_backend ?pool cfg.Config.model
-      ~hosts:cfg.Config.nodes topo_rng
+    Obs.Timer.span timer "topology" (fun () ->
+        Topology.Model.build ~backend:cfg.Config.latency_backend ?pool cfg.Config.model
+          ~hosts:cfg.Config.nodes topo_rng)
   in
   let hosts = Array.init cfg.Config.nodes (fun i -> i) in
   let chord =
-    Chord.Network.build ~space ~hosts ~succ_list_len:cfg.Config.succ_list_len
-      ~salt:(Printf.sprintf "peer-%d" cfg.Config.seed)
-      ()
+    Obs.Timer.span timer "chord-build" (fun () ->
+        Chord.Network.build ~space ~hosts ~succ_list_len:cfg.Config.succ_list_len
+          ~salt:(Printf.sprintf "peer-%d" cfg.Config.seed)
+          ())
   in
   { cfg; lat; chord }
 
 let latency_oracle env = env.lat
 let chord_network env = env.chord
 
-let build_hieras env cfg =
+let build_hieras ?(timer = Obs.Timer.disabled) env cfg =
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 7919) in
   let landmarks =
-    Binning.Landmark.choose_spread env.lat ~count:cfg.Config.landmarks rng
+    Obs.Timer.span timer "binning" (fun () ->
+        Binning.Landmark.choose_spread env.lat ~count:cfg.Config.landmarks rng)
   in
-  Hieras.Hnetwork.build ~chord:env.chord ~lat:env.lat ~landmarks ~depth:cfg.Config.depth ()
+  Obs.Timer.span timer "hieras-build" (fun () ->
+      Hieras.Hnetwork.build ~chord:env.chord ~lat:env.lat ~landmarks ~depth:cfg.Config.depth ())
 
 type metrics = {
   config : Config.t;
@@ -100,9 +104,9 @@ let merge_metrics a b =
       Array.mapi (fun k v -> v +. b.latency_per_layer.(k)) a.latency_per_layer;
   }
 
-let measure_one env hnet m { Workload.Requests.origin; key } =
-  let rc = Chord.Lookup.route env.chord env.lat ~origin ~key in
-  let rh = Hieras.Hlookup.route hnet ~origin ~key in
+let measure_one ?trace env hnet m { Workload.Requests.origin; key } =
+  let rc = Chord.Lookup.route ?trace env.chord env.lat ~origin ~key in
+  let rh = Hieras.Hlookup.route ?trace hnet ~origin ~key in
   if rc.Chord.Lookup.destination <> rh.Hieras.Hlookup.destination then
     failwith "Runner.measure: HIERAS and Chord disagree on a key's owner";
   Summary.add m.chord_hops (float_of_int rc.Chord.Lookup.hop_count);
@@ -155,22 +159,34 @@ let export_registry reg m =
     (fun k v -> g (Printf.sprintf "runner.hieras.layer%d.latency_mean_ms" (k + 1)) v)
     m.latency_per_layer
 
-let measure ?pool ?registry env hnet cfg =
-  let pool = Option.value pool ~default:Pool.sequential in
+let measure ?pool ?registry ?(trace = Obs.Trace.disabled) ?(timer = Obs.Timer.disabled) env hnet
+    cfg =
+  (* Tracers (and timers) are single-domain objects: when tracing is on, the
+     replay runs on the calling domain. The chunk layout is unchanged, so
+     the metrics stay bit-identical to an untraced parallel run. *)
+  let pool =
+    if Obs.Trace.enabled trace then Pool.sequential
+    else Option.value pool ~default:Pool.sequential
+  in
   let n = Chord.Network.size env.chord in
   let depth = Hieras.Hnetwork.depth hnet in
   (* requests are pre-generated sequentially from the config seed, so the
      stream is the same whatever the pool width *)
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 104729) in
   let spec = Workload.Requests.paper_default ~count:cfg.Config.requests in
-  let requests = Workload.Requests.to_array spec ~nodes:n ~space rng in
+  let requests =
+    Obs.Timer.span timer "gen-requests" (fun () ->
+        Workload.Requests.to_array spec ~nodes:n ~space rng)
+  in
+  let trace = if Obs.Trace.enabled trace then Some trace else None in
   let parts =
-    Pool.map_chunks pool ~n:(Array.length requests) ~chunk_size (fun ~lo ~hi ->
-        let p = fresh_metrics cfg ~depth in
-        for i = lo to hi - 1 do
-          measure_one env hnet p requests.(i)
-        done;
-        p)
+    Obs.Timer.span timer "lookup-replay" (fun () ->
+        Pool.map_chunks pool ~n:(Array.length requests) ~chunk_size (fun ~lo ~hi ->
+            let p = fresh_metrics cfg ~depth in
+            for i = lo to hi - 1 do
+              measure_one ?trace env hnet p requests.(i)
+            done;
+            p))
   in
   let m =
     match parts with
@@ -183,10 +199,10 @@ let measure ?pool ?registry env hnet cfg =
   Option.iter (fun reg -> export_registry reg m) registry;
   m
 
-let run ?pool ?registry cfg =
-  let env = build_env ?pool cfg in
-  let hnet = build_hieras env cfg in
-  measure ?pool ?registry env hnet cfg
+let run ?pool ?registry ?trace ?timer cfg =
+  let env = build_env ?pool ?timer cfg in
+  let hnet = build_hieras ?timer env cfg in
+  measure ?pool ?registry ?trace ?timer env hnet cfg
 
 let latency_ratio m = Summary.mean m.hieras_latency /. Summary.mean m.chord_latency
 let hop_overhead m = (Summary.mean m.hieras_hops /. Summary.mean m.chord_hops) -. 1.0

@@ -9,19 +9,21 @@
 
 type env
 
-val build_env : ?pool:Parallel.Pool.t -> Config.t -> env
+val build_env : ?pool:Parallel.Pool.t -> ?timer:Obs.Timer.t -> Config.t -> env
 (** Generates the topology (model, size and seed from the config) and the
     Chord network. The latency oracle uses the config's backend (eager /
     lazy / auto); the pool parallelizes an eager oracle's per-source
     Dijkstra runs. The generated network is identical for any backend and
-    any pool width. *)
+    any pool width. [timer] records the [topology] and [chord-build]
+    phases. *)
 
 val latency_oracle : env -> Topology.Latency.t
 val chord_network : env -> Chord.Network.t
 
-val build_hieras : env -> Config.t -> Hieras.Hnetwork.t
+val build_hieras : ?timer:Obs.Timer.t -> env -> Config.t -> Hieras.Hnetwork.t
 (** HIERAS overlay with the config's landmark count and depth (landmarks are
-    chosen with the spread heuristic from the config seed). *)
+    chosen with the spread heuristic from the config seed). [timer] records
+    the [binning] and [hieras-build] phases. *)
 
 (** Everything the paper's figures read off a run. *)
 type metrics = {
@@ -44,7 +46,14 @@ type metrics = {
 }
 
 val measure :
-  ?pool:Parallel.Pool.t -> ?registry:Obs.Metrics.t -> env -> Hieras.Hnetwork.t -> Config.t -> metrics
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  env ->
+  Hieras.Hnetwork.t ->
+  Config.t ->
+  metrics
 (** Runs [config.requests] paired lookups. Raises [Failure] if any HIERAS
     lookup reaches a node other than the Chord owner (routing correctness is
     asserted on every request).
@@ -58,9 +67,23 @@ val measure :
     count, hop/latency means and maxima for both algorithms, per-layer
     means, lower-layer shares). The export runs on the calling domain after
     the deterministic merge — never from workers — so the registry snapshot
-    is bit-identical for any pool width too. *)
+    is bit-identical for any pool width too.
 
-val run : ?pool:Parallel.Pool.t -> ?registry:Obs.Metrics.t -> Config.t -> metrics
+    [trace] receives every lookup of both algorithms. Tracers are
+    single-domain objects, so an enabled tracer forces the replay onto the
+    calling domain (the pool is ignored); the chunk layout is unchanged and
+    the returned metrics stay bit-identical to an untraced run.
+
+    [timer] records the [gen-requests] and [lookup-replay] phases (on the
+    calling domain only — workers are never instrumented). *)
+
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?registry:Obs.Metrics.t ->
+  ?trace:Obs.Trace.t ->
+  ?timer:Obs.Timer.t ->
+  Config.t ->
+  metrics
 (** [build_env] + [build_hieras] + [measure] in one step. *)
 
 (** {2 Derived quantities} *)

@@ -1,0 +1,561 @@
+(* Streaming trace analytics. One pass: hop events fold straight into
+   per-algo aggregates (layer attribution, forwarding loads, node sets);
+   End events close the per-lookup span, audit it against the replayed
+   hops, and feed the per-lookup distributions. Only the open spans and
+   the aggregates live in memory — never the trace. *)
+
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+(* ---- accumulation ------------------------------------------------------ *)
+
+type span = {
+  sp_algo : string;
+  mutable next_seq : int;
+  mutable prev_to : int; (* origin before the first hop *)
+  mutable sp_hops : int;
+  mutable sp_lat : float;
+  mutable chain_ok : bool;
+}
+
+type agg = {
+  mutable lookups : int;
+  hops_sum : Stats.Summary.t;
+  lat_sum : Stats.Summary.t;
+  hop_hist : Stats.Histogram.t;
+  lat_hist : Stats.Histogram.t;
+  mutable layer_hops : int Imap.t;
+  mutable layer_lat : float Imap.t;
+  mutable finished : int Imap.t; (* finished_at_layer -> lookups *)
+  mutable forwards : int Imap.t; (* node -> hops it forwarded *)
+  mutable nodes : Iset.t; (* every node id seen in this algo's events *)
+}
+
+type t = {
+  top_k : int;
+  aggs : (string, agg) Hashtbl.t;
+  open_spans : (int, span) Hashtbl.t;
+  mutable events : int;
+  mutable violations : int;
+}
+
+let create ?(top_k = 10) () =
+  if top_k < 0 then invalid_arg "Analyze.create: top_k must be >= 0";
+  { top_k; aggs = Hashtbl.create 4; open_spans = Hashtbl.create 64; events = 0; violations = 0 }
+
+let agg_of t algo =
+  match Hashtbl.find_opt t.aggs algo with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          lookups = 0;
+          hops_sum = Stats.Summary.create ();
+          lat_sum = Stats.Summary.create ();
+          hop_hist = Stats.Histogram.create_ints ~max:63;
+          lat_hist = Stats.Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:80;
+          layer_hops = Imap.empty;
+          layer_lat = Imap.empty;
+          finished = Imap.empty;
+          forwards = Imap.empty;
+          nodes = Iset.empty;
+        }
+      in
+      Hashtbl.add t.aggs algo a;
+      a
+
+let bump map key n = Imap.update key (fun v -> Some (Option.value ~default:0 v + n)) map
+let bumpf map key x = Imap.update key (fun v -> Some (Option.value ~default:0.0 v +. x)) map
+
+(* Latencies are summed in emission order on both sides of the audit, and
+   the JSON float encoding round-trips, so agreement is exact; the epsilon
+   only absorbs a different-order reduction from a foreign producer. *)
+let lat_agrees a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b)
+
+let feed_event t ev =
+  t.events <- t.events + 1;
+  match (ev : Trace.event) with
+  | Start { lookup; algo; origin; key = _ } ->
+      if Hashtbl.mem t.open_spans lookup then t.violations <- t.violations + 1;
+      let a = agg_of t algo in
+      a.nodes <- Iset.add origin a.nodes;
+      Hashtbl.replace t.open_spans lookup
+        { sp_algo = algo; next_seq = 0; prev_to = origin; sp_hops = 0; sp_lat = 0.0; chain_ok = true }
+  | Hop { lookup; seq; layer; from_node; to_node; latency_ms } -> (
+      match Hashtbl.find_opt t.open_spans lookup with
+      | None -> t.violations <- t.violations + 1 (* hop outside any span *)
+      | Some sp ->
+          if seq <> sp.next_seq || from_node <> sp.prev_to then sp.chain_ok <- false;
+          sp.next_seq <- seq + 1;
+          sp.prev_to <- to_node;
+          sp.sp_hops <- sp.sp_hops + 1;
+          sp.sp_lat <- sp.sp_lat +. latency_ms;
+          let a = agg_of t sp.sp_algo in
+          a.layer_hops <- bump a.layer_hops layer 1;
+          a.layer_lat <- bumpf a.layer_lat layer latency_ms;
+          a.forwards <- bump a.forwards from_node 1;
+          a.nodes <- Iset.add from_node (Iset.add to_node a.nodes))
+  | End { lookup; destination; hops; latency_ms; finished_at_layer } -> (
+      match Hashtbl.find_opt t.open_spans lookup with
+      | None -> t.violations <- t.violations + 1
+      | Some sp ->
+          Hashtbl.remove t.open_spans lookup;
+          if
+            (not sp.chain_ok) || hops <> sp.sp_hops || destination <> sp.prev_to
+            || not (lat_agrees latency_ms sp.sp_lat)
+          then t.violations <- t.violations + 1;
+          let a = agg_of t sp.sp_algo in
+          a.lookups <- a.lookups + 1;
+          Stats.Summary.add a.hops_sum (float_of_int hops);
+          Stats.Summary.add a.lat_sum latency_ms;
+          Stats.Histogram.add a.hop_hist (float_of_int hops);
+          Stats.Histogram.add a.lat_hist latency_ms;
+          a.finished <- bump a.finished finished_at_layer 1;
+          a.nodes <- Iset.add destination a.nodes)
+
+(* ---- JSONL decoding ---------------------------------------------------- *)
+
+let field name j =
+  match Jsonu.member name j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "trace event: missing field %S" name)
+
+let int_field name j =
+  match Jsonu.to_float (field name j) with
+  | Some f when Float.is_integer f -> int_of_float f
+  | _ -> failwith (Printf.sprintf "trace event: field %S is not an integer" name)
+
+let float_field name j =
+  match Jsonu.to_float (field name j) with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "trace event: field %S is not a number" name)
+
+let str_field name j =
+  match Jsonu.to_string (field name j) with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "trace event: field %S is not a string" name)
+
+let event_of_line line =
+  match Jsonu.parse line with
+  | Error msg -> failwith (Printf.sprintf "trace line: %s" msg)
+  | Ok j -> (
+      match str_field "ev" j with
+      | "start" ->
+          Trace.Start
+            {
+              lookup = int_field "lookup" j;
+              algo = str_field "algo" j;
+              origin = int_field "origin" j;
+              key = str_field "key" j;
+            }
+      | "hop" ->
+          Trace.Hop
+            {
+              lookup = int_field "lookup" j;
+              seq = int_field "seq" j;
+              layer = int_field "layer" j;
+              from_node = int_field "from" j;
+              to_node = int_field "to" j;
+              latency_ms = float_field "lat_ms" j;
+            }
+      | "end" ->
+          Trace.End
+            {
+              lookup = int_field "lookup" j;
+              destination = int_field "dest" j;
+              hops = int_field "hops" j;
+              latency_ms = float_field "lat_ms" j;
+              finished_at_layer = int_field "finished_at_layer" j;
+            }
+      | ev -> failwith (Printf.sprintf "trace event: unknown kind %S" ev))
+
+let is_blank line = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) line
+let feed_line t line = if not (is_blank line) then feed_event t (event_of_line line)
+
+let of_file ?top_k path =
+  let t = create ?top_k () in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          feed_line t (input_line ic)
+        done;
+        assert false
+      with End_of_file -> t)
+
+(* ---- report ------------------------------------------------------------ *)
+
+type layer_stat = {
+  layer : int;
+  l_hops : int;
+  hop_share : float;
+  l_latency_ms : float;
+  latency_share : float;
+}
+
+type hotspot = { node : int; forwards : int; fwd_share : float }
+
+type algo_report = {
+  algo : string;
+  lookups : int;
+  hops_mean : float;
+  hops_max : float;
+  latency_mean_ms : float;
+  latency_max_ms : float;
+  hop_hist : Stats.Histogram.t;
+  latency_hist : Stats.Histogram.t;
+  layers : layer_stat list;
+  finished_at : (int * int) list;
+  nodes_seen : int;
+  forwarders : int;
+  gini : float;
+  imbalance : float;
+  hotspots : hotspot list;
+}
+
+type report = { events : int; spans_open : int; violations : int; algos : algo_report list }
+
+(* G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n over ascending x,
+   1-based i; 0 when every count is zero or there is at most one node. *)
+let gini_of counts =
+  let n = Array.length counts in
+  let total = Array.fold_left ( +. ) 0.0 counts in
+  if n < 2 || total <= 0.0 then 0.0
+  else begin
+    let sorted = Array.copy counts in
+    Array.sort Float.compare sorted;
+    let weighted = ref 0.0 in
+    Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) sorted;
+    (2.0 *. !weighted /. (float_of_int n *. total)) -. (float_of_int (n + 1) /. float_of_int n)
+  end
+
+let algo_report_of top_k algo (a : agg) =
+  let total_hops = Imap.fold (fun _ n acc -> acc + n) a.layer_hops 0 in
+  let total_lat = Imap.fold (fun _ x acc -> acc +. x) a.layer_lat 0.0 in
+  let layers =
+    Imap.fold
+      (fun layer l_hops acc ->
+        let l_latency_ms = Option.value ~default:0.0 (Imap.find_opt layer a.layer_lat) in
+        {
+          layer;
+          l_hops;
+          hop_share = (if total_hops > 0 then float_of_int l_hops /. float_of_int total_hops else 0.0);
+          l_latency_ms;
+          latency_share = (if total_lat > 0.0 then l_latency_ms /. total_lat else 0.0);
+        }
+        :: acc)
+      a.layer_hops []
+    |> List.rev
+  in
+  (* Load distribution over every node seen in the algo's events: nodes
+     that never forwarded count as zeros — a hotspot is only a hotspot
+     relative to the idle rest of the population. *)
+  let fwd_of node = Option.value ~default:0 (Imap.find_opt node a.forwards) in
+  let counts = Iset.elements a.nodes |> List.map (fun n -> float_of_int (fwd_of n)) |> Array.of_list in
+  let nodes_seen = Array.length counts in
+  let max_fwd = Array.fold_left Float.max 0.0 counts in
+  let mean_fwd = if nodes_seen > 0 then float_of_int total_hops /. float_of_int nodes_seen else 0.0 in
+  let hotspots =
+    Imap.bindings a.forwards
+    |> List.sort (fun (n1, f1) (n2, f2) ->
+           match compare f2 f1 with 0 -> compare n1 n2 | c -> c)
+    |> List.filteri (fun i _ -> i < top_k)
+    |> List.map (fun (node, forwards) ->
+           {
+             node;
+             forwards;
+             fwd_share =
+               (if total_hops > 0 then float_of_int forwards /. float_of_int total_hops else 0.0);
+           })
+  in
+  {
+    algo;
+    lookups = a.lookups;
+    hops_mean = Stats.Summary.mean a.hops_sum;
+    hops_max = (if a.lookups > 0 then Stats.Summary.max_value a.hops_sum else 0.0);
+    latency_mean_ms = Stats.Summary.mean a.lat_sum;
+    latency_max_ms = (if a.lookups > 0 then Stats.Summary.max_value a.lat_sum else 0.0);
+    hop_hist = a.hop_hist;
+    latency_hist = a.lat_hist;
+    layers;
+    finished_at = Imap.bindings a.finished;
+    nodes_seen;
+    forwarders = Imap.cardinal a.forwards;
+    gini = gini_of counts;
+    imbalance = (if mean_fwd > 0.0 then max_fwd /. mean_fwd else 0.0);
+    hotspots;
+  }
+
+let report t =
+  let algos =
+    Hashtbl.fold (fun algo a acc -> (algo, a) :: acc) t.aggs []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (algo, a) -> algo_report_of t.top_k algo a)
+  in
+  { events = t.events; spans_open = Hashtbl.length t.open_spans; violations = t.violations; algos }
+
+(* ---- text rendering ---------------------------------------------------- *)
+
+let fmt_f x = Printf.sprintf "%.3f" x
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
+
+let report_text r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "events: %d  open spans: %d  violations: %d\n" r.events r.spans_open
+       r.violations);
+  let summary = Stats.Text_table.create [ "algo"; "lookups"; "hops mean"; "hops max"; "lat mean ms"; "lat max ms" ] in
+  List.iter
+    (fun ar ->
+      Stats.Text_table.add_row summary
+        [
+          ar.algo;
+          string_of_int ar.lookups;
+          fmt_f ar.hops_mean;
+          Printf.sprintf "%.0f" ar.hops_max;
+          fmt_f ar.latency_mean_ms;
+          fmt_f ar.latency_max_ms;
+        ])
+    r.algos;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Stats.Text_table.render summary);
+  List.iter
+    (fun ar ->
+      if ar.layers <> [] then begin
+        let tbl =
+          Stats.Text_table.create [ "layer"; "hops"; "hop share"; "latency ms"; "lat share" ]
+        in
+        List.iter
+          (fun ls ->
+            Stats.Text_table.add_row tbl
+              [
+                string_of_int ls.layer;
+                string_of_int ls.l_hops;
+                fmt_pct ls.hop_share;
+                fmt_f ls.l_latency_ms;
+                fmt_pct ls.latency_share;
+              ])
+          ar.layers;
+        Buffer.add_string buf (Printf.sprintf "\n%s: per-layer attribution\n" ar.algo);
+        Buffer.add_string buf (Stats.Text_table.render tbl)
+      end;
+      if ar.finished_at <> [] then begin
+        let tbl = Stats.Text_table.create [ "finished at layer"; "lookups"; "share" ] in
+        List.iter
+          (fun (layer, n) ->
+            Stats.Text_table.add_row tbl
+              [
+                string_of_int layer;
+                string_of_int n;
+                fmt_pct (if ar.lookups > 0 then float_of_int n /. float_of_int ar.lookups else 0.0);
+              ])
+          ar.finished_at;
+        Buffer.add_string buf (Printf.sprintf "\n%s: ring residency\n" ar.algo);
+        Buffer.add_string buf (Stats.Text_table.render tbl)
+      end;
+      if ar.hotspots <> [] then begin
+        let tbl = Stats.Text_table.create [ "node"; "forwards"; "share of hops" ] in
+        List.iter
+          (fun h ->
+            Stats.Text_table.add_row tbl
+              [ string_of_int h.node; string_of_int h.forwards; fmt_pct h.fwd_share ])
+          ar.hotspots;
+        Buffer.add_string buf
+          (Printf.sprintf "\n%s: forwarding hotspots (nodes %d, forwarders %d, gini %s, imbalance %s)\n"
+             ar.algo ar.nodes_seen ar.forwarders (fmt_f ar.gini) (fmt_f ar.imbalance));
+        Buffer.add_string buf (Stats.Text_table.render tbl)
+      end)
+    r.algos;
+  Buffer.contents buf
+
+(* ---- JSON rendering ---------------------------------------------------- *)
+
+let hist_json h =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf
+          (Printf.sprintf "[%s,%d]" (Jsonu.number (Stats.Histogram.bin_lo h i)) c)
+      end)
+    (Stats.Histogram.counts h);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let report_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"schema":"hieras-trace-report","events":%d,"spans_open":%d,"violations":%d,"algos":{|}
+       r.events r.spans_open r.violations);
+  List.iteri
+    (fun i ar ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":{|} (Jsonu.escape ar.algo));
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|"lookups":%d,"hops":{"mean":%s,"max":%s,"pdf":%s},"latency_ms":{"mean":%s,"max":%s,"hist":%s}|}
+           ar.lookups (Jsonu.number ar.hops_mean) (Jsonu.number ar.hops_max)
+           (hist_json ar.hop_hist)
+           (Jsonu.number ar.latency_mean_ms)
+           (Jsonu.number ar.latency_max_ms)
+           (hist_json ar.latency_hist));
+      Buffer.add_string buf {|,"layers":[|};
+      List.iteri
+        (fun j ls ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               {|{"layer":%d,"hops":%d,"hop_share":%s,"latency_ms":%s,"latency_share":%s}|}
+               ls.layer ls.l_hops (Jsonu.number ls.hop_share) (Jsonu.number ls.l_latency_ms)
+               (Jsonu.number ls.latency_share)))
+        ar.layers;
+      Buffer.add_string buf {|],"finished_at":[|};
+      List.iteri
+        (fun j (layer, n) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%d,%d]" layer n))
+        ar.finished_at;
+      Buffer.add_string buf
+        (Printf.sprintf {|],"forwarding":{"nodes":%d,"forwarders":%d,"gini":%s,"imbalance":%s,"top":[|}
+           ar.nodes_seen ar.forwarders (Jsonu.number ar.gini) (Jsonu.number ar.imbalance));
+      List.iteri
+        (fun j h ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "[%d,%d,%s]" h.node h.forwards (Jsonu.number h.fwd_share)))
+        ar.hotspots;
+      Buffer.add_string buf "]}}")
+    r.algos;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+(* ---- compare mode ------------------------------------------------------ *)
+
+type cmp_row = { metric : string; base : float; cand : float; delta : float }
+type comparison = { kind : string; threshold : float; rows : cmp_row list; regressions : cmp_row list }
+
+let delta_of base cand =
+  if base = 0.0 then if cand = 0.0 then 0.0 else infinity else (cand -. base) /. base
+
+(* Flatten a parsed report/bench JSON into (metric, value) pairs; comparing
+   two files is then a join on metric name. *)
+let metrics_of_trace_report j =
+  let num path v acc = match Jsonu.to_float v with Some f -> (path, f) :: acc | None -> acc in
+  let acc = match Jsonu.member "violations" j with Some v -> num "violations" v [] | None -> [] in
+  let acc =
+    match Jsonu.member "algos" j with
+    | Some (Jsonu.Obj algos) ->
+        List.fold_left
+          (fun acc (algo, aj) ->
+            let pick acc names =
+              List.fold_left
+                (fun acc (label, path) ->
+                  let rec dig j = function
+                    | [] -> Some j
+                    | k :: rest -> Option.bind (Jsonu.member k j) (fun v -> dig v rest)
+                  in
+                  match dig aj path with
+                  | Some v -> num (algo ^ "." ^ label) v acc
+                  | None -> acc)
+                acc names
+            in
+            pick acc
+              [
+                ("hops.mean", [ "hops"; "mean" ]);
+                ("latency_ms.mean", [ "latency_ms"; "mean" ]);
+                ("latency_ms.max", [ "latency_ms"; "max" ]);
+                ("forwarding.gini", [ "forwarding"; "gini" ]);
+              ])
+          acc algos
+    | _ -> acc
+  in
+  List.rev acc
+
+let metrics_of_bench j =
+  let acc =
+    match Jsonu.member "micro" j with
+    | Some (Jsonu.Arr rows) ->
+        List.fold_left
+          (fun acc row ->
+            match (Jsonu.member "name" row, Jsonu.member "ns_per_op" row) with
+            | Some name, Some v -> (
+                match (Jsonu.to_string name, Jsonu.to_float v) with
+                | Some n, Some f -> (("micro." ^ n ^ ".ns_per_op"), f) :: acc
+                | _ -> acc)
+            | _ -> acc)
+          [] rows
+    | _ -> []
+  in
+  let acc =
+    match Jsonu.member "figures" j with
+    | Some (Jsonu.Arr rows) ->
+        List.fold_left
+          (fun acc row ->
+            match (Jsonu.member "id" row, Jsonu.member "seconds" row) with
+            | Some id, Some v -> (
+                match (Jsonu.to_string id, Jsonu.to_float v) with
+                | Some n, Some f -> (("figure." ^ n ^ ".seconds"), f) :: acc
+                | _ -> acc)
+            | _ -> acc)
+          acc rows
+    | _ -> acc
+  in
+  List.rev acc
+
+let classify j =
+  match Jsonu.member "schema" j with
+  | Some (Jsonu.Str "hieras-trace-report") -> Ok "trace-report"
+  | _ -> if Jsonu.member "micro" j <> None then Ok "bench" else Error "unrecognised report"
+
+let load_json path =
+  match In_channel.with_open_bin path In_channel.input_all |> Jsonu.parse with
+  | Ok j -> Ok j
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception Sys_error msg -> Error msg
+
+let compare_files ~base ~cand ~threshold =
+  match (load_json base, load_json cand) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok bj, Ok cj -> (
+      match (classify bj, classify cj) with
+      | Error e, _ -> Error (Printf.sprintf "%s: %s" base e)
+      | _, Error e -> Error (Printf.sprintf "%s: %s" cand e)
+      | Ok bk, Ok ck when bk <> ck ->
+          Error (Printf.sprintf "cannot compare a %s against a %s" bk ck)
+      | Ok kind, Ok _ ->
+          let extract = if kind = "bench" then metrics_of_bench else metrics_of_trace_report in
+          let bm = extract bj and cm = extract cj in
+          let rows =
+            List.filter_map
+              (fun (metric, base) ->
+                match List.assoc_opt metric cm with
+                | Some cand -> Some { metric; base; cand; delta = delta_of base cand }
+                | None -> None)
+              bm
+          in
+          if rows = [] then Error "no common metrics to compare"
+          else
+            Ok
+              {
+                kind;
+                threshold;
+                rows;
+                regressions = List.filter (fun r -> r.delta > threshold) rows;
+              })
+
+let comparison_text c =
+  let tbl = Stats.Text_table.create [ "metric"; "base"; "candidate"; "delta"; "" ] in
+  List.iter
+    (fun r ->
+      let flag = if r.delta > c.threshold then "REGRESSION" else "" in
+      Stats.Text_table.add_row tbl
+        [ r.metric; fmt_f r.base; fmt_f r.cand; fmt_pct r.delta; flag ])
+    c.rows;
+  Printf.sprintf "%s comparison (threshold %s)\n%s%d regression(s)\n" c.kind
+    (fmt_pct c.threshold) (Stats.Text_table.render tbl) (List.length c.regressions)

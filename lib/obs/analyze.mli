@@ -1,0 +1,124 @@
+(** Offline analytics over recorded observability artifacts.
+
+    The tracer ({!Trace}) turns lookups into JSONL event streams; this
+    module turns those streams back into answers — the per-layer latency
+    attribution of the paper's Figures 4–7, hop/latency distributions,
+    per-node forwarding hotspots and load imbalance, and ring-residency
+    statistics — without re-running the experiment. It also diffs two
+    analysis reports (or two [BENCH_*.json] performance snapshots) and
+    flags regressions, which is what the CI perf gate runs.
+
+    Everything is computed in one streaming pass ({!feed_line} /
+    {!of_file} read line by line; the trace never resides in memory) and
+    every rendering is deterministic: map iteration is sorted, floats
+    print with the round-tripping shortest representation, so the JSON
+    report of a fixed trace is byte-stable — pinned by
+    [test/golden/report_ts64.json].
+
+    The analyzer is also an auditor: for every span it re-derives the hop
+    count and latency total from the hop events and checks them against
+    the [End] event (and the seq/chain contiguity invariants of
+    DESIGN.md §8); disagreements are counted in [violations] rather than
+    silently averaged over. *)
+
+(** {2 Streaming accumulation} *)
+
+type t
+
+val create : ?top_k:int -> unit -> t
+(** [top_k] bounds the forwarding-hotspot list in the report
+    (default 10). *)
+
+val feed_event : t -> Trace.event -> unit
+(** Accumulate one already-decoded event (ring-buffer replays, tests). *)
+
+val feed_line : t -> string -> unit
+(** Parse one JSONL trace line and accumulate it. Blank lines are
+    ignored. Raises [Failure] on a line that is not a well-formed trace
+    event — a corrupt trace should fail loudly, not skew statistics. *)
+
+val of_file : ?top_k:int -> string -> t
+(** Stream a JSONL trace file through {!feed_line}. *)
+
+(** {2 Reports} *)
+
+type layer_stat = {
+  layer : int;
+  l_hops : int;  (** hops chosen by this layer's finger tables *)
+  hop_share : float;
+  l_latency_ms : float;
+  latency_share : float;  (** shares each sum to 1.0 over the layers *)
+}
+
+type hotspot = { node : int; forwards : int; fwd_share : float }
+
+type algo_report = {
+  algo : string;
+  lookups : int;
+  hops_mean : float;
+  hops_max : float;
+  latency_mean_ms : float;
+  latency_max_ms : float;
+  hop_hist : Stats.Histogram.t;  (** unit bins, PDF of hops per lookup *)
+  latency_hist : Stats.Histogram.t;  (** 25 ms bins over 0..2000 *)
+  layers : layer_stat list;  (** ascending; [] when no hops at all *)
+  finished_at : (int * int) list;
+      (** (layer, lookups whose End reported finishing there), ascending *)
+  nodes_seen : int;  (** distinct node ids in this algo's events *)
+  forwarders : int;  (** nodes that forwarded (appeared as a hop source) *)
+  gini : float;
+      (** Gini coefficient of per-node forwarding counts over [nodes_seen]
+          (0 = perfectly even, -> 1 = one node forwards everything) *)
+  imbalance : float;  (** max / mean forwarding count over [nodes_seen] *)
+  hotspots : hotspot list;  (** top-k by forwards, descending *)
+}
+
+type report = {
+  events : int;
+  spans_open : int;  (** lookups with a Start but no End (truncated trace) *)
+  violations : int;
+      (** spans whose End disagreed with the replayed hops (count or
+          latency), or whose hop stream broke seq/chain contiguity *)
+  algos : algo_report list;  (** sorted by algo name *)
+}
+
+val report : t -> report
+
+val report_text : report -> string
+(** Human-readable rendering: one {!Stats.Text_table} per aspect
+    (per-algo summary, per-layer attribution, ring residency, forwarding
+    hotspots). *)
+
+val report_json : report -> string
+(** Deterministic single-line JSON (schema in DESIGN.md §9); histograms
+    render as sparse [[bin_lo, count]] pairs. *)
+
+(** {2 Compare mode} *)
+
+type cmp_row = {
+  metric : string;
+  base : float;
+  cand : float;
+  delta : float;  (** (cand - base) / base; +inf when base = 0 < cand *)
+}
+
+type comparison = {
+  kind : string;  (** ["trace-report"] or ["bench"] *)
+  threshold : float;
+  rows : cmp_row list;  (** every metric present in both inputs *)
+  regressions : cmp_row list;
+      (** rows whose [delta] exceeds the threshold — all compared metrics
+          are lower-is-better (latency, hops, ns/op, seconds, gini,
+          violations) *)
+}
+
+val compare_files : base:string -> cand:string -> threshold:float -> (comparison, string) result
+(** Load two JSON files and diff them. Both must be the same kind: trace
+    reports ({!report_json} output, recognised by
+    ["schema":"hieras-trace-report"]) or bench snapshots
+    ([BENCH_*.json], recognised by their ["micro"] array — compared on
+    micro ns/op and per-figure seconds). *)
+
+val comparison_text : comparison -> string
+(** Aligned table of metric, base, candidate, delta — regressions
+    flagged. *)

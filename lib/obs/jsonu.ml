@@ -1,6 +1,7 @@
-(* Minimal JSON emission helpers shared by the metrics and trace renderers.
-   Emission only — the observability surface produces JSON, it never parses
-   it (consumers are jq / python / the CI smoke check). *)
+(* Minimal JSON emission and parsing helpers shared by the observability
+   renderers and the trace analyzer. Emission came first; the strict
+   recursive-descent parser below was added for Obs.Analyze, which reads
+   back the JSONL traces and BENCH_*.json reports the emitters produced. *)
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -28,3 +29,227 @@ let float_repr f =
 
 (* JSON has no literal for non-finite numbers. *)
 let number f = if Float.is_finite f then float_repr f else "null"
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> incr pos
+    | Some x -> error "offset %d: expected '%c', found '%c'" !pos c x
+    | None -> error "offset %d: expected '%c', found end of input" !pos c
+  in
+  (* UTF-8-encode a decoded \uXXXX code point (surrogate pairs handled by
+     the caller) *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "offset %d: truncated \\u escape" !pos;
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> error "offset %d: bad hex digit '%c'" !pos c
+      in
+      v := (!v * 16) + d;
+      incr pos
+    done;
+    !v
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "offset %d: unterminated string" !pos;
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          (if !pos >= n then error "offset %d: truncated escape" !pos;
+           match s.[!pos] with
+           | '"' -> incr pos; Buffer.add_char buf '"'
+           | '\\' -> incr pos; Buffer.add_char buf '\\'
+           | '/' -> incr pos; Buffer.add_char buf '/'
+           | 'b' -> incr pos; Buffer.add_char buf '\b'
+           | 'f' -> incr pos; Buffer.add_char buf '\012'
+           | 'n' -> incr pos; Buffer.add_char buf '\n'
+           | 'r' -> incr pos; Buffer.add_char buf '\r'
+           | 't' -> incr pos; Buffer.add_char buf '\t'
+           | 'u' ->
+               incr pos;
+               let cp = hex4 () in
+               let cp =
+                 (* high surrogate: fuse with the following \uXXXX *)
+                 if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n && s.[!pos] = '\\'
+                    && s.[!pos + 1] = 'u'
+                 then begin
+                   pos := !pos + 2;
+                   let lo = hex4 () in
+                   if lo >= 0xDC00 && lo <= 0xDFFF then
+                     0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                   else error "offset %d: unpaired surrogate" !pos
+                 end
+                 else cp
+               in
+               add_utf8 buf cp
+           | c -> error "offset %d: bad escape '\\%c'" !pos c);
+          go ()
+      | c when Char.code c < 32 -> error "offset %d: raw control character in string" !pos
+      | c ->
+          incr pos;
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number_lit () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = d0 then error "offset %d: malformed number" !pos
+    in
+    (* JSON int part: 0, or a nonzero digit followed by more digits — no
+       leading zeros *)
+    (match peek () with
+    | Some '0' -> incr pos
+    | Some ('1' .. '9') -> digits ()
+    | _ -> error "offset %d: malformed number" !pos);
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> error "offset %d: malformed number" start
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let members = ref [] in
+          let rec members_loop () =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            members := (k, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members_loop ()
+            | Some '}' -> incr pos
+            | _ -> error "offset %d: expected ',' or '}'" !pos
+          in
+          members_loop ();
+          Obj (List.rev !members)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; items_loop ()
+            | Some ']' -> incr pos
+            | _ -> error "offset %d: expected ',' or ']'" !pos
+          in
+          items_loop ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else error "offset %d: bad literal" !pos
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else error "offset %d: bad literal" !pos
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+          pos := !pos + 4;
+          Null
+        end
+        else error "offset %d: bad literal" !pos
+    | Some ('-' | '0' .. '9') -> Num (number_lit ())
+    | Some c -> error "offset %d: unexpected '%c'" !pos c
+    | None -> error "offset %d: unexpected end of input" !pos
+  in
+  try
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "offset %d: trailing garbage" !pos) else Ok v
+  with Parse_error m -> Error m
+
+let member name = function Obj members -> List.assoc_opt name members | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None

@@ -1,0 +1,103 @@
+(* Hierarchical phase profiler: a mutable tree of (name -> node) children,
+   plus a stack of open spans. The clock is injected so the module has no
+   OS dependency and tests can drive a fake, deterministic clock. *)
+
+type tnode = {
+  name : string;
+  mutable count : int;
+  mutable total_s : float;
+  mutable children_rev : tnode list; (* newest first; reversed on read *)
+}
+
+type state = {
+  clock : unit -> float;
+  mutable roots_rev : tnode list;
+  mutable stack : tnode list; (* innermost open span first *)
+}
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+let create ~clock = Enabled { clock; roots_rev = []; stack = [] }
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let child_of st name =
+  let siblings =
+    match st.stack with [] -> st.roots_rev | parent :: _ -> parent.children_rev
+  in
+  match List.find_opt (fun c -> c.name = name) siblings with
+  | Some c -> c
+  | None ->
+      let c = { name; count = 0; total_s = 0.0; children_rev = [] } in
+      (match st.stack with
+      | [] -> st.roots_rev <- c :: st.roots_rev
+      | parent :: _ -> parent.children_rev <- c :: parent.children_rev);
+      c
+
+let span t name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled st ->
+      let node = child_of st name in
+      st.stack <- node :: st.stack;
+      let t0 = st.clock () in
+      Fun.protect
+        ~finally:(fun () ->
+          node.count <- node.count + 1;
+          node.total_s <- node.total_s +. (st.clock () -. t0);
+          match st.stack with
+          | top :: rest when top == node -> st.stack <- rest
+          | _ -> () (* unbalanced exit via an exception skipping frames *))
+        f
+
+(* ---- snapshots --------------------------------------------------------- *)
+
+type node = { name : string; count : int; total_s : float; children : node list }
+
+(* first-entry order = reverse of the newest-first sibling lists, so a
+   single rev_map per level restores it *)
+let rec freeze (tn : tnode) : node =
+  { name = tn.name; count = tn.count; total_s = tn.total_s; children = List.rev_map freeze tn.children_rev }
+
+let roots = function
+  | Disabled -> []
+  | Enabled st -> List.rev_map freeze st.roots_rev
+
+let self_s n = Float.max 0.0 (n.total_s -. List.fold_left (fun a c -> a +. c.total_s) 0.0 n.children)
+
+let folded t =
+  let buf = Buffer.create 256 in
+  let rec go path n =
+    let path = if path = "" then n.name else path ^ ";" ^ n.name in
+    Buffer.add_string buf
+      (Printf.sprintf "%s %.0f\n" path (Float.round (self_s n *. 1e6)));
+    List.iter (go path) n.children
+  in
+  List.iter (go "") (roots t);
+  Buffer.contents buf
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  let rs = roots t in
+  let grand = List.fold_left (fun a r -> a +. r.total_s) 0.0 rs in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %7s %12s %12s %7s\n" "phase" "count" "total ms" "self ms" "share");
+  let rec go depth n =
+    let label = String.make (2 * depth) ' ' ^ n.name in
+    let share = if grand > 0.0 then n.total_s /. grand *. 100.0 else 0.0 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-40s %7d %12.1f %12.1f %6.1f%%\n" label n.count (n.total_s *. 1e3)
+         (self_s n *. 1e3) share);
+    List.iter (go (depth + 1)) n.children
+  in
+  List.iter (go 0) rs;
+  Buffer.contents buf
+
+let export_metrics ?(prefix = "timer") t reg =
+  let rec go path n =
+    let path = path ^ "." ^ n.name in
+    Metrics.set (Metrics.gauge reg (path ^ ".total_ms")) (n.total_s *. 1e3);
+    Metrics.set_counter (Metrics.counter reg (path ^ ".count")) n.count;
+    List.iter (go path) n.children
+  in
+  List.iter (go prefix) (roots t)

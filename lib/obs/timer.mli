@@ -1,0 +1,72 @@
+(** Hierarchical wall-clock phase profiler.
+
+    A timer records a tree of named spans — one node per distinct path of
+    names, accumulating call count and total time across repeated entries —
+    so a run can answer "where did the time go": topology build vs. binning
+    vs. join vs. lookup replay, with nesting.
+
+    {2 Cost model}
+
+    {!disabled} is the default everywhere a timer is threaded through
+    ([Experiments.Runner], the CLIs): {!span} on the disabled timer runs the
+    thunk behind a single match and allocates nothing, so instrumented code
+    keeps its perf budget when profiling is off.
+
+    {2 Determinism}
+
+    The clock is injected at creation — production callers pass
+    [Unix.gettimeofday], tests pass a counter — so every rendering
+    ({!folded}, {!to_text}, {!export_metrics}) of a fake-clock timer is
+    deterministic and can be asserted byte-for-byte. Span order is
+    first-entry order, which for a deterministic program is itself
+    deterministic. Timers are single-domain objects: keep them out of worker
+    loops (the experiment pipeline only times whole phases on the calling
+    domain). *)
+
+type t
+
+val disabled : t
+(** {!span} runs its thunk directly; nothing is recorded. *)
+
+val create : clock:(unit -> float) -> t
+(** [clock] returns the current time in {e seconds} (e.g.
+    [Unix.gettimeofday]; injected so [lib/obs] stays dependency-free and
+    tests stay deterministic). *)
+
+val enabled : t -> bool
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a span: a child named [name] of the
+    currently open span (or a root). Time is accumulated even when [f]
+    raises. Re-entering the same path accumulates into the same node. *)
+
+type node = {
+  name : string;
+  count : int;  (** times the span was entered *)
+  total_s : float;  (** inclusive wall time, seconds *)
+  children : node list;  (** first-entry order *)
+}
+
+val roots : t -> node list
+(** Snapshot of the recorded tree, roots in first-entry order. [] while a
+    span is still open at that level records only completed entries. *)
+
+val self_s : node -> float
+(** Inclusive time minus the children's inclusive time. *)
+
+val folded : t -> string
+(** Flamegraph-ready folded-stack lines, one per tree node:
+    ["root;child;leaf <self-time-in-microseconds>\n"] — feed to
+    [flamegraph.pl] or speedscope. Values are self time, rounded to whole
+    microseconds. *)
+
+val to_text : t -> string
+(** Aligned per-phase table (indented by depth): count, total ms, self ms,
+    and share of the root's total. *)
+
+val export_metrics : ?prefix:string -> t -> Metrics.t -> unit
+(** For every node at path [a;b;c]: gauge [<prefix>.a.b.c.total_ms] and
+    counter [<prefix>.a.b.c.count] (default prefix ["timer"]). Wall-clock
+    values are nondeterministic with a real clock — export into a registry
+    whose snapshot must stay reproducible only with an injected fake
+    clock. *)

@@ -1,0 +1,143 @@
+(* Bucketed sim-time series. Storage is one (bucket index -> float)
+   hashtable per series: churn runs touch a few thousand buckets at most,
+   and rendering sorts, so insertion order never shows. *)
+
+type kind = Counter | Gauge
+
+type series_state = {
+  skind : kind;
+  buckets : (int, float) Hashtbl.t;
+}
+
+type state = {
+  width : float; (* ms *)
+  tbl : (string, series_state) Hashtbl.t;
+}
+
+type t = Disabled | Enabled of state
+type series = Off | On of series_state * state
+
+let disabled = Disabled
+
+let create ?(bucket_ms = 1000.0) () =
+  if bucket_ms <= 0.0 then invalid_arg "Timeseries.create: bucket_ms must be > 0";
+  Enabled { width = bucket_ms; tbl = Hashtbl.create 16 }
+
+let enabled = function Disabled -> false | Enabled _ -> true
+let bucket_ms = function Disabled -> 0.0 | Enabled st -> st.width
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge"
+
+let register t name kind =
+  match t with
+  | Disabled -> Off
+  | Enabled st -> (
+      match Hashtbl.find_opt st.tbl name with
+      | Some s when s.skind = kind -> On (s, st)
+      | Some s ->
+          invalid_arg
+            (Printf.sprintf "Timeseries: %s is already registered as a %s" name
+               (kind_name s.skind))
+      | None ->
+          let s = { skind = kind; buckets = Hashtbl.create 64 } in
+          Hashtbl.add st.tbl name s;
+          On (s, st))
+
+let counter t name = register t name Counter
+let gauge t name = register t name Gauge
+
+let bucket_of st at = int_of_float (Float.floor (at /. st.width))
+
+let add series ~at v =
+  match series with
+  | Off -> ()
+  | On (s, st) ->
+      if s.skind <> Counter then invalid_arg "Timeseries.add: gauge series";
+      let b = bucket_of st at in
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt s.buckets b) in
+      Hashtbl.replace s.buckets b (cur +. v)
+
+let set series ~at v =
+  match series with
+  | Off -> ()
+  | On (s, st) ->
+      if s.skind <> Gauge then invalid_arg "Timeseries.set: counter series";
+      Hashtbl.replace s.buckets (bucket_of st at) v
+
+(* ---- rendering --------------------------------------------------------- *)
+
+type point = { t_ms : float; v : float }
+
+let sorted_buckets s = Hashtbl.fold (fun b v acc -> (b, v) :: acc) s.buckets [] |> List.sort compare
+
+let points t name =
+  match t with
+  | Disabled -> []
+  | Enabled st -> (
+      match Hashtbl.find_opt st.tbl name with
+      | None -> []
+      | Some s ->
+          List.map (fun (b, v) -> { t_ms = float_of_int b *. st.width; v }) (sorted_buckets s))
+
+let names = function
+  | Disabled -> []
+  | Enabled st ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) st.tbl [] |> List.sort String.compare
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s %10s %s\n" name (Jsonu.float_repr p.t_ms) (Jsonu.float_repr p.v)))
+        (points t name))
+    (names t);
+  Buffer.contents buf
+
+let to_json t =
+  match t with
+  | Disabled -> {|{"bucket_ms":0,"series":{}}|}
+  | Enabled st ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf (Printf.sprintf {|{"bucket_ms":%s,"series":{|} (Jsonu.number st.width));
+      List.iteri
+        (fun i name ->
+          if i > 0 then Buffer.add_char buf ',';
+          let s = Hashtbl.find st.tbl name in
+          Buffer.add_string buf
+            (Printf.sprintf {|"%s":{"kind":"%s","points":[|} (Jsonu.escape name)
+               (kind_name s.skind));
+          List.iteri
+            (fun j (b, v) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "[%s,%s]" (Jsonu.number (float_of_int b *. st.width)) (Jsonu.number v)))
+            (sorted_buckets s);
+          Buffer.add_string buf "]}")
+        (names t);
+      Buffer.add_string buf "}}";
+      Buffer.contents buf
+
+let export_metrics ?(prefix = "ts") t reg =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+      List.iter
+        (fun name ->
+          let s = Hashtbl.find st.tbl name in
+          let pts = sorted_buckets s in
+          let p = prefix ^ "." ^ name in
+          Metrics.set_counter (Metrics.counter reg (p ^ ".points")) (List.length pts);
+          match (pts, List.rev pts) with
+          | (b0, _) :: _, (bn, vn) :: _ ->
+              Metrics.set (Metrics.gauge reg (p ^ ".first_ms")) (float_of_int b0 *. st.width);
+              Metrics.set (Metrics.gauge reg (p ^ ".last_ms")) (float_of_int bn *. st.width);
+              Metrics.set (Metrics.gauge reg (p ^ ".last")) vn;
+              if s.skind = Counter then
+                Metrics.set
+                  (Metrics.gauge reg (p ^ ".sum"))
+                  (List.fold_left (fun a (_, v) -> a +. v) 0.0 pts)
+          | _ -> ())
+        (names t)

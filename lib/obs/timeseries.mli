@@ -1,0 +1,71 @@
+(** Sim-time-bucketed time series for counters and gauges.
+
+    The metrics registry ({!Metrics}) answers "how much, in total"; a time
+    series answers "when". Points are tagged with a simulated-time stamp
+    (ms — [Simnet.Engine.now]) and folded into fixed-width buckets:
+    {e counter} series sum the values landing in a bucket (events per
+    interval — joins, messages, maintenance cost), {e gauge} series keep the
+    last value written to a bucket (levels — live members, ring counts).
+
+    Like the tracer, {!disabled} is the default everywhere a series is
+    threaded through instrumented code ([Simnet.Engine], the protocol
+    layers, [Workload.Churn]); emission on the disabled collector is one
+    branch, no allocation.
+
+    Determinism: sim time is deterministic, so for a fixed seed the whole
+    collector is a pure function of the run; {!to_json}/{!to_text} sort
+    series by name and points by bucket, so renderings are byte-stable. *)
+
+type t
+
+val disabled : t
+val create : ?bucket_ms:float -> unit -> t
+(** [bucket_ms] is the bucket width in simulated milliseconds (default
+    1000.0 — one-second buckets). Raises [Invalid_argument] if
+    [bucket_ms <= 0]. *)
+
+val enabled : t -> bool
+val bucket_ms : t -> float
+(** 0.0 on the disabled collector. *)
+
+type series
+(** O(1) handle, analogous to a {!Metrics.counter}. Registration is
+    idempotent by name; a name holds one kind ([Invalid_argument]
+    otherwise). Handles from the disabled collector accept and discard
+    writes. *)
+
+val counter : t -> string -> series
+val gauge : t -> string -> series
+
+val add : series -> at:float -> float -> unit
+(** Counter semantics: add to the bucket containing [at]. On a gauge series
+    raises [Invalid_argument]. *)
+
+val set : series -> at:float -> float -> unit
+(** Gauge semantics: overwrite the bucket containing [at] (last write
+    wins). On a counter series raises [Invalid_argument]. *)
+
+type point = { t_ms : float;  (** bucket start time *) v : float }
+
+val points : t -> string -> point list
+(** Bucket-sorted points of a series ([] if unknown). Empty buckets are not
+    materialised — consumers treat missing counter buckets as 0 and carry
+    gauges forward. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val to_text : t -> string
+(** One aligned [series t_ms value] line per point, series sorted by name. *)
+
+val to_json : t -> string
+(** Deterministic single-line object:
+    [{"bucket_ms":B,"series":{"name":{"kind":"counter"|"gauge",
+    "points":[[t_ms,v],...]},...}}] — series sorted by name, points by
+    bucket. *)
+
+val export_metrics : ?prefix:string -> t -> Metrics.t -> unit
+(** Per-series summary into a registry: counter [<prefix>.<name>.points]
+    (materialised buckets), gauges [.first_ms]/[.last_ms] (time range),
+    [.last] (final value) and [.sum] (counters only; total across buckets).
+    Default prefix ["ts"]. *)

@@ -9,7 +9,14 @@ type t = {
   mutable delivered : int;
   mutable dropped_dead : int;
   mutable dropped_loss : int;
+  mutable ts_sent : Obs.Timeseries.series;
+  mutable ts_delivered : Obs.Timeseries.series;
+  mutable ts_dropped : Obs.Timeseries.series;
 }
+
+let ts_off =
+  (* registering on the disabled collector yields the no-op handle *)
+  Obs.Timeseries.counter Obs.Timeseries.disabled ""
 
 let create ~latency ~nodes =
   if nodes < 0 then invalid_arg "Engine.create: negative node count";
@@ -24,7 +31,15 @@ let create ~latency ~nodes =
     delivered = 0;
     dropped_dead = 0;
     dropped_loss = 0;
+    ts_sent = ts_off;
+    ts_delivered = ts_off;
+    ts_dropped = ts_off;
   }
+
+let attach_timeseries ?(prefix = "net") t ts =
+  t.ts_sent <- Obs.Timeseries.counter ts (prefix ^ ".sent");
+  t.ts_delivered <- Obs.Timeseries.counter ts (prefix ^ ".delivered");
+  t.ts_dropped <- Obs.Timeseries.counter ts (prefix ^ ".dropped")
 
 let now t = t.clock
 let node_count t = Array.length t.alive
@@ -45,21 +60,33 @@ let lost t =
 let send t ~src ~dst f =
   if not t.alive.(src) then invalid_arg "Engine.send: source node is dead";
   t.sent <- t.sent + 1;
-  if lost t then t.dropped_loss <- t.dropped_loss + 1
+  Obs.Timeseries.add t.ts_sent ~at:t.clock 1.0;
+  if lost t then begin
+    t.dropped_loss <- t.dropped_loss + 1;
+    Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0
+  end
   else begin
     let arrival = t.clock +. t.latency src dst in
     Event_heap.push t.heap ~time:arrival (fun () ->
         if t.alive.(dst) then begin
           t.delivered <- t.delivered + 1;
+          Obs.Timeseries.add t.ts_delivered ~at:t.clock 1.0;
           f ()
         end
-        else t.dropped_dead <- t.dropped_dead + 1)
+        else begin
+          t.dropped_dead <- t.dropped_dead + 1;
+          Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0
+        end)
   end
 
 let timer t ~node ~delay f =
   if delay < 0.0 then invalid_arg "Engine.timer: negative delay";
   Event_heap.push t.heap ~time:(t.clock +. delay) (fun () ->
-      if t.alive.(node) then f () else t.dropped_dead <- t.dropped_dead + 1)
+      if t.alive.(node) then f ()
+      else begin
+        t.dropped_dead <- t.dropped_dead + 1;
+        Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0
+      end)
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";

@@ -64,6 +64,13 @@ val dropped_dead : t -> int
 val dropped_loss : t -> int
 (** Messages discarded by random loss injection. *)
 
+val attach_timeseries : ?prefix:string -> t -> Obs.Timeseries.t -> unit
+(** Stream per-bucket traffic into a time-series collector from now on:
+    counter series [<prefix>.sent], [.delivered] and [.dropped] (dead-node
+    and loss drops combined), stamped with the simulated clock (default
+    prefix ["net"]). Attaching the disabled collector detaches. Events
+    already processed are not back-filled. *)
+
 val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
 (** Mirror the engine's cumulative state into a metrics registry: counters
     [<prefix>.sent], [.delivered], [.dropped_dead], [.dropped_loss] and

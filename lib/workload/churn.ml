@@ -21,8 +21,13 @@ let arrival_times spec rng rate kind =
     List.rev !acc
   end
 
-let generate spec ~initial ~pool rng =
+let generate ?(ts = Obs.Timeseries.disabled) spec ~initial ~pool rng =
   if initial < 1 || initial > pool then invalid_arg "Churn.generate: bad initial/pool";
+  let ts_live = Obs.Timeseries.gauge ts "churn.live" in
+  let ts_joins = Obs.Timeseries.counter ts "churn.joins" in
+  let ts_leaves = Obs.Timeseries.counter ts "churn.leaves" in
+  let ts_fails = Obs.Timeseries.counter ts "churn.fails" in
+  Obs.Timeseries.set ts_live ~at:0.0 (float_of_int initial);
   let live = Hashtbl.create 64 in
   for i = 0 to initial - 1 do
     Hashtbl.replace live i ()
@@ -62,13 +67,17 @@ let generate spec ~initial ~pool rng =
           if !next_fresh < pool then begin
             events := { at; node = !next_fresh; kind = Join } :: !events;
             Hashtbl.replace live !next_fresh ();
-            incr next_fresh
+            incr next_fresh;
+            Obs.Timeseries.add ts_joins ~at 1.0;
+            Obs.Timeseries.set ts_live ~at (float_of_int (Hashtbl.length live))
           end
       | Leave | Fail -> (
           match pick_live () with
           | Some node ->
               events := { at; node; kind } :: !events;
-              Hashtbl.remove live node
+              Hashtbl.remove live node;
+              Obs.Timeseries.add (if kind = Fail then ts_fails else ts_leaves) ~at 1.0;
+              Obs.Timeseries.set ts_live ~at (float_of_int (Hashtbl.length live))
           | None -> ()))
     schedule;
   List.rev !events

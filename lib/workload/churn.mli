@@ -15,8 +15,16 @@ type spec = {
 }
 
 val generate :
-  spec -> initial:int -> pool:int -> Prng.Rng.t -> event list
+  ?ts:Obs.Timeseries.t -> spec -> initial:int -> pool:int -> Prng.Rng.t -> event list
 (** Nodes [0 .. initial-1] are assumed present at time 0; events use fresh
     node numbers from [initial .. pool-1] for joins and pick random live
     nodes for leaves/failures. Events are sorted by time. At least one node
-    always stays alive. *)
+    always stays alive.
+
+    [ts] (default disabled) receives the {e planned} schedule as series:
+    gauge [churn.live] (intended live population, seeded at t=0 with
+    [initial]) and counters [churn.joins], [churn.leaves], [churn.fails].
+    The realised membership under the protocol's own dynamics is what
+    [Chord.Protocol]/[Hieras.Hprotocol] emit ([chord.members] /
+    [hieras.members]); diffing the two series shows how far the system lags
+    its churn schedule. *)

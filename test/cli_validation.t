@@ -1,0 +1,59 @@
+Out-of-range flags fail fast with exit code 2 (usage error), before any
+topology or network construction starts — not deep inside the pipeline.
+The raw flags are validated before --scale is applied, so scaling cannot
+mask a bad value.
+
+  $ ../bin/hieras_sim.exe figure fig2 --depth 7
+  hieras-sim: --depth must be between 2 and 4 (got 7)
+  [2]
+
+  $ ../bin/hieras_sim.exe figure fig2 --depth 1
+  hieras-sim: --depth must be between 2 and 4 (got 1)
+  [2]
+
+  $ ../bin/hieras_sim.exe trace --requests 0
+  hieras-sim: --requests must be >= 1 (got 0)
+  [2]
+
+  $ ../bin/hieras_sim.exe all --landmarks 0
+  hieras-sim: --landmarks must be >= 1 (got 0)
+  [2]
+
+  $ ../bin/hieras_sim.exe figure fig4 --nodes 1
+  hieras-sim: --nodes must be >= 2 (got 1)
+  [2]
+
+  $ ../bin/hieras_sim.exe figure fig4 --scale=-0.5
+  hieras-sim: --scale must be > 0 (got -0.5)
+  [2]
+
+  $ ../bin/hieras_sim.exe churn --initial 0
+  hieras-sim: --initial must be in 1..pool (got 0)
+  [2]
+
+  $ ../bin/hieras_sim.exe churn --loss 1.5
+  hieras-sim: --loss must be in [0, 1) (got 1.5)
+  [2]
+
+  $ ../bin/hieras_sim.exe analyze
+  hieras-sim: usage: analyze TRACE [--json] [--top K] | analyze compare BASE CAND
+  [2]
+
+  $ ../bin/hieras_sim.exe analyze compare only-one
+  hieras-sim: analyze compare takes exactly BASE and CAND (got 1 argument(s))
+  [2]
+
+  $ ../bin/hieras_sim.exe analyze compare a b --threshold 0
+  hieras-sim: --threshold must be > 0 (got 0)
+  [2]
+
+A missing input file is a runtime failure (exit 1), not a usage error:
+
+  $ ../bin/hieras_sim.exe analyze no-such-trace.jsonl
+  hieras-sim: no-such-trace.jsonl: No such file or directory
+  [1]
+
+Valid flags on a tiny run still work (exit 0):
+
+  $ ../bin/hieras_sim.exe cost --nodes 64 --landmarks 2 | head -1
+  nodes=64 depth=2

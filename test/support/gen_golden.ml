@@ -1,3 +1,11 @@
-(* Regenerate the committed golden trace:
-     dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl *)
-let () = print_string (Obs_test_support.Golden.build_trace ())
+(* Regenerate the committed golden artifacts:
+     dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl
+     dune exec test/support/gen_golden.exe -- --report \
+       > test/golden/report_ts64.json *)
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> print_string (Obs_test_support.Golden.build_trace ())
+  | [ _; "--report" ] -> print_string (Obs_test_support.Golden.build_report ())
+  | _ ->
+      prerr_endline "usage: gen_golden [--report]";
+      exit 2

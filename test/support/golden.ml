@@ -2,13 +2,16 @@
    (test/test_obs.ml) and the regeneration tool (gen_golden.exe):
 
      dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl
+     dune exec test/support/gen_golden.exe -- --report \
+       > test/golden/report_ts64.json
 
    A fixed-seed 64-node Transit-Stub network replays the first 12 requests
    of the standard measurement stream through both Chord and HIERAS with a
    JSONL tracer attached. Any change to routing decisions, latency
    accounting, hop ordering or the trace schema changes these bytes — which
    is the point: such changes must be made (and reviewed) explicitly, by
-   regenerating the file. *)
+   regenerating the file. The golden report is the analyzer's JSON rendering
+   of the same trace, pinning the analysis schema and arithmetic too. *)
 
 module Config = Experiments.Config
 module Runner = Experiments.Runner
@@ -40,3 +43,9 @@ let build_trace () =
       ignore (Hieras.Hlookup.route ~trace:tr hnet ~origin ~key))
     requests;
   Buffer.contents buf
+
+(* the analyzer's JSON report over the golden trace, newline-terminated *)
+let build_report () =
+  let an = Obs.Analyze.create () in
+  String.split_on_char '\n' (build_trace ()) |> List.iter (Obs.Analyze.feed_line an);
+  Obs.Analyze.report_json (Obs.Analyze.report an) ^ "\n"

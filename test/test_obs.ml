@@ -456,6 +456,370 @@ let test_engine_conservation =
          quad (int_range 0 1_000_000) (int_range 0 90) (int_range 1 24) (int_range 0 400))
        engine_prop)
 
+(* --- Jsonu parser ------------------------------------------------------------ *)
+
+let test_jsonu_parse () =
+  let open Obs.Jsonu in
+  (match parse {| {"a": [1, -2.5, true, null], "b": "xé\n"} |} with
+  | Ok (Obj [ ("a", Arr [ Num 1.0; Num -2.5; Bool true; Null ]); ("b", Str s) ]) ->
+      Alcotest.(check string) "escapes decoded" "x\xc3\xa9\n" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":1,}"; "1 2"; "nul"; "\"unterminated"; "{\"a\"}"; "01" ];
+  (* numbers round-trip through the emitter's shortest representation *)
+  List.iter
+    (fun f ->
+      match parse (number f) with
+      | Ok (Num g) -> Alcotest.(check (float 0.0)) (number f) f g
+      | _ -> Alcotest.fail ("number did not round-trip: " ^ number f))
+    [ 0.0; -1.5; 3.7499999999999996; 1e-9; 6.02214076e23; -0.0001; 42.0 ]
+
+let test_metrics_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.set (Metrics.gauge m "neg") (-123.456789);
+  Metrics.set (Metrics.gauge m "tiny") 1.0000000000000002;
+  Metrics.set_counter (Metrics.counter m "c") 7;
+  let json = Metrics.to_json (Metrics.snapshot m) in
+  match Obs.Jsonu.parse json with
+  | Error e -> Alcotest.fail ("registry JSON does not parse: " ^ e)
+  | Ok j ->
+      let value name =
+        match Option.bind (Obs.Jsonu.member name j) (Obs.Jsonu.member "value") with
+        | Some v -> Option.get (Obs.Jsonu.to_float v)
+        | None -> Alcotest.fail (name ^ " missing")
+      in
+      Alcotest.(check (float 0.0)) "negative gauge exact" (-123.456789) (value "neg");
+      Alcotest.(check (float 0.0)) "ulp-precision gauge exact" 1.0000000000000002 (value "tiny");
+      Alcotest.(check (float 0.0)) "counter" 7.0 (value "c")
+
+(* --- analyzer ---------------------------------------------------------------- *)
+
+module Analyze = Obs.Analyze
+
+(* Feed the tracer output of real lookups straight into the analyzer and
+   check the report against the routing results it summarises. *)
+let analyze_prop seed =
+  let s = scenario_of_seed seed in
+  let rng = Prng.Rng.create ~seed in
+  let an = Analyze.create () in
+  let tr = Trace.ring ~capacity:65536 in
+  let lookups = 8 in
+  let chord_hops = ref 0 and chord_lat = ref 0.0 in
+  let hieras_hops = ref 0 and hieras_lat = ref 0.0 in
+  for _ = 1 to lookups do
+    let key = Hashid.Id.random Hashid.Id.sha1_space rng in
+    let origin = Prng.Rng.int rng s.nodes in
+    let rc = Lookup.route ~trace:tr s.net s.lat ~origin ~key in
+    chord_hops := !chord_hops + rc.Lookup.hop_count;
+    chord_lat := !chord_lat +. rc.Lookup.latency;
+    let rh = Hlookup.route ~trace:tr s.hnet ~origin ~key in
+    hieras_hops := !hieras_hops + rh.Hlookup.hop_count;
+    hieras_lat := !hieras_lat +. rh.Hlookup.latency
+  done;
+  List.iter (Analyze.feed_event an) (Trace.events tr);
+  let r = Analyze.report an in
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  if r.Analyze.violations <> 0 then fail "%d violations on a clean trace" r.Analyze.violations;
+  if r.Analyze.spans_open <> 0 then fail "%d open spans" r.Analyze.spans_open;
+  if List.length r.Analyze.algos <> 2 then fail "expected 2 algos";
+  List.iter
+    (fun (a : Analyze.algo_report) ->
+      if a.Analyze.lookups <> lookups then
+        fail "%s: %d lookups recorded, %d run" a.Analyze.algo a.Analyze.lookups lookups;
+      let want_hops, want_lat =
+        if a.Analyze.algo = "chord" then (!chord_hops, !chord_lat) else (!hieras_hops, !hieras_lat)
+      in
+      (* means agree with the End events of the actual routing results *)
+      if not (close a.Analyze.hops_mean (float_of_int want_hops /. float_of_int lookups)) then
+        fail "%s: hops_mean %g, expected %g" a.Analyze.algo a.Analyze.hops_mean
+          (float_of_int want_hops /. float_of_int lookups);
+      if not (close a.Analyze.latency_mean_ms (want_lat /. float_of_int lookups)) then
+        fail "%s: latency_mean %g, expected %g" a.Analyze.algo a.Analyze.latency_mean_ms
+          (want_lat /. float_of_int lookups);
+      (* per-layer attribution closes over the totals *)
+      (match a.Analyze.layers with
+      | [] -> if want_hops > 0 then fail "%s: no layer stats" a.Analyze.algo
+      | layers ->
+          let hop_share = List.fold_left (fun acc l -> acc +. l.Analyze.hop_share) 0.0 layers in
+          let lat_share = List.fold_left (fun acc l -> acc +. l.Analyze.latency_share) 0.0 layers in
+          if not (close hop_share 1.0) then fail "%s: hop shares sum to %g" a.Analyze.algo hop_share;
+          if not (close lat_share 1.0) then
+            fail "%s: latency shares sum to %g" a.Analyze.algo lat_share;
+          let l_hops = List.fold_left (fun acc l -> acc + l.Analyze.l_hops) 0 layers in
+          if l_hops <> want_hops then
+            fail "%s: layer hops %d <> total %d" a.Analyze.algo l_hops want_hops;
+          let l_lat = List.fold_left (fun acc l -> acc +. l.Analyze.l_latency_ms) 0.0 layers in
+          if not (close l_lat want_lat) then
+            fail "%s: layer latency %g <> total %g" a.Analyze.algo l_lat want_lat);
+      (* ring residency partitions the lookups *)
+      let fin = List.fold_left (fun acc (_, n) -> acc + n) 0 a.Analyze.finished_at in
+      if fin <> lookups then fail "%s: finished_at sums to %d" a.Analyze.algo fin;
+      (* forwarding shares over the hotspot list never exceed 1 *)
+      let fwd = List.fold_left (fun acc h -> acc +. h.Analyze.fwd_share) 0.0 a.Analyze.hotspots in
+      if fwd > 1.0 +. 1e-9 then fail "%s: hotspot shares sum to %g > 1" a.Analyze.algo fwd;
+      if a.Analyze.gini < 0.0 || a.Analyze.gini > 1.0 then
+        fail "%s: gini %g outside [0,1]" a.Analyze.algo a.Analyze.gini)
+    r.Analyze.algos;
+  (* both renderings are total and the JSON one parses *)
+  let json = Analyze.report_json r in
+  if not (json_valid json) then fail "report JSON invalid";
+  ignore (Analyze.report_text r);
+  true
+
+let test_analyze_invariants =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"analyzer report agrees with the routed lookups" ~count:25
+       QCheck.(int_range 0 100_000)
+       analyze_prop)
+
+let test_analyze_golden_report () =
+  let want = read_file (Filename.concat "golden" "report_ts64.json") in
+  let got = Obs_test_support.Golden.build_report () in
+  Alcotest.(check string)
+    "byte-identical (regenerate with: dune exec test/support/gen_golden.exe -- --report > test/golden/report_ts64.json)"
+    want got;
+  (* and the streaming file path agrees with the in-memory path *)
+  let an = Analyze.of_file golden_path in
+  Alcotest.(check string) "of_file agrees" want (Analyze.report_json (Analyze.report an) ^ "\n")
+
+let test_analyze_audit_detects_corruption () =
+  let feed an lines = List.iter (Analyze.feed_line an) lines in
+  (* a well-formed span, but End claims one hop too many *)
+  let an = Analyze.create () in
+  feed an
+    [
+      {|{"ev":"start","lookup":0,"algo":"chord","origin":3,"key":"ff"}|};
+      {|{"ev":"hop","lookup":0,"seq":0,"layer":1,"from":3,"to":9,"lat_ms":5}|};
+      {|{"ev":"end","lookup":0,"dest":9,"hops":2,"lat_ms":5,"finished_at_layer":1}|};
+    ];
+  Alcotest.(check int) "hop-count mismatch counted" 1 (Analyze.report an).Analyze.violations;
+  (* broken hop chain: second hop does not start where the first ended *)
+  let an = Analyze.create () in
+  feed an
+    [
+      {|{"ev":"start","lookup":1,"algo":"chord","origin":0,"key":"00"}|};
+      {|{"ev":"hop","lookup":1,"seq":0,"layer":1,"from":0,"to":4,"lat_ms":1}|};
+      {|{"ev":"hop","lookup":1,"seq":1,"layer":1,"from":5,"to":6,"lat_ms":1}|};
+      {|{"ev":"end","lookup":1,"dest":6,"hops":2,"lat_ms":2,"finished_at_layer":1}|};
+    ];
+  Alcotest.(check int) "chain break counted" 1 (Analyze.report an).Analyze.violations;
+  (* an End without a Start *)
+  let an = Analyze.create () in
+  feed an [ {|{"ev":"end","lookup":9,"dest":1,"hops":0,"lat_ms":0,"finished_at_layer":1}|} ];
+  Alcotest.(check int) "orphan end counted" 1 (Analyze.report an).Analyze.violations;
+  (* truncated trace: Start without End is open, not a violation *)
+  let an = Analyze.create () in
+  feed an [ {|{"ev":"start","lookup":2,"algo":"chord","origin":0,"key":"00"}|} ];
+  let r = Analyze.report an in
+  Alcotest.(check int) "open span" 1 r.Analyze.spans_open;
+  Alcotest.(check int) "no violation" 0 r.Analyze.violations;
+  (* malformed lines fail loudly *)
+  let an = Analyze.create () in
+  Alcotest.(check bool) "bad line raises" true
+    (try
+       Analyze.feed_line an {|{"ev":"frobnicate"}|};
+       false
+     with Failure _ -> true);
+  Analyze.feed_line an "";
+  Alcotest.(check int) "blank lines ignored" 0 (Analyze.report an).Analyze.events
+
+let with_temp_file content f =
+  let path = Filename.temp_file "analyze_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc content);
+      f path)
+
+let test_analyze_compare () =
+  let report_of lines =
+    let an = Analyze.create () in
+    List.iter (Analyze.feed_line an) lines;
+    Analyze.report_json (Analyze.report an)
+  in
+  let span ~lookup ~lat =
+    [
+      Printf.sprintf {|{"ev":"start","lookup":%d,"algo":"chord","origin":0,"key":"00"}|} lookup;
+      Printf.sprintf {|{"ev":"hop","lookup":%d,"seq":0,"layer":1,"from":0,"to":1,"lat_ms":%g}|}
+        lookup lat;
+      Printf.sprintf
+        {|{"ev":"end","lookup":%d,"dest":1,"hops":1,"lat_ms":%g,"finished_at_layer":1}|} lookup lat;
+    ]
+  in
+  let base = report_of (span ~lookup:0 ~lat:100.0) in
+  let slower = report_of (span ~lookup:0 ~lat:150.0) in
+  with_temp_file base (fun b ->
+      with_temp_file slower (fun c ->
+          match Analyze.compare_files ~base:b ~cand:c ~threshold:0.2 with
+          | Error e -> Alcotest.fail e
+          | Ok cmp ->
+              Alcotest.(check string) "kind" "trace-report" cmp.Analyze.kind;
+              let reg = List.map (fun r -> r.Analyze.metric) cmp.Analyze.regressions in
+              Alcotest.(check bool) "latency regression flagged" true
+                (List.mem "chord.latency_ms.mean" reg);
+              (* the 50% slowdown appears with the right delta *)
+              let row =
+                List.find (fun r -> r.Analyze.metric = "chord.latency_ms.mean") cmp.Analyze.rows
+              in
+              Alcotest.(check (float 1e-9)) "delta" 0.5 row.Analyze.delta;
+              ignore (Analyze.comparison_text cmp));
+      (* same file against itself: no regressions *)
+      with_temp_file base (fun c ->
+          match Analyze.compare_files ~base:b ~cand:c ~threshold:0.2 with
+          | Error e -> Alcotest.fail e
+          | Ok cmp -> Alcotest.(check int) "self-compare clean" 0 (List.length cmp.Analyze.regressions)));
+  (* mismatched kinds are an error, not a silent empty diff *)
+  with_temp_file base (fun b ->
+      with_temp_file {|{"label":"x","micro":[{"name":"op","ns_per_op":5}]}|} (fun c ->
+          match Analyze.compare_files ~base:b ~cand:c ~threshold:0.2 with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "kind mismatch accepted"))
+
+let test_analyze_compare_bench () =
+  let bench label ns secs =
+    Printf.sprintf
+      {|{"label":"%s","figures":[{"id":"fig4","seconds":%g}],"micro":[{"name":"op","ns_per_op":%g}]}|}
+      label secs ns
+  in
+  with_temp_file (bench "a" 100.0 2.0) (fun b ->
+      with_temp_file (bench "b" 130.0 2.0) (fun c ->
+          match Analyze.compare_files ~base:b ~cand:c ~threshold:0.2 with
+          | Error e -> Alcotest.fail e
+          | Ok cmp ->
+              Alcotest.(check string) "kind" "bench" cmp.Analyze.kind;
+              Alcotest.(check (list string)) "only the micro regressed" [ "micro.op.ns_per_op" ]
+                (List.map (fun r -> r.Analyze.metric) cmp.Analyze.regressions)))
+
+(* --- phase timer -------------------------------------------------------------- *)
+
+module Timer = Obs.Timer
+
+(* fake clock: each reading advances by 1.0s — a leaf span (entry + exit
+   reading) measures exactly 1s, so all renderings are deterministic *)
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 1.0;
+    v
+
+let test_timer_disabled () =
+  Alcotest.(check bool) "disabled" false (Timer.enabled Timer.disabled);
+  Alcotest.(check int) "span runs thunk" 41 (Timer.span Timer.disabled "x" (fun () -> 41));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Timer.roots Timer.disabled))
+
+let test_timer_tree () =
+  let tm = Timer.create ~clock:(fake_clock ()) in
+  Timer.span tm "build" (fun () ->
+      Timer.span tm "topology" (fun () -> ());
+      Timer.span tm "binning" (fun () -> ()));
+  Timer.span tm "replay" (fun () -> ());
+  Timer.span tm "replay" (fun () -> ());
+  match Timer.roots tm with
+  | [ b; r ] ->
+      Alcotest.(check string) "first root" "build" b.Timer.name;
+      Alcotest.(check (list string)) "children in entry order" [ "topology"; "binning" ]
+        (List.map (fun n -> n.Timer.name) b.Timer.children);
+      Alcotest.(check string) "second root" "replay" r.Timer.name;
+      Alcotest.(check int) "re-entry accumulates" 2 r.Timer.count;
+      (* fake clock: a leaf span spans one tick, the parent's entry/exit
+         readings bracket both children (entry 0, exits at 2 and 4, exit 5) *)
+      Alcotest.(check (float 1e-9)) "child total" 1.0 (List.hd b.Timer.children).Timer.total_s;
+      Alcotest.(check (float 1e-9)) "parent self = total - children" (b.Timer.total_s -. 2.0)
+        (Timer.self_s b);
+      Alcotest.(check (float 1e-9)) "replay total accumulates" 2.0 r.Timer.total_s
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 roots, got %d" (List.length l))
+
+let test_timer_raise_still_recorded () =
+  let tm = Timer.create ~clock:(fake_clock ()) in
+  (try Timer.span tm "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Timer.roots tm with
+  | [ n ] ->
+      Alcotest.(check string) "recorded" "boom" n.Timer.name;
+      Alcotest.(check bool) "time accumulated" true (n.Timer.total_s > 0.0)
+  | _ -> Alcotest.fail "span lost on raise"
+
+let test_timer_renderings_deterministic () =
+  let build () =
+    let tm = Timer.create ~clock:(fake_clock ()) in
+    Timer.span tm "a" (fun () -> Timer.span tm "b" (fun () -> ()));
+    tm
+  in
+  let tm = build () in
+  Alcotest.(check string) "folded stable" (Timer.folded tm) (Timer.folded (build ()));
+  Alcotest.(check string) "text stable" (Timer.to_text tm) (Timer.to_text (build ()));
+  Alcotest.(check bool) "folded lines are path space value" true
+    (String.split_on_char '\n' (String.trim (Timer.folded tm))
+    |> List.for_all (fun l -> String.contains l ' '));
+  let m = Metrics.create () in
+  Timer.export_metrics tm m;
+  let snap = Metrics.snapshot m in
+  (match Metrics.find snap "timer.a.b.count" with
+  | Some (Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "timer.a.b.count missing");
+  match Metrics.find snap "timer.a.total_ms" with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 1e-9)) "total ms" 3000.0 g
+  | _ -> Alcotest.fail "timer.a.total_ms missing"
+
+(* --- time series --------------------------------------------------------------- *)
+
+module Ts = Obs.Timeseries
+
+let test_timeseries_disabled () =
+  Alcotest.(check bool) "disabled" false (Ts.enabled Ts.disabled);
+  let c = Ts.counter Ts.disabled "x" in
+  Ts.add c ~at:5.0 1.0;
+  Alcotest.(check int) "no series" 0 (List.length (Ts.names Ts.disabled))
+
+let test_timeseries_bucketing () =
+  let ts = Ts.create ~bucket_ms:100.0 () in
+  let c = Ts.counter ts "ev" in
+  Ts.add c ~at:10.0 1.0;
+  Ts.add c ~at:99.0 2.0;
+  Ts.add c ~at:100.0 5.0;
+  Ts.add c ~at:250.0 1.0;
+  let g = Ts.gauge ts "lvl" in
+  Ts.set g ~at:10.0 7.0;
+  Ts.set g ~at:90.0 9.0;
+  (* counter buckets sum, gauge buckets keep the last write *)
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "counter points"
+    [ (0.0, 3.0); (100.0, 5.0); (200.0, 1.0) ]
+    (List.map (fun p -> (p.Ts.t_ms, p.Ts.v)) (Ts.points ts "ev"));
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "gauge last-write-wins" [ (0.0, 9.0) ]
+    (List.map (fun p -> (p.Ts.t_ms, p.Ts.v)) (Ts.points ts "lvl"));
+  Alcotest.(check (list string)) "names sorted" [ "ev"; "lvl" ] (Ts.names ts);
+  (* kind discipline *)
+  Alcotest.(check bool) "set on counter raises" true
+    (try
+       Ts.set c ~at:0.0 1.0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       ignore (Ts.gauge ts "ev");
+       false
+     with Invalid_argument _ -> true);
+  (* renderings parse and are stable *)
+  let json = Ts.to_json ts in
+  Alcotest.(check bool) ("valid JSON: " ^ json) true (json_valid json);
+  Alcotest.(check string) "json stable" json (Ts.to_json ts);
+  let m = Metrics.create () in
+  Ts.export_metrics ts m;
+  let snap = Metrics.snapshot m in
+  (match Metrics.find snap "ts.ev.sum" with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 0.0)) "counter sum" 9.0 g
+  | _ -> Alcotest.fail "ts.ev.sum missing");
+  match Metrics.find snap "ts.lvl.last" with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 0.0)) "gauge last" 9.0 g
+  | _ -> Alcotest.fail "ts.lvl.last missing"
+
 (* --- registry export from the runner ----------------------------------------- *)
 
 let test_runner_registry_export () =
@@ -502,6 +866,33 @@ let () =
         [
           Alcotest.test_case "fixed-seed TS-64 trace is byte-identical" `Quick test_golden_trace;
           Alcotest.test_case "golden file is valid JSONL" `Quick test_golden_trace_is_valid_jsonl;
+        ] );
+      ( "jsonu",
+        [
+          Alcotest.test_case "parser accepts/rejects/round-trips" `Quick test_jsonu_parse;
+          Alcotest.test_case "registry JSON round-trips floats" `Quick test_metrics_json_roundtrip;
+        ] );
+      ( "analyze",
+        [
+          test_analyze_invariants;
+          Alcotest.test_case "golden report is byte-identical" `Quick test_analyze_golden_report;
+          Alcotest.test_case "audit detects corrupted traces" `Quick
+            test_analyze_audit_detects_corruption;
+          Alcotest.test_case "compare flags trace-report regressions" `Quick test_analyze_compare;
+          Alcotest.test_case "compare flags bench regressions" `Quick test_analyze_compare_bench;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "disabled timer records nothing" `Quick test_timer_disabled;
+          Alcotest.test_case "span tree and accumulation" `Quick test_timer_tree;
+          Alcotest.test_case "raising span still recorded" `Quick test_timer_raise_still_recorded;
+          Alcotest.test_case "renderings deterministic under fake clock" `Quick
+            test_timer_renderings_deterministic;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "disabled collector records nothing" `Quick test_timeseries_disabled;
+          Alcotest.test_case "bucketing, kinds, renderings" `Quick test_timeseries_bucketing;
         ] );
       ("engine", [ test_engine_conservation ]);
       ("runner", [ Alcotest.test_case "registry export" `Quick test_runner_registry_export ]);

@@ -286,6 +286,49 @@ let test_registry_snapshot_jobs_independent () =
   Alcotest.(check string) "to_json jobs 1 = jobs 4" (Obs.Metrics.to_json s1)
     (Obs.Metrics.to_json s4)
 
+let test_registry_with_observers_jobs_independent () =
+  (* the full observability export — runner metrics + fake-clock phase timer
+     + churn time series — must also render byte-identically for any pool
+     width: the timer only runs on the calling domain and the series are a
+     pure function of the seed *)
+  let snapshot jobs =
+    let reg = Obs.Metrics.create () in
+    let timer =
+      Obs.Timer.create
+        ~clock:
+          (let t = ref 0.0 in
+           fun () ->
+             let v = !t in
+             t := v +. 0.25;
+             v)
+    in
+    (if jobs = 1 then ignore (Runner.run ~registry:reg ~timer det_cfg)
+     else Pool.with_pool ~jobs (fun pool -> ignore (Runner.run ~pool ~registry:reg ~timer det_cfg)));
+    Obs.Timer.export_metrics timer reg;
+    let ts = Obs.Timeseries.create ~bucket_ms:500.0 () in
+    let spec =
+      { Workload.Churn.horizon = 20_000.0; join_rate = 0.4; fail_rate = 0.1; leave_rate = 0.1 }
+    in
+    ignore
+      (Workload.Churn.generate ~ts spec ~initial:16 ~pool:64 (Prng.Rng.create ~seed:5));
+    Obs.Timeseries.export_metrics ts reg;
+    (Obs.Metrics.snapshot reg, Obs.Timeseries.to_json ts)
+  in
+  let s1, ts1 = snapshot 1 and s4, ts4 = snapshot 4 in
+  Alcotest.(check string) "registry to_json jobs 1 = jobs 4" (Obs.Metrics.to_json s1)
+    (Obs.Metrics.to_json s4);
+  Alcotest.(check string) "series to_json jobs 1 = jobs 4" ts1 ts4
+
+let test_traced_measure_equals_untraced () =
+  (* an enabled tracer forces the replay onto the calling domain, with the
+     same chunk layout — figures stay bit-identical to the parallel run *)
+  let tr = Obs.Trace.ring ~capacity:4 in
+  let traced =
+    Pool.with_pool ~jobs:4 (fun pool -> Runner.run ~pool ~trace:tr det_cfg)
+  in
+  let untraced = Pool.with_pool ~jobs:4 (fun pool -> Runner.run ~pool det_cfg) in
+  check_metrics_equal traced untraced
+
 let () =
   Alcotest.run "parallel"
     [
@@ -321,5 +364,9 @@ let () =
           Alcotest.test_case "measure backend-independent" `Slow test_measure_backend_independent;
           Alcotest.test_case "registry snapshot jobs-independent" `Slow
             test_registry_snapshot_jobs_independent;
+          Alcotest.test_case "timer + time-series exports jobs-independent" `Slow
+            test_registry_with_observers_jobs_independent;
+          Alcotest.test_case "traced measure = untraced measure" `Slow
+            test_traced_measure_equals_untraced;
         ] );
     ]

@@ -127,6 +127,59 @@ let test_histogram_quantile_empty () =
   let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
   Alcotest.(check bool) "nan when empty" true (Float.is_nan (Histogram.quantile h 0.5))
 
+let test_histogram_empty () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check int) "clamped" 0 (Histogram.clamped h);
+  (* pdf/cdf of an empty histogram are all-zero, not NaN *)
+  Array.iter (fun v -> feq "pdf zero" 0.0 v) (Histogram.pdf h);
+  Array.iter (fun v -> feq "cdf zero" 0.0 v) (Histogram.cdf h)
+
+let test_histogram_single_sample () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Histogram.add h 3.0;
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  feq "pdf mass in one bin" 1.0 (Histogram.pdf h).(1);
+  feq "cdf ends at 1" 1.0 (Histogram.cdf h).(4);
+  (* q=0 degenerates to the histogram's lower edge; every positive quantile
+     of a single sample interpolates within its bin *)
+  feq "q0 at lo" 0.0 (Histogram.quantile h 0.0);
+  List.iter
+    (fun q ->
+      let v = Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f inside the sample's bin" q)
+        true
+        (v >= 2.0 && v <= 4.0))
+    [ 0.25; 0.5; 0.99; 1.0 ]
+
+let test_histogram_quantile_boundaries () =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for v = 1 to 100 do
+    Histogram.add h (float_of_int v -. 0.5)
+  done;
+  (* q=0 is the left edge of the first occupied bin, q=1 the right edge of
+     the last; quantiles are monotone in q across the whole range *)
+  feq "q0 at left edge" 0.0 (Histogram.quantile h 0.0);
+  feq "q1 at right edge" 100.0 (Histogram.quantile h 1.0);
+  let prev = ref (Histogram.quantile h 0.0) in
+  for i = 1 to 20 do
+    let q = float_of_int i /. 20.0 in
+    let v = Histogram.quantile h q in
+    Alcotest.(check bool) (Printf.sprintf "monotone at q=%g" q) true (v >= !prev);
+    prev := v
+  done
+
+let test_summary_identical_samples () =
+  let s = Summary.create () in
+  for _ = 1 to 1000 do
+    Summary.add s 7.25
+  done;
+  feq "mean exact" 7.25 (Summary.mean s);
+  feq "variance 0" 0.0 (Summary.variance s);
+  feq "min = max" (Summary.min_value s) (Summary.max_value s);
+  feq "total" 7250.0 (Summary.total s)
+
 let test_histogram_merge () =
   let a = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
   let b = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
@@ -285,6 +338,7 @@ let () =
           Alcotest.test_case "single sample" `Quick test_summary_single;
           Alcotest.test_case "merge" `Quick test_summary_merge;
           Alcotest.test_case "merge empty" `Quick test_summary_merge_empty;
+          Alcotest.test_case "identical samples" `Quick test_summary_identical_samples;
           Alcotest.test_case "pp" `Quick test_summary_pp;
         ] );
       ( "histogram",
@@ -296,6 +350,9 @@ let () =
           Alcotest.test_case "create_ints" `Quick test_histogram_create_ints;
           Alcotest.test_case "quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "quantile empty" `Quick test_histogram_quantile_empty;
+          Alcotest.test_case "empty pdf/cdf" `Quick test_histogram_empty;
+          Alcotest.test_case "single sample" `Quick test_histogram_single_sample;
+          Alcotest.test_case "quantile boundaries" `Quick test_histogram_quantile_boundaries;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "merge incompatible" `Quick test_histogram_merge_incompatible;
           Alcotest.test_case "validation" `Quick test_histogram_validation;

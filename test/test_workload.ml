@@ -110,6 +110,35 @@ let test_churn_sorted_and_bounded () =
       Alcotest.(check bool) "node in pool" true (e.Churn.node >= 0 && e.Churn.node < 100))
     events
 
+let test_churn_timeseries_agrees_with_events () =
+  let spec = { Churn.horizon = 60_000.0; join_rate = 0.5; fail_rate = 0.2; leave_rate = 0.1 } in
+  let ts = Obs.Timeseries.create ~bucket_ms:1000.0 () in
+  let events = Churn.generate ~ts spec ~initial:10 ~pool:100 (Prng.Rng.create ~seed:10) in
+  (* the collector is a pure bystander: the schedule is unchanged *)
+  let plain = Churn.generate spec ~initial:10 ~pool:100 (Prng.Rng.create ~seed:10) in
+  Alcotest.(check bool) "ts does not perturb the schedule" true (events = plain);
+  let count kind = List.length (List.filter (fun e -> e.Churn.kind = kind) events) in
+  let sum name =
+    List.fold_left (fun acc p -> acc +. p.Obs.Timeseries.v) 0.0 (Obs.Timeseries.points ts name)
+  in
+  Alcotest.(check (float 0.0)) "churn.joins totals the join events"
+    (float_of_int (count Churn.Join)) (sum "churn.joins");
+  Alcotest.(check (float 0.0)) "churn.leaves" (float_of_int (count Churn.Leave)) (sum "churn.leaves");
+  Alcotest.(check (float 0.0)) "churn.fails" (float_of_int (count Churn.Fail)) (sum "churn.fails");
+  (* the live gauge's final value is initial + joins - leaves - fails *)
+  let final =
+    match List.rev (Obs.Timeseries.points ts "churn.live") with
+    | p :: _ -> p.Obs.Timeseries.v
+    | [] -> Alcotest.fail "churn.live empty"
+  in
+  Alcotest.(check (float 0.0)) "final live population"
+    (float_of_int (10 + count Churn.Join - count Churn.Leave - count Churn.Fail))
+    final;
+  (* and it never goes below 1: churn keeps at least one node alive *)
+  List.iter
+    (fun p -> Alcotest.(check bool) "live >= 1" true (p.Obs.Timeseries.v >= 1.0))
+    (Obs.Timeseries.points ts "churn.live")
+
 let test_churn_joins_are_fresh () =
   let rng = Prng.Rng.create ~seed:11 in
   let spec = { Churn.horizon = 120_000.0; join_rate = 0.4; fail_rate = 0.0; leave_rate = 0.0 } in
@@ -225,6 +254,8 @@ let () =
           Alcotest.test_case "never kills everyone" `Quick test_churn_never_kills_everyone;
           Alcotest.test_case "targets live nodes" `Quick test_churn_targets_only_live_nodes;
           Alcotest.test_case "validation" `Quick test_churn_validation;
+          Alcotest.test_case "time series agree with events" `Quick
+            test_churn_timeseries_agrees_with_events;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
