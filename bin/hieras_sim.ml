@@ -9,6 +9,7 @@
      trace    replay a request stream with structured JSONL tracing
      analyze  analyze a JSONL trace / compare two reports
      churn    protocol-level churn run with time-series telemetry
+     resilience  lookup success/stretch vs failed-node fraction
 
    Exit codes: 0 success, 1 runtime failure (also: regressions found by
    `analyze compare`), 2 invalid command line. *)
@@ -661,6 +662,80 @@ let churn_cmd =
           telemetry (membership, ring counts, maintenance traffic)")
     term
 
+(* ---- resilience --------------------------------------------------------- *)
+
+let resilience_cmd =
+  let failures_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "failures" ] ~docv:"F"
+          ~doc:
+            "Single failure fraction in [0, 0.95] instead of the default \
+             0\\%..50\\% sweep.")
+  in
+  let schedule_t =
+    Arg.(
+      value
+      & opt string "crash"
+      & info [ "schedule" ] ~docv:"KIND"
+          ~doc:
+            "Fault schedule: crash (permanent uniform crashes), outage \
+             (whole stub domains down) or restart (crash-restart, victims \
+             still down at the sample instant).")
+  in
+  let run model nodes landmarks depth requests seed scale jobs backend failures schedule
+      trace_out metrics timings folded =
+    let kind =
+      match Experiments.Resilience.schedule_of_name schedule with
+      | Some k -> k
+      | None ->
+          exit_usage
+            (Printf.sprintf "unknown schedule %S (crash | outage | restart)" schedule)
+    in
+    let fractions =
+      match failures with
+      | None -> Experiments.Resilience.default_fractions
+      | Some f ->
+          if f < 0.0 || f > 0.95 then
+            exit_usage (Printf.sprintf "--failures must be in [0, 0.95] (got %g)" f);
+          [ f ]
+    in
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
+    with_jobs jobs (fun pool ->
+        let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+        with_timer ~timings ~folded (fun timer ->
+            with_trace_out trace_out (fun trace ->
+                let r =
+                  Experiments.Resilience.run ~pool ?registry ~trace ~timer ~fractions ~kind cfg
+                in
+                Experiments.Report.print (Experiments.Resilience.section r));
+            Option.iter (fun reg -> Obs.Timer.export_metrics timer reg) registry);
+        match registry with
+        | None -> ()
+        | Some reg ->
+            Parallel.Pool.export_metrics pool reg;
+            print_newline ();
+            print_metrics reg)
+  in
+  let term =
+    Term.(
+      const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t
+      $ Arg.(
+          value
+          & opt int 10_000
+          & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per sweep point.")
+      $ seed_t $ scale_t $ jobs_t $ backend_t $ failures_t $ schedule_t $ trace_out_t
+      $ metrics_t $ timings_t $ folded_t)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Lookup success rate and latency stretch versus failed-node \
+          fraction, Chord against HIERAS, under a deterministic fault \
+          schedule")
+    term
+
 (* ---- extensions -------------------------------------------------------- *)
 
 let extensions_cmd =
@@ -692,6 +767,7 @@ let main =
       trace_cmd;
       analyze_cmd;
       churn_cmd;
+      resilience_cmd;
       extensions_cmd;
     ]
 

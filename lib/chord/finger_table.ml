@@ -71,3 +71,17 @@ let closest_preceding t ~id_of ~self ~key =
       if Id.in_oo id ~lo:self ~hi:key then Some node else go (k - 1)
   in
   go (Array.length t.nodes - 1)
+
+let preceding_candidates t ~id_of ~self ~key =
+  (* same scan, but keep every qualifying finger: the resilient route tries
+     them farthest-first until one is alive. Segments can repeat a node only
+     non-adjacently, so dedup against everything already taken. *)
+  let rec go k acc taken =
+    if k < 0 then List.rev acc
+    else
+      let node = t.nodes.(k) in
+      if (not (List.mem node taken)) && Id.in_oo (id_of node) ~lo:self ~hi:key then
+        go (k - 1) (node :: acc) (node :: taken)
+      else go (k - 1) acc taken
+  in
+  go (Array.length t.nodes - 1) [] []

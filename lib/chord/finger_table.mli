@@ -40,3 +40,11 @@ val closest_preceding :
 (** The farthest finger strictly inside [(self, key)] on the circle — the
     next hop of Chord's greedy routing. [None] when no finger makes
     progress. *)
+
+val preceding_candidates :
+  t -> id_of:(int -> Hashid.Id.t) -> self:Hashid.Id.t -> key:Hashid.Id.t -> int list
+(** Every distinct finger strictly inside [(self, key)], farthest first —
+    the failover order of the resilient route: the head is what
+    {!closest_preceding} returns, each subsequent entry makes strictly
+    less (but still some) progress. [] iff [closest_preceding] is
+    [None]. *)

@@ -30,3 +30,72 @@ val route :
 val route_hops_only : Network.t -> origin:int -> key:Hashid.Id.t -> int * int
 (** [(hop_count, destination)] without latency bookkeeping — for pure
     hop-count experiments and property tests (no topology needed). *)
+
+(** {2 Failure-aware routing}
+
+    {!route_resilient} runs the same greedy walk against a liveness
+    predicate: contacting a dead preferred next hop costs the full RPC
+    timeout plus [max_retries] exponentially backed-off retries (each a
+    [Retry] trace event) before the router falls back ([Fallback] event)
+    to the next-best finger or the first live successor-list entry.
+    Successor-list liveness is heartbeat-fresh, so dead list entries are
+    skipped without probe cost (but still emit fallbacks). The walk stops
+    at the first live node [s] clockwise from the current node with
+    [key ∈ (cur, s]] — the {e live owner}, because the skipped nodes
+    between are consecutive dead successors. *)
+
+type policy = {
+  rpc_timeout_ms : float;  (** charge for one timed-out contact attempt *)
+  max_retries : int;  (** extra attempts after the first timeout *)
+  backoff_base_ms : float;  (** wait before retry 1 *)
+  backoff_mult : float;  (** exponential factor; waits cap at the timeout *)
+  succ_window : int;
+      (** how many dead ring successors a HIERAS lower-ring walk skips
+          before declaring the ring locally partitioned and escaping a
+          layer (unused by the flat Chord walk, which scans the whole
+          successor list) *)
+}
+
+val default_policy : policy
+(** 500 ms timeout, 2 retries, 50 ms base backoff doubling per attempt,
+    successor window 8. *)
+
+val attempt_delay : policy -> int -> float
+(** [attempt_delay p k] is the latency charged for failed contact attempt
+    [k] (0-based): attempt 0 costs the bare timeout; attempt [k >= 1]
+    costs [min (backoff_base * mult^(k-1)) timeout + timeout]. *)
+
+val live_owner : Network.t -> is_alive:(int -> bool) -> key:Hashid.Id.t -> int option
+(** Oracle view of where a resilient lookup must end: the first live node
+    clockwise from the key ([None] when every node is dead). Dead nodes'
+    key ranges are absorbed by their first live successor — exactly the
+    ground truth the resilience experiment scores routes against. *)
+
+type attempt = {
+  outcome : result option;
+      (** [None] when routing stalled — no live finger and no live
+          successor-list entry at some node. The result's [latency]
+          {e includes} [penalty_ms]; its [hops] carry pure link
+          latencies. *)
+  retries : int;  (** timed-out contact attempts (= [Retry] events) *)
+  timeouts : int;  (** distinct dead contacts probed to exhaustion *)
+  fallbacks : int;  (** dead contacts abandoned for a secondary choice *)
+  penalty_ms : float;  (** total timeout + backoff latency charged *)
+}
+
+val route_resilient :
+  ?trace:Obs.Trace.t ->
+  ?policy:policy ->
+  Network.t ->
+  Topology.Latency.t ->
+  is_alive:(int -> bool) ->
+  origin:int ->
+  key:Hashid.Id.t ->
+  attempt
+(** The origin must be alive (raises [Invalid_argument] otherwise).
+    When every node is alive the walk, the trace hop stream and the
+    returned [result] are identical to {!route}'s. On a stalled lookup
+    the trace [End] event reports the stall position as destination —
+    spans always close, so traces stay auditable. Raises
+    [Invalid_argument] on an ill-formed policy (non-positive timeout,
+    negative retries/backoff, multiplier < 1, window < 1). *)

@@ -38,3 +38,41 @@ val route_checked : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid
 (** Like {!route} but asserts the destination equals the Chord owner of the
     key — used by tests; routing correctness must never depend on binning
     quality. *)
+
+(** {2 Failure-aware routing}
+
+    Hierarchical analogue of {!Chord.Lookup.route_resilient}, with one
+    extra recovery move: when a lower-ring walk finds [succ_window]
+    consecutive dead ring successors it declares the ring locally
+    partitioned, emits a [Layer_escape] trace event and climbs to the
+    next layer immediately instead of stalling — a lower ring can never
+    fail a lookup, only the global ring can. Ring-finger probes follow
+    the policy's timeout/backoff schedule (tagged with the ring's layer);
+    the between-layer early exit and the final global loop consult live
+    successor-list entries like the flat walk does. *)
+
+type attempt = {
+  outcome : result option;
+      (** [None] only when the {e global} loop stalled; [latency] includes
+          [penalty_ms] while [latency_per_layer] attributes link latency
+          only. *)
+  retries : int;  (** timed-out contact attempts (= [Retry] events) *)
+  timeouts : int;  (** distinct dead contacts probed to exhaustion *)
+  fallbacks : int;  (** dead contacts abandoned for a secondary choice *)
+  layer_escapes : int;  (** early climbs out of partitioned rings *)
+  penalty_ms : float;  (** total timeout + backoff latency charged *)
+}
+
+val route_resilient :
+  ?trace:Obs.Trace.t ->
+  ?policy:Chord.Lookup.policy ->
+  Hnetwork.t ->
+  is_alive:(int -> bool) ->
+  origin:int ->
+  key:Hashid.Id.t ->
+  attempt
+(** The origin must be alive (raises [Invalid_argument] otherwise; also on
+    an ill-formed policy). When every node is alive the walk, the trace
+    stream and the returned [result] are identical to {!route}'s. On a
+    stalled lookup the trace [End] event reports the stall position, so
+    spans always close and stay auditable. *)

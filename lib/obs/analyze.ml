@@ -29,6 +29,10 @@ type agg = {
   mutable finished : int Imap.t; (* finished_at_layer -> lookups *)
   mutable forwards : int Imap.t; (* node -> hops it forwarded *)
   mutable nodes : Iset.t; (* every node id seen in this algo's events *)
+  mutable retries : int;
+  mutable fallbacks : int;
+  mutable layer_escapes : int;
+  mutable penalty_ms : float; (* recover delay total, part of End latency *)
 }
 
 type t = {
@@ -59,6 +63,10 @@ let agg_of t algo =
           finished = Imap.empty;
           forwards = Imap.empty;
           nodes = Iset.empty;
+          retries = 0;
+          fallbacks = 0;
+          layer_escapes = 0;
+          penalty_ms = 0.0;
         }
       in
       Hashtbl.add t.aggs algo a;
@@ -95,6 +103,20 @@ let feed_event t ev =
           a.layer_lat <- bumpf a.layer_lat layer latency_ms;
           a.forwards <- bump a.forwards from_node 1;
           a.nodes <- Iset.add from_node (Iset.add to_node a.nodes))
+  | Recover { lookup; kind; layer = _; at_node; dead_node = _; delay_ms } -> (
+      match Hashtbl.find_opt t.open_spans lookup with
+      | None -> t.violations <- t.violations + 1 (* recovery outside any span *)
+      | Some sp ->
+          (* contiguous with the hop chain: recovery happens at the current
+             position; the charged delay is part of the End latency *)
+          if at_node <> sp.prev_to then sp.chain_ok <- false;
+          sp.sp_lat <- sp.sp_lat +. delay_ms;
+          let a = agg_of t sp.sp_algo in
+          (match kind with
+          | Trace.Retry -> a.retries <- a.retries + 1
+          | Trace.Fallback -> a.fallbacks <- a.fallbacks + 1
+          | Trace.Layer_escape -> a.layer_escapes <- a.layer_escapes + 1);
+          a.penalty_ms <- a.penalty_ms +. delay_ms)
   | End { lookup; destination; hops; latency_ms; finished_at_layer } -> (
       match Hashtbl.find_opt t.open_spans lookup with
       | None -> t.violations <- t.violations + 1
@@ -158,6 +180,22 @@ let event_of_line line =
               to_node = int_field "to" j;
               latency_ms = float_field "lat_ms" j;
             }
+      | "recover" ->
+          let kind_s = str_field "kind" j in
+          let kind =
+            match Trace.rkind_of_name kind_s with
+            | Some k -> k
+            | None -> failwith (Printf.sprintf "trace event: unknown recover kind %S" kind_s)
+          in
+          Trace.Recover
+            {
+              lookup = int_field "lookup" j;
+              kind;
+              layer = int_field "layer" j;
+              at_node = int_field "at" j;
+              dead_node = int_field "dead" j;
+              delay_ms = float_field "delay_ms" j;
+            }
       | "end" ->
           Trace.End
             {
@@ -197,6 +235,8 @@ type layer_stat = {
 
 type hotspot = { node : int; forwards : int; fwd_share : float }
 
+type recover_stat = { retries : int; fallbacks : int; layer_escapes : int; penalty_ms : float }
+
 type algo_report = {
   algo : string;
   lookups : int;
@@ -213,6 +253,7 @@ type algo_report = {
   gini : float;
   imbalance : float;
   hotspots : hotspot list;
+  recover : recover_stat;
 }
 
 type report = { events : int; spans_open : int; violations : int; algos : algo_report list }
@@ -286,7 +327,20 @@ let algo_report_of top_k algo (a : agg) =
     gini = gini_of counts;
     imbalance = (if mean_fwd > 0.0 then max_fwd /. mean_fwd else 0.0);
     hotspots;
+    recover =
+      {
+        retries = a.retries;
+        fallbacks = a.fallbacks;
+        layer_escapes = a.layer_escapes;
+        penalty_ms = a.penalty_ms;
+      };
   }
+
+(* The recover block only renders when a resilient route actually recovered
+   from something, so reports from healthy traces keep their exact bytes
+   (the committed goldens predate failure-aware routing). *)
+let has_recover ar =
+  ar.recover.retries + ar.recover.fallbacks + ar.recover.layer_escapes > 0
 
 let report t =
   let algos =
@@ -355,6 +409,12 @@ let report_text r =
         Buffer.add_string buf (Printf.sprintf "\n%s: ring residency\n" ar.algo);
         Buffer.add_string buf (Stats.Text_table.render tbl)
       end;
+      if has_recover ar then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n%s: recovery (retries %d, fallbacks %d, layer escapes %d, penalty %s ms)\n"
+             ar.algo ar.recover.retries ar.recover.fallbacks ar.recover.layer_escapes
+             (fmt_f ar.recover.penalty_ms));
       if ar.hotspots <> [] then begin
         let tbl = Stats.Text_table.create [ "node"; "forwards"; "share of hops" ] in
         List.iter
@@ -430,7 +490,14 @@ let report_json r =
           Buffer.add_string buf
             (Printf.sprintf "[%d,%d,%s]" h.node h.forwards (Jsonu.number h.fwd_share)))
         ar.hotspots;
-      Buffer.add_string buf "]}}")
+      Buffer.add_string buf "]}";
+      if has_recover ar then
+        Buffer.add_string buf
+          (Printf.sprintf
+             {|,"recover":{"retries":%d,"fallbacks":%d,"layer_escapes":%d,"penalty_ms":%s}|}
+             ar.recover.retries ar.recover.fallbacks ar.recover.layer_escapes
+             (Jsonu.number ar.recover.penalty_ms));
+      Buffer.add_char buf '}')
     r.algos;
   Buffer.add_string buf "}}";
   Buffer.contents buf
@@ -471,6 +538,10 @@ let metrics_of_trace_report j =
                 ("latency_ms.mean", [ "latency_ms"; "mean" ]);
                 ("latency_ms.max", [ "latency_ms"; "max" ]);
                 ("forwarding.gini", [ "forwarding"; "gini" ]);
+                ("recover.retries", [ "recover"; "retries" ]);
+                ("recover.fallbacks", [ "recover"; "fallbacks" ]);
+                ("recover.layer_escapes", [ "recover"; "layer_escapes" ]);
+                ("recover.penalty_ms", [ "recover"; "penalty_ms" ]);
               ])
           acc algos
     | _ -> acc

@@ -52,6 +52,15 @@ type layer_stat = {
 
 type hotspot = { node : int; forwards : int; fwd_share : float }
 
+type recover_stat = {
+  retries : int;  (** timed-out contact attempts on dead nodes *)
+  fallbacks : int;  (** dead preferred next hops replaced by a secondary *)
+  layer_escapes : int;  (** HIERAS early climbs out of a partitioned ring *)
+  penalty_ms : float;
+      (** total recover [delay_ms] — the share of the algo's latency spent
+          on timeouts and backoff rather than on overlay hops *)
+}
+
 type algo_report = {
   algo : string;
   lookups : int;
@@ -71,6 +80,9 @@ type algo_report = {
           (0 = perfectly even, -> 1 = one node forwards everything) *)
   imbalance : float;  (** max / mean forwarding count over [nodes_seen] *)
   hotspots : hotspot list;  (** top-k by forwards, descending *)
+  recover : recover_stat;
+      (** failure-recovery totals from [Recover] events; all-zero for
+          traces of the non-resilient routes *)
 }
 
 type report = {
@@ -91,7 +103,10 @@ val report_text : report -> string
 
 val report_json : report -> string
 (** Deterministic single-line JSON (schema in DESIGN.md §9); histograms
-    render as sparse [[bin_lo, count]] pairs. *)
+    render as sparse [[bin_lo, count]] pairs. The per-algo ["recover"]
+    object only appears when at least one recovery was counted, so
+    reports over healthy traces are byte-identical to pre-resilience
+    ones. *)
 
 (** {2 Compare mode} *)
 

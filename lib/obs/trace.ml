@@ -1,3 +1,5 @@
+type rkind = Retry | Fallback | Layer_escape
+
 type event =
   | Start of { lookup : int; algo : string; origin : int; key : string }
   | Hop of {
@@ -8,6 +10,14 @@ type event =
       to_node : int;
       latency_ms : float;
     }
+  | Recover of {
+      lookup : int;
+      kind : rkind;
+      layer : int;
+      at_node : int;
+      dead_node : int;
+      delay_ms : float;
+    }
   | End of {
       lookup : int;
       destination : int;
@@ -15,6 +25,14 @@ type event =
       latency_ms : float;
       finished_at_layer : int;
     }
+
+let rkind_name = function Retry -> "retry" | Fallback -> "fallback" | Layer_escape -> "layer_escape"
+
+let rkind_of_name = function
+  | "retry" -> Some Retry
+  | "fallback" -> Some Fallback
+  | "layer_escape" -> Some Layer_escape
+  | _ -> None
 
 type ring = { buf : event option array; cap : int; mutable head : int; mutable len : int }
 type sink = Null | Ring of ring | Writer of (string -> unit)
@@ -36,6 +54,10 @@ let event_to_json = function
   | Hop { lookup; seq; layer; from_node; to_node; latency_ms } ->
       Printf.sprintf {|{"ev":"hop","lookup":%d,"seq":%d,"layer":%d,"from":%d,"to":%d,"lat_ms":%s}|}
         lookup seq layer from_node to_node (Jsonu.number latency_ms)
+  | Recover { lookup; kind; layer; at_node; dead_node; delay_ms } ->
+      Printf.sprintf
+        {|{"ev":"recover","lookup":%d,"kind":"%s","layer":%d,"at":%d,"dead":%d,"delay_ms":%s}|}
+        lookup (rkind_name kind) layer at_node dead_node (Jsonu.number delay_ms)
   | End { lookup; destination; hops; latency_ms; finished_at_layer } ->
       Printf.sprintf
         {|{"ev":"end","lookup":%d,"dest":%d,"hops":%d,"lat_ms":%s,"finished_at_layer":%d}|}
@@ -60,6 +82,9 @@ let start t ~algo ~origin ~key =
 
 let hop t ~lookup ~seq ~layer ~from_node ~to_node ~latency_ms =
   emit t (Hop { lookup; seq; layer; from_node; to_node; latency_ms })
+
+let recover t ~lookup ~kind ~layer ~at_node ~dead_node ~delay_ms =
+  emit t (Recover { lookup; kind; layer; at_node; dead_node; delay_ms })
 
 let finish t ~lookup ~destination ~hops ~latency_ms ~finished_at_layer =
   emit t (End { lookup; destination; hops; latency_ms; finished_at_layer })

@@ -24,9 +24,24 @@
       of hop [i+1], the first [from_node] is the origin and the last
       [to_node] is the [End] event's [destination] (when there are hops);
     - [End.hops] is the hop count and [End.latency_ms] the sum of the hops'
-      [latency_ms] in emission order;
+      [latency_ms] {e plus} the [delay_ms] of every [Recover] event of the
+      span, in emission order;
+    - [Recover] events are contiguous with the hop chain: their [at_node] is
+      the current chain position ([to_node] of the previous hop, or the
+      origin before the first hop);
     - [layer] is 1 (the global ring; Chord hops are always layer 1) up to the
       HIERAS hierarchy depth. *)
+
+type rkind = Retry | Fallback | Layer_escape
+(** Failure-recovery actions of the resilient routing paths
+    ([Chord.Lookup.route_resilient], [Hieras.Hlookup.route_resilient]):
+    - [Retry]: a contact attempt on a dead node timed out (the [delay_ms]
+      of the event is the timeout plus the exponential backoff wait charged
+      to the lookup);
+    - [Fallback]: the router abandoned a dead preferred next hop and picked
+      a secondary candidate (next-best finger or successor-list entry);
+    - [Layer_escape]: a HIERAS lower-ring loop found no live in-ring route
+      and climbed to the next layer early. *)
 
 type event =
   | Start of { lookup : int; algo : string; origin : int; key : string }
@@ -39,6 +54,14 @@ type event =
       from_node : int;
       to_node : int;
       latency_ms : float;
+    }
+  | Recover of {
+      lookup : int;
+      kind : rkind;
+      layer : int;  (** layer whose routing state was being consulted *)
+      at_node : int;  (** the node performing the recovery — the current hop position *)
+      dead_node : int;  (** the contact that was found (or known) dead *)
+      delay_ms : float;  (** latency charged to the lookup (0 for pure fallbacks) *)
     }
   | End of {
       lookup : int;
@@ -73,6 +96,14 @@ val start : t -> algo:string -> origin:int -> key:string -> int
 
 val hop :
   t -> lookup:int -> seq:int -> layer:int -> from_node:int -> to_node:int -> latency_ms:float -> unit
+
+val recover :
+  t -> lookup:int -> kind:rkind -> layer:int -> at_node:int -> dead_node:int -> delay_ms:float -> unit
+
+val rkind_name : rkind -> string
+(** "retry", "fallback" or "layer_escape" — the JSON [kind] field. *)
+
+val rkind_of_name : string -> rkind option
 
 val finish :
   t -> lookup:int -> destination:int -> hops:int -> latency_ms:float -> finished_at_layer:int -> unit

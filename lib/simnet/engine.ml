@@ -9,9 +9,13 @@ type t = {
   mutable delivered : int;
   mutable dropped_dead : int;
   mutable dropped_loss : int;
+  mutable deaths : int;
+  mutable revivals : int;
+  mutable live : int;
   mutable ts_sent : Obs.Timeseries.series;
   mutable ts_delivered : Obs.Timeseries.series;
   mutable ts_dropped : Obs.Timeseries.series;
+  mutable ts_live : Obs.Timeseries.series;
 }
 
 let ts_off =
@@ -31,21 +35,44 @@ let create ~latency ~nodes =
     delivered = 0;
     dropped_dead = 0;
     dropped_loss = 0;
+    deaths = 0;
+    revivals = 0;
+    live = nodes;
     ts_sent = ts_off;
     ts_delivered = ts_off;
     ts_dropped = ts_off;
+    ts_live = ts_off;
   }
 
 let attach_timeseries ?(prefix = "net") t ts =
   t.ts_sent <- Obs.Timeseries.counter ts (prefix ^ ".sent");
   t.ts_delivered <- Obs.Timeseries.counter ts (prefix ^ ".delivered");
-  t.ts_dropped <- Obs.Timeseries.counter ts (prefix ^ ".dropped")
+  t.ts_dropped <- Obs.Timeseries.counter ts (prefix ^ ".dropped");
+  t.ts_live <- Obs.Timeseries.gauge ts (prefix ^ ".live")
 
 let now t = t.clock
 let node_count t = Array.length t.alive
 let is_alive t n = t.alive.(n)
-let kill t n = t.alive.(n) <- false
-let revive t n = t.alive.(n) <- true
+
+(* kill/revive count transitions only: a fault schedule may (and does, when a
+   crash-restart window overlaps a correlated outage) kill an already-dead
+   node or revive a live one, and those no-ops must not skew the
+   deaths/revivals/live accounting. *)
+let kill t n =
+  if t.alive.(n) then begin
+    t.alive.(n) <- false;
+    t.deaths <- t.deaths + 1;
+    t.live <- t.live - 1;
+    Obs.Timeseries.set t.ts_live ~at:t.clock (float_of_int t.live)
+  end
+
+let revive t n =
+  if not t.alive.(n) then begin
+    t.alive.(n) <- true;
+    t.revivals <- t.revivals + 1;
+    t.live <- t.live + 1;
+    Obs.Timeseries.set t.ts_live ~at:t.clock (float_of_int t.live)
+  end
 
 let set_loss t ~rate ~rng =
   if rate < 0.0 || rate >= 1.0 then invalid_arg "Engine.set_loss: rate must be in [0, 1)";
@@ -120,6 +147,9 @@ let sent t = t.sent
 let delivered t = t.delivered
 let dropped_dead t = t.dropped_dead
 let dropped_loss t = t.dropped_loss
+let deaths t = t.deaths
+let revivals t = t.revivals
+let live_count t = t.live
 
 let export_metrics ?(prefix = "simnet") t m =
   let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
@@ -127,5 +157,8 @@ let export_metrics ?(prefix = "simnet") t m =
   c "delivered" t.delivered;
   c "dropped_dead" t.dropped_dead;
   c "dropped_loss" t.dropped_loss;
+  c "deaths" t.deaths;
+  c "revivals" t.revivals;
   c "pending_events" (Event_heap.size t.heap);
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".live")) (float_of_int t.live);
   Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".clock_ms")) t.clock

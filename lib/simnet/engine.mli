@@ -25,9 +25,12 @@ val node_count : t -> int
 val is_alive : t -> int -> bool
 val kill : t -> int -> unit
 (** Silent fail: pending deliveries and timers for the node are discarded on
-    arrival. *)
+    arrival. Killing an already-dead node is a no-op — it does not bump
+    {!deaths} or move the {!live_count} gauge, so overlapping fault
+    schedules cannot skew the accounting. *)
 
 val revive : t -> int -> unit
+(** Reviving a live node is likewise a transition-only no-op. *)
 
 val set_loss : t -> rate:float -> rng:Prng.Rng.t -> unit
 (** Drop each message independently with probability [rate] (0 disables). *)
@@ -64,18 +67,29 @@ val dropped_dead : t -> int
 val dropped_loss : t -> int
 (** Messages discarded by random loss injection. *)
 
+val deaths : t -> int
+(** Live-to-dead transitions effected by {!kill} (no-op kills excluded). *)
+
+val revivals : t -> int
+(** Dead-to-live transitions effected by {!revive} (no-op revives
+    excluded). [deaths - revivals = nodes - live_count] always holds. *)
+
+val live_count : t -> int
+(** Nodes currently alive. *)
+
 val attach_timeseries : ?prefix:string -> t -> Obs.Timeseries.t -> unit
 (** Stream per-bucket traffic into a time-series collector from now on:
     counter series [<prefix>.sent], [.delivered] and [.dropped] (dead-node
-    and loss drops combined), stamped with the simulated clock (default
-    prefix ["net"]). Attaching the disabled collector detaches. Events
-    already processed are not back-filled. *)
+    and loss drops combined) plus gauge series [<prefix>.live] (population
+    after each kill/revive transition), stamped with the simulated clock
+    (default prefix ["net"]). Attaching the disabled collector detaches.
+    Events already processed are not back-filled. *)
 
 val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
 (** Mirror the engine's cumulative state into a metrics registry: counters
-    [<prefix>.sent], [.delivered], [.dropped_dead], [.dropped_loss] and
-    [.pending_events], gauge [<prefix>.clock_ms] (default prefix
-    ["simnet"]). The conservation law [sent = delivered + dropped_dead +
+    [<prefix>.sent], [.delivered], [.dropped_dead], [.dropped_loss],
+    [.deaths], [.revivals] and [.pending_events], gauges [<prefix>.live]
+    and [<prefix>.clock_ms] (default prefix ["simnet"]). The conservation law [sent = delivered + dropped_dead +
     dropped_loss] holds whenever the event queue has drained and no timers
     were used ([timer] drops on dead nodes also count into [dropped_dead],
     [schedule] god-events are never counted). Idempotent: re-exporting

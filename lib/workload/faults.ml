@@ -1,0 +1,135 @@
+(* Deterministic fault schedules. A spec list compiles — through a caller
+   supplied Rng — to a flat, time-sorted list of kill/revive/set-loss
+   events; the draw of victims depends only on the rng state and the specs,
+   never on execution order, so schedules are reproducible and identical
+   under any --jobs. *)
+
+type spec =
+  | Crash of { at : float; frac : float }
+  | Crash_restart of { at : float; frac : float; down_ms : float }
+  | Domain_outage of { at : float; domains : int; down_ms : float option }
+  | Loss_window of { from_ms : float; until_ms : float; rate : float }
+
+type action = Kill of int | Revive of int | Set_loss of float
+type event = { at : float; action : action }
+
+let start_of = function
+  | Crash { at; _ } | Crash_restart { at; _ } | Domain_outage { at; _ } -> at
+  | Loss_window { from_ms; _ } -> from_ms
+
+let validate specs =
+  let check = function
+    | Crash { at; frac } ->
+        if at < 0.0 then Error "crash time must be >= 0"
+        else if frac < 0.0 || frac > 1.0 then Error "crash fraction must be in [0, 1]"
+        else Ok ()
+    | Crash_restart { at; frac; down_ms } ->
+        if at < 0.0 then Error "crash-restart time must be >= 0"
+        else if frac < 0.0 || frac > 1.0 then Error "crash-restart fraction must be in [0, 1]"
+        else if down_ms <= 0.0 then Error "crash-restart downtime must be > 0"
+        else Ok ()
+    | Domain_outage { at; domains; down_ms } ->
+        if at < 0.0 then Error "outage time must be >= 0"
+        else if domains < 1 then Error "outage must cover at least one domain"
+        else if match down_ms with Some d -> d <= 0.0 | None -> false then
+          Error "outage downtime must be > 0"
+        else Ok ()
+    | Loss_window { from_ms; until_ms; rate } ->
+        if from_ms < 0.0 then Error "loss window start must be >= 0"
+        else if until_ms <= from_ms then Error "loss window must end after it starts"
+        else if rate < 0.0 || rate >= 1.0 then Error "loss rate must be in [0, 1)"
+        else Ok ()
+  in
+  List.fold_left (fun acc s -> match acc with Error _ -> acc | Ok () -> check s) (Ok ()) specs
+
+module Iset = Set.Make (Int)
+
+let compile ?(group_of = fun n -> n) ~nodes specs rng =
+  (match validate specs with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Faults.compile: " ^ msg));
+  if nodes < 1 then invalid_arg "Faults.compile: nodes must be >= 1";
+  (* dead_until.(n): None = planned alive; Some t = planned dead until t
+     (infinity for a permanent crash). Victims of later specs are only ever
+     drawn from the nodes planned alive at that spec's start time. *)
+  let dead_until = Array.make nodes None in
+  let planned_alive at =
+    let l = ref [] in
+    for n = nodes - 1 downto 0 do
+      match dead_until.(n) with
+      | None -> l := n :: !l
+      | Some t -> if t <= at then l := n :: !l
+    done;
+    Array.of_list !l
+  in
+  let events = ref [] in
+  let emit at action = events := { at; action } :: !events in
+  let kill_one at v down =
+    emit at (Kill v);
+    match down with
+    | None -> dead_until.(v) <- Some Float.infinity
+    | Some d ->
+        emit (at +. d) (Revive v);
+        dead_until.(v) <- Some (at +. d)
+  in
+  let draw_victims at frac =
+    let alive = planned_alive at in
+    let k = min (int_of_float ((frac *. float_of_int nodes) +. 0.5)) (Array.length alive) in
+    let idx = Prng.Dist.sample_without_replacement rng k (Array.length alive) in
+    Array.map (fun i -> alive.(i)) idx
+  in
+  let ordered = List.stable_sort (fun a b -> Float.compare (start_of a) (start_of b)) specs in
+  List.iter
+    (fun spec ->
+      match spec with
+      | Crash { at; frac } -> Array.iter (fun v -> kill_one at v None) (draw_victims at frac)
+      | Crash_restart { at; frac; down_ms } ->
+          Array.iter (fun v -> kill_one at v (Some down_ms)) (draw_victims at frac)
+      | Domain_outage { at; domains; down_ms } ->
+          let alive = planned_alive at in
+          (* candidate domains in sorted order so the draw is a pure
+             function of the rng state, not of iteration order *)
+          let groups =
+            Array.fold_left (fun s v -> Iset.add (group_of v) s) Iset.empty alive
+            |> Iset.elements |> Array.of_list
+          in
+          let k = min domains (Array.length groups) in
+          let chosen =
+            Prng.Dist.sample_without_replacement rng k (Array.length groups)
+            |> Array.fold_left (fun s i -> Iset.add groups.(i) s) Iset.empty
+          in
+          Array.iter (fun v -> if Iset.mem (group_of v) chosen then kill_one at v down_ms) alive
+      | Loss_window { from_ms; until_ms; rate } ->
+          emit from_ms (Set_loss rate);
+          emit until_ms (Set_loss 0.0))
+    ordered;
+  List.stable_sort (fun a b -> Float.compare a.at b.at) (List.rev !events)
+
+let apply eng ~rng events =
+  List.iter
+    (fun { at; action } ->
+      let delay = Float.max 0.0 (at -. Simnet.Engine.now eng) in
+      match action with
+      | Kill n -> Simnet.Engine.schedule eng ~delay (fun () -> Simnet.Engine.kill eng n)
+      | Revive n -> Simnet.Engine.schedule eng ~delay (fun () -> Simnet.Engine.revive eng n)
+      | Set_loss rate ->
+          Simnet.Engine.schedule eng ~delay (fun () -> Simnet.Engine.set_loss eng ~rate ~rng))
+    events
+
+let population ~nodes ~at events =
+  let alive = Array.make nodes true in
+  List.iter
+    (fun ev ->
+      if ev.at <= at then
+        match ev.action with
+        | Kill n -> alive.(n) <- false
+        | Revive n -> alive.(n) <- true
+        | Set_loss _ -> ())
+    events;
+  alive
+
+let loss_rate ~at events =
+  List.fold_left
+    (fun rate ev ->
+      match ev.action with Set_loss r when ev.at <= at -> r | _ -> rate)
+    0.0 events

@@ -1,0 +1,59 @@
+(** Deterministic fault-injection schedules.
+
+    A schedule is declared as a list of {!spec}s (crash a fraction, crash
+    and restart, take out whole stub domains, open a message-loss window)
+    and {!compile}d — through a caller-supplied {!Prng.Rng.t} — into a
+    time-sorted stream of primitive {!action}s on {!Simnet.Engine}: [kill],
+    [revive], [set_loss]. Compilation is a pure function of the specs, the
+    node count and the rng state: the same seed always yields the same
+    victims, independent of [--jobs] or evaluation order — fault schedules
+    are part of an experiment's reproducible identity.
+
+    The compiled stream can be {!apply}ed to an engine (timed god-events)
+    or replayed analytically with {!population} — the planned liveness the
+    resilience experiment scores lookups against. *)
+
+type spec =
+  | Crash of { at : float; frac : float }
+      (** At [at] ms, permanently kill [frac] (of the total population,
+          rounded) nodes drawn uniformly from those planned alive. *)
+  | Crash_restart of { at : float; frac : float; down_ms : float }
+      (** Like [Crash], but each victim revives after [down_ms]. *)
+  | Domain_outage of { at : float; domains : int; down_ms : float option }
+      (** Correlated failure: pick [domains] distinct groups (see
+          [group_of] in {!compile}) uniformly among those with planned-alive
+          members and kill every planned-alive member; [Some d] revives
+          them all after [d] ms, [None] is permanent. *)
+  | Loss_window of { from_ms : float; until_ms : float; rate : float }
+      (** Message loss at [rate] between the two instants (then back
+          to 0). *)
+
+type action = Kill of int | Revive of int | Set_loss of float
+type event = { at : float; action : action }
+
+val validate : spec list -> (unit, string) result
+(** First ill-formed spec, as a CLI-friendly message: fractions must lie in
+    [0, 1], times be non-negative, downtimes positive, loss rates in
+    [0, 1), outages cover at least one domain. *)
+
+val compile : ?group_of:(int -> int) -> nodes:int -> spec list -> Prng.Rng.t -> event list
+(** Compile to a monotone (time-sorted, ties in generation order) event
+    stream over nodes [0 .. nodes-1]. [group_of] maps a node to its stub
+    domain for {!spec.Domain_outage} (default: every node its own domain —
+    pass e.g. the node's router for topology-correlated outages). Specs are
+    processed in start-time order regardless of list order. Raises
+    [Invalid_argument] when {!validate} rejects the specs or [nodes < 1]. *)
+
+val apply : Simnet.Engine.t -> rng:Prng.Rng.t -> event list -> unit
+(** Schedule every event as an engine god-event at its absolute time
+    (relative to the engine's current clock; past times fire immediately).
+    [rng] drives the loss coin-flips of [Set_loss] actions. Kill/revive on
+    the engine are transition-only, so overlapping schedules compose
+    without skewing counters. *)
+
+val population : nodes:int -> at:float -> event list -> bool array
+(** Planned liveness at time [at]: replay every kill/revive with event time
+    [<= at] over an all-alive population. *)
+
+val loss_rate : at:float -> event list -> float
+(** Planned loss rate at time [at] (0 outside every window). *)

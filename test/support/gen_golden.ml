@@ -1,11 +1,14 @@
 (* Regenerate the committed golden artifacts:
      dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl
      dune exec test/support/gen_golden.exe -- --report \
-       > test/golden/report_ts64.json *)
+       > test/golden/report_ts64.json
+     dune exec test/support/gen_golden.exe -- --resilience \
+       > test/golden/resilience_ts64.json *)
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> print_string (Obs_test_support.Golden.build_trace ())
   | [ _; "--report" ] -> print_string (Obs_test_support.Golden.build_report ())
+  | [ _; "--resilience" ] -> print_string (Obs_test_support.Golden.build_resilience ())
   | _ ->
-      prerr_endline "usage: gen_golden [--report]";
+      prerr_endline "usage: gen_golden [--report | --resilience]";
       exit 2

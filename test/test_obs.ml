@@ -280,7 +280,8 @@ let check_traced_lookup ~what ~origin ~key ~(events : Trace.event list) ~destina
             ( s,
               h,
               { e_dest = destination; e_hops = hops; e_lat = latency_ms; e_flayer = finished_at_layer }
-              :: e ))
+              :: e )
+        | Trace.Recover _ -> (s, h, e))
       ([], [], []) events
   in
   let fail fmt = QCheck.Test.fail_reportf fmt in

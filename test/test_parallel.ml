@@ -329,6 +329,81 @@ let test_traced_measure_equals_untraced () =
   let untraced = Pool.with_pool ~jobs:4 (fun pool -> Runner.run ~pool det_cfg) in
   check_metrics_equal traced untraced
 
+(* --- determinism: fault schedules and the resilience experiment ------------- *)
+
+let test_fault_compile_jobs_independent () =
+  (* compilation never touches a pool, but must also be insensitive to being
+     run from inside a parallel region — the draw is a pure function of the
+     rng state and the specs *)
+  let specs =
+    [
+      Workload.Faults.Crash { at = 10.0; frac = 0.2 };
+      Workload.Faults.Crash_restart { at = 40.0; frac = 0.1; down_ms = 500.0 };
+      Workload.Faults.Loss_window { from_ms = 5.0; until_ms = 95.0; rate = 0.05 };
+    ]
+  in
+  let compile () = Workload.Faults.compile ~nodes:300 specs (Prng.Rng.create ~seed:99) in
+  let base = compile () in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let per_worker = Pool.parallel_map pool (fun _ -> compile ()) (Array.make 8 ()) in
+      Array.iteri
+        (fun i evs ->
+          if evs <> base then Alcotest.failf "worker %d compiled a different schedule" i)
+        per_worker)
+
+let res_cfg =
+  Config.paper_default |> fun c ->
+  Config.with_nodes c 128 |> fun c ->
+  Config.with_requests c 6000 |> fun c ->
+  Config.with_landmarks c 4 |> fun c -> Config.with_seed c 31
+
+let check_point (a : Experiments.Resilience.point) (b : Experiments.Resilience.point) =
+  let name = Printf.sprintf "fraction %g" a.Experiments.Resilience.fraction in
+  check_bits (name ^ " fraction") a.Experiments.Resilience.fraction
+    b.Experiments.Resilience.fraction;
+  Alcotest.(check int) (name ^ " failed") a.Experiments.Resilience.failed
+    b.Experiments.Resilience.failed;
+  Alcotest.(check int) (name ^ " chord ok") a.Experiments.Resilience.chord_succeeded
+    b.Experiments.Resilience.chord_succeeded;
+  Alcotest.(check int) (name ^ " hieras ok") a.Experiments.Resilience.hieras_succeeded
+    b.Experiments.Resilience.hieras_succeeded;
+  check_bits (name ^ " chord stretch") a.Experiments.Resilience.chord_stretch
+    b.Experiments.Resilience.chord_stretch;
+  check_bits (name ^ " hieras stretch") a.Experiments.Resilience.hieras_stretch
+    b.Experiments.Resilience.hieras_stretch;
+  Alcotest.(check int) (name ^ " chord retries") a.Experiments.Resilience.chord_retries
+    b.Experiments.Resilience.chord_retries;
+  Alcotest.(check int) (name ^ " hieras retries") a.Experiments.Resilience.hieras_retries
+    b.Experiments.Resilience.hieras_retries;
+  Alcotest.(check int) (name ^ " escapes") a.Experiments.Resilience.hieras_layer_escapes
+    b.Experiments.Resilience.hieras_layer_escapes;
+  check_bits (name ^ " chord penalty") a.Experiments.Resilience.chord_penalty_ms
+    b.Experiments.Resilience.chord_penalty_ms;
+  check_bits (name ^ " hieras penalty") a.Experiments.Resilience.hieras_penalty_ms
+    b.Experiments.Resilience.hieras_penalty_ms
+
+let test_resilience_jobs1_equals_jobs4 () =
+  let run jobs =
+    let reg = Obs.Metrics.create () in
+    let r =
+      Pool.with_pool ~jobs (fun pool ->
+          Experiments.Resilience.run ~pool ~registry:reg
+            ~fractions:[ 0.0; 0.25; 0.5 ] res_cfg)
+    in
+    (r, Obs.Metrics.to_text (Obs.Metrics.snapshot reg))
+  in
+  let r1, snap1 = run 1 and r4, snap4 = run 4 in
+  check_bits "chord baseline" r1.Experiments.Resilience.chord_baseline_ms
+    r4.Experiments.Resilience.chord_baseline_ms;
+  check_bits "hieras baseline" r1.Experiments.Resilience.hieras_baseline_ms
+    r4.Experiments.Resilience.hieras_baseline_ms;
+  List.iter2 check_point r1.Experiments.Resilience.points r4.Experiments.Resilience.points;
+  Alcotest.(check string) "registry snapshot jobs 1 = jobs 4" snap1 snap4;
+  (* the rendered report section is a pure function of the results *)
+  Alcotest.(check string) "report section jobs 1 = jobs 4"
+    (Experiments.Report.render (Experiments.Resilience.section r1))
+    (Experiments.Report.render (Experiments.Resilience.section r4))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -368,5 +443,9 @@ let () =
             test_registry_with_observers_jobs_independent;
           Alcotest.test_case "traced measure = untraced measure" `Slow
             test_traced_measure_equals_untraced;
+          Alcotest.test_case "fault compile jobs-independent" `Quick
+            test_fault_compile_jobs_independent;
+          Alcotest.test_case "resilience jobs 1 = jobs 4" `Slow
+            test_resilience_jobs1_equals_jobs4;
         ] );
     ]

@@ -177,6 +177,37 @@ let test_kill_midflight () =
   Engine.run eng;
   Alcotest.(check int) "both dropped (arrival at t=10, dead 5..15)" 0 !ran
 
+let test_kill_revive_transition_only () =
+  (* killing a dead node / reviving a live one are no-ops: no counter
+     bumps, no live-count skew — overlapping fault schedules compose *)
+  let eng = Engine.create ~latency:(const_latency 1.0) ~nodes:3 in
+  Alcotest.(check int) "all alive" 3 (Engine.live_count eng);
+  Engine.revive eng 1;
+  Alcotest.(check int) "revive of live is no-op" 0 (Engine.revivals eng);
+  Engine.kill eng 1;
+  Engine.kill eng 1;
+  Engine.kill eng 1;
+  Alcotest.(check int) "one death despite three kills" 1 (Engine.deaths eng);
+  Alcotest.(check int) "live count once" 2 (Engine.live_count eng);
+  Engine.revive eng 1;
+  Engine.revive eng 1;
+  Alcotest.(check int) "one revival despite two revives" 1 (Engine.revivals eng);
+  Alcotest.(check int) "live count restored" 3 (Engine.live_count eng);
+  Alcotest.(check bool) "alive again" true (Engine.is_alive eng 1);
+  (* conservation: deaths - revivals = nodes - live *)
+  Engine.kill eng 0;
+  Engine.kill eng 2;
+  Alcotest.(check int) "conservation"
+    (3 - Engine.live_count eng)
+    (Engine.deaths eng - Engine.revivals eng);
+  (* double-kill must not double-count messages dropped at a dead node *)
+  let eng2 = Engine.create ~latency:(const_latency 5.0) ~nodes:2 in
+  Engine.send eng2 ~src:0 ~dst:1 (fun () -> ());
+  Engine.kill eng2 1;
+  Engine.kill eng2 1;
+  Engine.run eng2;
+  Alcotest.(check int) "dropped once" 1 (Engine.dropped_dead eng2)
+
 let test_timer_on_dead_node () =
   let eng = Engine.create ~latency:(const_latency 1.0) ~nodes:1 in
   let ran = ref false in
@@ -274,6 +305,8 @@ let () =
           Alcotest.test_case "send after revive" `Quick test_send_after_revive_delivers;
           Alcotest.test_case "message to dead" `Quick test_message_to_dead_dropped;
           Alcotest.test_case "kill midflight" `Quick test_kill_midflight;
+          Alcotest.test_case "kill/revive transition-only" `Quick
+            test_kill_revive_transition_only;
           Alcotest.test_case "timer on dead node" `Quick test_timer_on_dead_node;
           Alcotest.test_case "schedule unconditional" `Quick test_schedule_unconditional;
           Alcotest.test_case "run until" `Quick test_run_until;
