@@ -9,6 +9,7 @@
      trace    replay a request stream with structured JSONL tracing
      analyze  analyze a JSONL trace / compare two reports
      churn    protocol-level churn run with time-series telemetry
+     soak     long-horizon churn soak: maintenance bandwidth vs churn rate
      resilience  lookup success/stretch vs failed-node fraction
 
    Exit codes: 0 success, 1 runtime failure (also: regressions found by
@@ -662,6 +663,160 @@ let churn_cmd =
           telemetry (membership, ring counts, maintenance traffic)")
     term
 
+(* ---- soak --------------------------------------------------------------- *)
+
+let soak_cmd =
+  let module Soak = Experiments.Soak in
+  let pool_t =
+    Arg.(value & opt int 48 & info [ "pool" ] ~docv:"N" ~doc:"Total node address pool.")
+  in
+  let initial_t =
+    Arg.(value & opt int 12 & info [ "initial" ] ~docv:"N" ~doc:"Nodes alive before churn starts.")
+  in
+  let horizon_t =
+    Arg.(value & opt float 60.0 & info [ "horizon" ] ~docv:"S" ~doc:"Churn window length, seconds.")
+  in
+  let join_rate_t =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "join-rate" ] ~docv:"R" ~doc:"Expected joins per second at factor 1.")
+  in
+  let fail_rate_t =
+    Arg.(
+      value
+      & opt float 0.08
+      & info [ "fail-rate" ] ~docv:"R" ~doc:"Expected silent failures per second at factor 1.")
+  in
+  let leave_rate_t =
+    Arg.(
+      value
+      & opt float 0.04
+      & info [ "leave-rate" ] ~docv:"R" ~doc:"Expected graceful leaves per second at factor 1.")
+  in
+  let factors_t =
+    Arg.(
+      value
+      & opt (list float) [ 0.5; 1.0; 2.0 ]
+      & info [ "factors" ] ~docv:"F,..."
+          ~doc:"Churn-rate multipliers — the x axis of the bandwidth-vs-churn curves.")
+  in
+  let loss_t =
+    Arg.(value & opt float 0.01 & info [ "loss" ] ~docv:"P" ~doc:"Message loss probability.")
+  in
+  let bucket_t =
+    Arg.(
+      value
+      & opt float 1000.0
+      & info [ "bucket-ms" ] ~docv:"MS" ~doc:"Time-series bucket width, simulated ms.")
+  in
+  let probe_t =
+    Arg.(
+      value
+      & opt float 1000.0
+      & info [ "probe-every" ] ~docv:"MS"
+          ~doc:"Ring-audit and probe-lookup cadence, simulated ms.")
+  in
+  let adaptive_t =
+    Arg.(
+      value
+      & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Adaptive maintenance: back off stabilize/fix-fingers intervals \
+             while the rings are converged, snap back on detected change.")
+  in
+  let fault_t =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "fault" ] ~docv:"KIND"
+          ~doc:
+            "Engine-level fault schedule injected at mid-horizon: none, \
+             crash, outage or restart.")
+  in
+  let fault_frac_t =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "fault-frac" ] ~docv:"F" ~doc:"Fraction for crash/restart faults.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the soak results (schema hieras-soak, per-cell summaries \
+             and embedded time series) as one JSON object to $(docv) — \
+             comparable with `analyze compare`.")
+  in
+  let run pool_n initial horizon join_rate fail_rate leave_rate factors loss bucket_ms
+      probe_every adaptive fault fault_frac landmarks depth seed jobs out metrics =
+    let fault =
+      match fault with
+      | "none" -> None
+      | s -> (
+          match Experiments.Resilience.schedule_of_name s with
+          | Some k -> Some k
+          | None ->
+              exit_usage
+                (Printf.sprintf "unknown fault %S (none | crash | outage | restart)" s))
+    in
+    let spec =
+      {
+        Soak.pool = pool_n;
+        initial;
+        horizon_ms = horizon *. 1000.0;
+        join_rate;
+        fail_rate;
+        leave_rate;
+        factors;
+        loss;
+        bucket_ms;
+        probe_every_ms = probe_every;
+        depth;
+        landmarks;
+        adaptive;
+        fault;
+        fault_frac;
+        seed;
+      }
+    in
+    (match Soak.validate spec with Ok () -> () | Error e -> exit_usage e);
+    with_jobs jobs (fun pool ->
+        let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+        let r = Soak.run ~pool ?registry spec in
+        Experiments.Report.print (Soak.section r);
+        (match out with
+        | None -> ()
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc (Soak.results_json r);
+                output_char oc '\n');
+            Printf.printf "wrote %d soak cells to %s\n" (List.length r.Soak.cells) file);
+        match registry with
+        | None -> ()
+        | Some reg ->
+            Parallel.Pool.export_metrics pool reg;
+            print_newline ();
+            print_metrics reg)
+  in
+  let term =
+    Term.(
+      const run $ pool_t $ initial_t $ horizon_t $ join_rate_t $ fail_rate_t $ leave_rate_t
+      $ factors_t $ loss_t $ bucket_t $ probe_t $ adaptive_t $ fault_t $ fault_frac_t
+      $ landmarks_t $ depth_t $ seed_t $ jobs_t $ out_t $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Long-horizon churn soak of the message-level protocols: \
+          bandwidth-cost-vs-churn-rate curves for Chord and HIERAS with \
+          convergence detection, ring-correctness audits and lookup probes \
+          (bit-identical for any --jobs)")
+    term
+
 (* ---- resilience --------------------------------------------------------- *)
 
 let resilience_cmd =
@@ -767,6 +922,7 @@ let main =
       trace_cmd;
       analyze_cmd;
       churn_cmd;
+      soak_cmd;
       resilience_cmd;
       extensions_cmd;
     ]

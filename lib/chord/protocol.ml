@@ -10,6 +10,9 @@ type config = {
   succ_list_len : int;
   rpc_timeout : float;
   lookup_retries : int;
+  stability_k : int;
+  adaptive : bool;
+  backoff_max : float;
 }
 
 let default_config space =
@@ -22,6 +25,9 @@ let default_config space =
     succ_list_len = 4;
     rpc_timeout = 2000.0;
     lookup_retries = 3;
+    stability_k = 3;
+    adaptive = false;
+    backoff_max = 8.0;
   }
 
 type peer = { paddr : int; pid : Id.t }
@@ -47,25 +53,63 @@ type t = {
   cfg : config;
   eng : Engine.t;
   nodes : (int, pnode) Hashtbl.t;
+  stab : Simnet.Stability.t;
+  mutable scale : float; (* current maintenance-interval multiplier, >= 1 *)
+  mutable probing : bool; (* fingerprint probe loop started *)
+  mutable maint_stabilize : int;
+  mutable maint_notify : int;
+  mutable maint_fix_fingers : int;
+  mutable maint_check_pred : int;
   ts_members : Obs.Timeseries.series;
   ts_joins : Obs.Timeseries.series;
   ts_join_done : Obs.Timeseries.series;
   ts_fails : Obs.Timeseries.series;
+  ts_maint : Obs.Timeseries.series;
+  ts_scale : Obs.Timeseries.series;
+  ts_stable : Obs.Timeseries.series;
 }
 
 let create ?(ts = Obs.Timeseries.disabled) cfg eng =
+  if cfg.stability_k < 1 then invalid_arg "Chord.Protocol: stability_k must be >= 1";
+  if cfg.backoff_max < 1.0 then invalid_arg "Chord.Protocol: backoff_max must be >= 1";
   {
     cfg;
     eng;
     nodes = Hashtbl.create 64;
+    stab = Simnet.Stability.create ~k:cfg.stability_k ();
+    scale = 1.0;
+    probing = false;
+    maint_stabilize = 0;
+    maint_notify = 0;
+    maint_fix_fingers = 0;
+    maint_check_pred = 0;
     ts_members = Obs.Timeseries.gauge ts "chord.members";
     ts_joins = Obs.Timeseries.counter ts "chord.joins";
     ts_join_done = Obs.Timeseries.counter ts "chord.joins_completed";
     ts_fails = Obs.Timeseries.counter ts "chord.fails";
+    ts_maint = Obs.Timeseries.counter ts "chord.maint.ops";
+    ts_scale = Obs.Timeseries.gauge ts "chord.maint.scale";
+    ts_stable = Obs.Timeseries.gauge ts "chord.stable";
   }
 
 let engine t = t.eng
 let config t = t.cfg
+let stability t = t.stab
+let converged t = Simnet.Stability.is_stable t.stab
+let interval_scale t = t.scale
+
+let maintenance_ops t =
+  t.maint_stabilize + t.maint_notify + t.maint_fix_fingers + t.maint_check_pred
+
+(* one maintenance RPC initiated (stabilize ask, notify, finger fix, pred
+   check) — the unit the bandwidth-overhead series counts in *)
+let maint t field =
+  (match field with
+  | `Stabilize -> t.maint_stabilize <- t.maint_stabilize + 1
+  | `Notify -> t.maint_notify <- t.maint_notify + 1
+  | `Fix -> t.maint_fix_fingers <- t.maint_fix_fingers + 1
+  | `Check -> t.maint_check_pred <- t.maint_check_pred + 1);
+  Obs.Timeseries.add t.ts_maint ~at:(Engine.now t.eng) 1.0
 
 let self_peer pn = { paddr = pn.addr; pid = pn.id }
 let get t addr = Hashtbl.find t.nodes addr
@@ -89,6 +133,58 @@ let live_members t =
 let emit_members t =
   let count = Hashtbl.fold (fun a _ n -> if Engine.is_alive t.eng a then n + 1 else n) t.nodes 0 in
   Obs.Timeseries.set t.ts_members ~at:(Engine.now t.eng) (float_of_int count)
+
+(* Deterministic digest of the whole routing state: live membership plus
+   every live node's predecessor, successor list and finger table, visited
+   in sorted address order. Any change a maintenance round can make (a
+   learned successor, an expunged peer, a filled finger, a death) moves it. *)
+let fingerprint t =
+  let addrs =
+    Hashtbl.fold (fun a _ acc -> a :: acc) t.nodes [] |> List.sort Stdlib.compare
+  in
+  let open Simnet.Stability in
+  List.fold_left
+    (fun acc addr ->
+      if not (Engine.is_alive t.eng addr) then acc
+      else begin
+        let pn = Hashtbl.find t.nodes addr in
+        let acc = fp_add acc addr in
+        let acc = fp_add acc (match pn.pred with None -> -1 | Some p -> p.paddr) in
+        let acc = List.fold_left (fun acc p -> fp_add acc p.paddr) acc pn.succs in
+        let acc = fp_add acc (-2) in
+        Array.fold_left
+          (fun acc f -> fp_add acc (match f with None -> -1 | Some p -> p.paddr))
+          acc pn.fingers
+      end)
+    fp_init addrs
+
+(* Fixed-cadence convergence probe (a god-event loop, so it outlives any
+   single node and sends no messages): observe the fingerprint, then drive
+   the adaptive backoff — double the maintenance-interval multiplier while
+   stable, snap it back to 1 the moment a change is seen. The probe cadence
+   itself is never scaled: it bounds detection latency. *)
+let rec probe t =
+  let at = Engine.now t.eng in
+  Simnet.Stability.observe t.stab ~at ~fingerprint:(fingerprint t);
+  if t.cfg.adaptive then
+    t.scale <-
+      (if Simnet.Stability.is_stable t.stab then Float.min t.cfg.backoff_max (t.scale *. 2.0)
+       else 1.0);
+  Obs.Timeseries.set t.ts_scale ~at t.scale;
+  Obs.Timeseries.set t.ts_stable ~at (if Simnet.Stability.is_stable t.stab then 1.0 else 0.0);
+  Engine.schedule t.eng ~delay:t.cfg.stabilize_every (fun () -> probe t)
+
+let ensure_probe t =
+  if not t.probing then begin
+    t.probing <- true;
+    Engine.schedule t.eng ~delay:t.cfg.stabilize_every (fun () -> probe t)
+  end
+
+(* a lifecycle event is about to change the routing state: restart the
+   convergence clock and revert any backed-off maintenance interval *)
+let perturb t =
+  Simnet.Stability.perturb t.stab ~at:(Engine.now t.eng);
+  t.scale <- 1.0
 
 let ring_from t start =
   let guard = 2 * (Hashtbl.length t.nodes + 1) in
@@ -220,7 +316,8 @@ let rec stabilize t pn =
     (match pn.pred with
     | Some p when p.paddr <> pn.addr -> pn.succs <- [ p ]
     | _ ->
-        if pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then
+        if pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then begin
+          maint t `Stabilize;
           Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
               match Hashtbl.find_opt t.nodes pn.anchor with
               | None -> ()
@@ -228,10 +325,12 @@ let rec stabilize t pn =
                   handle_find_successor t apn ~key:pn.id ~hops:0 ~reply_to:pn.addr
                     ~reply:(fun p _ ->
                       if (current_successor pn).paddr = pn.addr && p.paddr <> pn.addr then
-                        pn.succs <- [ p ])));
+                        pn.succs <- [ p ]))
+        end);
     schedule_stabilize t pn
   end
-  else
+  else begin
+    maint t `Stabilize;
     ask t ~src:pn.addr ~dst:succ.paddr
       ~service:(fun spn -> (spn.pred, self_peer spn :: spn.succs))
       ~ok:(fun (spred, slist) ->
@@ -248,7 +347,8 @@ let rec stabilize t pn =
           pn.stabilize_rounds mod anchor_crosscheck_period = 0
           && pn.anchor <> pn.addr
           && Engine.is_alive t.eng pn.anchor
-        then
+        then begin
+          maint t `Stabilize;
           Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
               match Hashtbl.find_opt t.nodes pn.anchor with
               | None -> ()
@@ -259,9 +359,11 @@ let rec stabilize t pn =
                       if
                         p.paddr <> pn.addr
                         && (cur.paddr = pn.addr || Id.in_oo p.pid ~lo:pn.id ~hi:cur.pid)
-                      then pn.succs <- truncate_succs t.cfg pn (p :: pn.succs)));
+                      then pn.succs <- truncate_succs t.cfg pn (p :: pn.succs)))
+        end;
         let new_succ = current_successor pn in
         (* notify: we believe we are their predecessor *)
+        maint t `Notify;
         Engine.send t.eng ~src:pn.addr ~dst:new_succ.paddr (fun () ->
             match Hashtbl.find_opt t.nodes new_succ.paddr with
             | None -> ()
@@ -283,9 +385,12 @@ let rec stabilize t pn =
           if pn.succs = [] then pn.succs <- [ self_peer pn ]
         end;
         schedule_stabilize t pn)
+  end
 
 and schedule_stabilize t pn =
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.stabilize_every (fun () -> stabilize t pn)
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.stabilize_every *. t.scale)
+    (fun () -> stabilize t pn)
 
 let rec fix_fingers t pn =
   let bits = Id.bits t.cfg.space in
@@ -296,6 +401,7 @@ let rec fix_fingers t pn =
       let i = pn.next_finger in
       pn.next_finger <- (pn.next_finger + 1) mod bits;
       let start = Id.add_pow2 t.cfg.space pn.id i in
+      maint t `Fix;
       find_successor t ~src:pn.addr ~key:start ~retries:0
         ~ok:(fun p _ -> pn.fingers.(i) <- Some p)
         ~failed:(fun () -> ());
@@ -303,21 +409,27 @@ let rec fix_fingers t pn =
     end
   in
   fix batch;
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.fix_fingers_every (fun () -> fix_fingers t pn)
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.fix_fingers_every *. t.scale)
+    (fun () -> fix_fingers t pn)
 
 let rec check_predecessor t pn =
   (match pn.pred with
   | None -> ()
   | Some p ->
-      if p.paddr <> pn.addr then
+      if p.paddr <> pn.addr then begin
+        maint t `Check;
         ask t ~src:pn.addr ~dst:p.paddr
           ~service:(fun _ -> ())
           ~ok:(fun () -> ())
           ~timeout:(fun () ->
             match pn.pred with
             | Some q when q.paddr = p.paddr -> pn.pred <- None
-            | _ -> ()));
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.check_pred_every (fun () -> check_predecessor t pn)
+            | _ -> ())
+      end);
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.check_pred_every *. t.scale)
+    (fun () -> check_predecessor t pn)
 
 let start_maintenance t pn =
   schedule_stabilize t pn;
@@ -348,11 +460,15 @@ let spawn t ~addr ~id =
   let pn = fresh_node t ~addr ~id in
   pn.succs <- [ self_peer pn ];
   start_maintenance t pn;
+  perturb t;
+  ensure_probe t;
   emit_members t
 
 let join t ~addr ~id ~bootstrap =
   let pn = fresh_node t ~addr ~id in
   pn.anchor <- bootstrap;
+  perturb t;
+  ensure_probe t;
   Obs.Timeseries.add t.ts_joins ~at:(Engine.now t.eng) 1.0;
   emit_members t;
   let rec attempt n =
@@ -383,6 +499,7 @@ let join t ~addr ~id ~bootstrap =
 let fail_node t addr =
   if not (Hashtbl.mem t.nodes addr) then invalid_arg "Chord.Protocol.fail_node: unknown node";
   Engine.kill t.eng addr;
+  perturb t;
   Obs.Timeseries.add t.ts_fails ~at:(Engine.now t.eng) 1.0;
   emit_members t
 
@@ -396,3 +513,13 @@ let lookup t ~origin ~key k =
       ~failed:(fun () -> if budget > 0 then attempt (budget - 1) (tries + 1) else k None)
   in
   attempt t.cfg.lookup_retries 0
+
+let export_metrics ?(prefix = "chord.protocol") t m =
+  let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
+  c "maint.stabilize" t.maint_stabilize;
+  c "maint.notify" t.maint_notify;
+  c "maint.fix_fingers" t.maint_fix_fingers;
+  c "maint.check_pred" t.maint_check_pred;
+  c "maint.total" (maintenance_ops t);
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".maint.scale")) t.scale;
+  Simnet.Stability.export_metrics ~prefix:(prefix ^ ".stability") t.stab m

@@ -21,6 +21,14 @@ type config = {
   succ_list_len : int;
   rpc_timeout : float;  (** ms before a request is considered lost *)
   lookup_retries : int;
+  stability_k : int;
+      (** consecutive unchanged fingerprint probes before the ring is
+          declared converged (default 3, must be >= 1) *)
+  adaptive : bool;
+      (** back off maintenance intervals while converged (default false —
+          fixed cadence, byte-compatible with earlier versions) *)
+  backoff_max : float;
+      (** cap on the adaptive interval multiplier (default 8.0, >= 1) *)
 }
 
 val default_config : Hashid.Id.space -> config
@@ -32,7 +40,12 @@ val create : ?ts:Obs.Timeseries.t -> config -> Simnet.Engine.t -> t
     gauge [chord.members] (nodes present and alive, set on every lifecycle
     event — joins still in progress count) and counters [chord.joins]
     (initiated), [chord.joins_completed] (first successor learned,
-    maintenance started) and [chord.fails]. *)
+    maintenance started) and [chord.fails]. Convergence series: counter
+    [chord.maint.ops] (maintenance RPCs initiated), gauges
+    [chord.maint.scale] (current interval multiplier) and [chord.stable]
+    (0/1 convergence flag, sampled at probe cadence).
+
+    Raises [Invalid_argument] if [stability_k < 1] or [backoff_max < 1]. *)
 
 val engine : t -> Simnet.Engine.t
 val config : t -> config
@@ -76,3 +89,30 @@ val ring_from : t -> int -> int list
     length guard trips) — the current ring order as this node sees it. *)
 
 val live_members : t -> int list
+
+(** {2 Convergence and maintenance cost}
+
+    A {!Simnet.Stability} detector fingerprints the whole routing state
+    (live membership, predecessors, successor lists, finger tables) at a
+    fixed [stabilize_every] cadence, from the first spawn/join on. With
+    [adaptive] set, maintenance intervals double while the ring is stable
+    (up to [backoff_max]) and snap back to the base cadence the moment the
+    fingerprint changes or a lifecycle event lands. The probe itself runs
+    as an engine god-event: it sends no messages and never backs off, so
+    detection latency stays bounded. *)
+
+val stability : t -> Simnet.Stability.t
+val converged : t -> bool
+(** [converged t = Simnet.Stability.is_stable (stability t)]. *)
+
+val interval_scale : t -> float
+(** Current maintenance-interval multiplier (1.0 unless [adaptive]). *)
+
+val maintenance_ops : t -> int
+(** Total maintenance RPCs initiated (stabilize + notify + fix-fingers +
+    check-predecessor) — the bandwidth-overhead measure. *)
+
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Counters [<prefix>.maint.{stabilize,notify,fix_fingers,check_pred,total}],
+    gauge [<prefix>.maint.scale], and the detector's metrics under
+    [<prefix>.stability] (default prefix ["chord.protocol"]). Idempotent. *)

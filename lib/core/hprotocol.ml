@@ -12,6 +12,9 @@ type config = {
   rpc_timeout : float;
   lookup_retries : int;
   ring_check_every : float;
+  stability_k : int;
+  adaptive : bool;
+  backoff_max : float;
 }
 
 let default_config space ~depth =
@@ -26,6 +29,9 @@ let default_config space ~depth =
     rpc_timeout = 2000.0;
     lookup_retries = 3;
     ring_check_every = 2000.0;
+    stability_k = 3;
+    adaptive = false;
+    backoff_max = 8.0;
   }
 
 type peer = { paddr : int; pid : Id.t }
@@ -62,16 +68,29 @@ type t = {
   landmarks : Binning.Landmark.t;
   chain : Binning.Scheme.thresholds array;
   nodes : (int, pnode) Hashtbl.t;
+  stabs : Simnet.Stability.t array; (* stabs.(layer-1) = that layer's detector *)
+  mutable scale : float; (* current maintenance-interval multiplier, >= 1 *)
+  mutable probing : bool; (* fingerprint probe loop started *)
+  mutable maint_stabilize : int;
+  mutable maint_notify : int;
+  mutable maint_fix_fingers : int;
+  mutable maint_check_pred : int;
+  mutable maint_ring : int;
   ts_collector : Obs.Timeseries.t;
   ts_members : Obs.Timeseries.series;
   ts_joins : Obs.Timeseries.series;
   ts_join_done : Obs.Timeseries.series;
   ts_fails : Obs.Timeseries.series;
   ts_rings : Obs.Timeseries.series array; (* ts_rings.(k-2) = layer-k ring count *)
+  ts_maint : Obs.Timeseries.series;
+  ts_scale : Obs.Timeseries.series;
+  ts_stable : Obs.Timeseries.series;
 }
 
 let create ?(ts = Obs.Timeseries.disabled) cfg eng ~lat ~landmarks =
   if cfg.depth < 2 then invalid_arg "Hprotocol.create: depth must be >= 2";
+  if cfg.stability_k < 1 then invalid_arg "Hprotocol.create: stability_k must be >= 1";
+  if cfg.backoff_max < 1.0 then invalid_arg "Hprotocol.create: backoff_max must be >= 1";
   {
     cfg;
     eng;
@@ -79,6 +98,14 @@ let create ?(ts = Obs.Timeseries.disabled) cfg eng ~lat ~landmarks =
     landmarks;
     chain = Binning.Scheme.refinement_chain ~depth:cfg.depth;
     nodes = Hashtbl.create 64;
+    stabs = Array.init cfg.depth (fun _ -> Simnet.Stability.create ~k:cfg.stability_k ());
+    scale = 1.0;
+    probing = false;
+    maint_stabilize = 0;
+    maint_notify = 0;
+    maint_fix_fingers = 0;
+    maint_check_pred = 0;
+    maint_ring = 0;
     ts_collector = ts;
     ts_members = Obs.Timeseries.gauge ts "hieras.members";
     ts_joins = Obs.Timeseries.counter ts "hieras.joins";
@@ -87,10 +114,35 @@ let create ?(ts = Obs.Timeseries.disabled) cfg eng ~lat ~landmarks =
     ts_rings =
       Array.init (cfg.depth - 1) (fun k ->
           Obs.Timeseries.gauge ts (Printf.sprintf "hieras.layer%d.rings" (k + 2)));
+    ts_maint = Obs.Timeseries.counter ts "hieras.maint.ops";
+    ts_scale = Obs.Timeseries.gauge ts "hieras.maint.scale";
+    ts_stable = Obs.Timeseries.gauge ts "hieras.stable";
   }
 
 let engine t = t.eng
 let config t = t.cfg
+
+let stability t ~layer =
+  if layer < 1 || layer > t.cfg.depth then invalid_arg "Hprotocol.stability: layer out of range";
+  t.stabs.(layer - 1)
+
+let converged_layer t ~layer = Simnet.Stability.is_stable (stability t ~layer)
+let converged t = Array.for_all Simnet.Stability.is_stable t.stabs
+let interval_scale t = t.scale
+
+let maintenance_ops t =
+  t.maint_stabilize + t.maint_notify + t.maint_fix_fingers + t.maint_check_pred + t.maint_ring
+
+(* one maintenance RPC initiated (stabilize ask, notify, finger fix, pred
+   check, ring-table duty) — the unit the bandwidth-overhead series counts *)
+let maint t field =
+  (match field with
+  | `Stabilize -> t.maint_stabilize <- t.maint_stabilize + 1
+  | `Notify -> t.maint_notify <- t.maint_notify + 1
+  | `Fix -> t.maint_fix_fingers <- t.maint_fix_fingers + 1
+  | `Check -> t.maint_check_pred <- t.maint_check_pred + 1
+  | `Ring -> t.maint_ring <- t.maint_ring + 1);
+  Obs.Timeseries.add t.ts_maint ~at:(Engine.now t.eng) 1.0
 let self_peer pn = { paddr = pn.addr; pid = pn.id }
 let get t addr = Hashtbl.find t.nodes addr
 let is_member t addr = Hashtbl.mem t.nodes addr && Engine.is_alive t.eng addr
@@ -134,6 +186,66 @@ let successor_addr t addr ~layer =
 let predecessor_addr t addr ~layer =
   check_layer t layer;
   Option.map (fun p -> p.paddr) (layer_state (get t addr) ~layer).pred
+
+let successor_list_addrs t addr ~layer =
+  check_layer t layer;
+  List.map (fun p -> p.paddr) (layer_state (get t addr) ~layer).succs
+
+let finger_addrs t addr ~layer =
+  check_layer t layer;
+  Array.map (Option.map (fun p -> p.paddr)) (layer_state (get t addr) ~layer).fingers
+
+(* Deterministic digest of one layer's routing state across the live
+   membership, visited in sorted address order (see Chord.Protocol). *)
+let fingerprint t ~layer =
+  let addrs =
+    Hashtbl.fold (fun a _ acc -> a :: acc) t.nodes [] |> List.sort Stdlib.compare
+  in
+  let open Simnet.Stability in
+  List.fold_left
+    (fun acc addr ->
+      if not (Engine.is_alive t.eng addr) then acc
+      else begin
+        let pn = Hashtbl.find t.nodes addr in
+        let ls = layer_state pn ~layer in
+        let acc = fp_add acc addr in
+        let acc = fp_add acc (match ls.pred with None -> -1 | Some p -> p.paddr) in
+        let acc = List.fold_left (fun acc p -> fp_add acc p.paddr) acc ls.succs in
+        let acc = fp_add acc (-2) in
+        Array.fold_left
+          (fun acc f -> fp_add acc (match f with None -> -1 | Some p -> p.paddr))
+          acc ls.fingers
+      end)
+    fp_init addrs
+
+(* Fixed-cadence convergence probe (a god-event loop, message-free): one
+   detector per layer; the adaptive backoff engages only when EVERY layer
+   is stable and snaps back the moment any of them drifts. The probe
+   cadence is never scaled, so detection latency stays bounded. *)
+let rec probe t =
+  let at = Engine.now t.eng in
+  for layer = 1 to t.cfg.depth do
+    Simnet.Stability.observe t.stabs.(layer - 1) ~at ~fingerprint:(fingerprint t ~layer)
+  done;
+  let all_stable = Array.for_all Simnet.Stability.is_stable t.stabs in
+  if t.cfg.adaptive then
+    t.scale <- (if all_stable then Float.min t.cfg.backoff_max (t.scale *. 2.0) else 1.0);
+  Obs.Timeseries.set t.ts_scale ~at t.scale;
+  Obs.Timeseries.set t.ts_stable ~at (if all_stable then 1.0 else 0.0);
+  Engine.schedule t.eng ~delay:t.cfg.stabilize_every (fun () -> probe t)
+
+let ensure_probe t =
+  if not t.probing then begin
+    t.probing <- true;
+    Engine.schedule t.eng ~delay:t.cfg.stabilize_every (fun () -> probe t)
+  end
+
+(* a lifecycle event is about to change routing state on every layer:
+   restart the convergence clocks and revert any backed-off interval *)
+let perturb t =
+  let at = Engine.now t.eng in
+  Array.iter (fun s -> Simnet.Stability.perturb s ~at) t.stabs;
+  t.scale <- 1.0
 
 let ring_from t start ~layer =
   let guard = 2 * (Hashtbl.length t.nodes + 1) in
@@ -273,7 +385,8 @@ let rec stabilize t pn ~layer =
     | Some p when p.paddr <> pn.addr -> ls.succs <- [ p ]
     | _ ->
         (* global-layer self-ring with no predecessor: re-join via anchor *)
-        if layer = 1 && pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then
+        if layer = 1 && pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then begin
+          maint t `Stabilize;
           Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
               match Hashtbl.find_opt t.nodes pn.anchor with
               | None -> ()
@@ -282,10 +395,12 @@ let rec stabilize t pn ~layer =
                     ~reply:(fun p _ ->
                       let gls = layer_state pn ~layer:1 in
                       if (current_successor pn gls).paddr = pn.addr && p.paddr <> pn.addr then
-                        gls.succs <- [ p ])));
+                        gls.succs <- [ p ]))
+        end);
     schedule_stabilize t pn ~layer
   end
-  else
+  else begin
+    maint t `Stabilize;
     ask t ~src:pn.addr ~dst:succ.paddr
       ~service:(fun spn ->
         let sls = layer_state spn ~layer in
@@ -302,7 +417,8 @@ let rec stabilize t pn ~layer =
             pn.stabilize_rounds mod anchor_crosscheck_period = 0
             && pn.anchor <> pn.addr
             && Engine.is_alive t.eng pn.anchor
-          then
+          then begin
+            maint t `Stabilize;
             Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
                 match Hashtbl.find_opt t.nodes pn.anchor with
                 | None -> ()
@@ -315,8 +431,10 @@ let rec stabilize t pn ~layer =
                           p.paddr <> pn.addr
                           && (cur.paddr = pn.addr || Id.in_oo p.pid ~lo:pn.id ~hi:cur.pid)
                         then gls.succs <- truncate_succs t.cfg pn (p :: gls.succs)))
+          end
         end;
         let new_succ = current_successor pn ls in
+        maint t `Notify;
         Engine.send t.eng ~src:pn.addr ~dst:new_succ.paddr (fun () ->
             match Hashtbl.find_opt t.nodes new_succ.paddr with
             | None -> ()
@@ -337,9 +455,12 @@ let rec stabilize t pn ~layer =
           if ls.succs = [] then ls.succs <- [ self_peer pn ]
         end;
         schedule_stabilize t pn ~layer)
+  end
 
 and schedule_stabilize t pn ~layer =
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.stabilize_every (fun () -> stabilize t pn ~layer)
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.stabilize_every *. t.scale)
+    (fun () -> stabilize t pn ~layer)
 
 let rec fix_fingers t pn ~layer =
   let ls = layer_state pn ~layer in
@@ -348,28 +469,33 @@ let rec fix_fingers t pn ~layer =
     let i = ls.next_finger in
     ls.next_finger <- (ls.next_finger + 1) mod bits;
     let start = Id.add_pow2 t.cfg.space pn.id i in
+    maint t `Fix;
     find_successor t ~src:pn.addr ~layer ~key:start ~retries:0
       ~ok:(fun p _ -> ls.fingers.(i) <- Some p)
       ~failed:(fun () -> ())
   done;
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.fix_fingers_every (fun () ->
-      fix_fingers t pn ~layer)
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.fix_fingers_every *. t.scale)
+    (fun () -> fix_fingers t pn ~layer)
 
 let rec check_predecessor t pn ~layer =
   let ls = layer_state pn ~layer in
   (match ls.pred with
   | None -> ()
   | Some p ->
-      if p.paddr <> pn.addr then
+      if p.paddr <> pn.addr then begin
+        maint t `Check;
         ask t ~src:pn.addr ~dst:p.paddr
           ~service:(fun _ -> ())
           ~ok:(fun () -> ())
           ~timeout:(fun () ->
             match ls.pred with
             | Some q when q.paddr = p.paddr -> ls.pred <- None
-            | _ -> ()));
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.check_pred_every (fun () ->
-      check_predecessor t pn ~layer)
+            | _ -> ())
+      end);
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.check_pred_every *. t.scale)
+    (fun () -> check_predecessor t pn ~layer)
 
 (* ---- ring-table duties -------------------------------------------------- *)
 
@@ -403,7 +529,8 @@ let rec ring_table_duty t pn =
       (* liveness of recorded entries *)
       List.iter
         (fun e ->
-          if e.Ring_table.node <> pn.addr then
+          if e.Ring_table.node <> pn.addr then begin
+            maint t `Ring;
             ask t ~src:pn.addr ~dst:e.Ring_table.node
               ~service:(fun _ -> ())
               ~ok:(fun () -> ())
@@ -414,6 +541,7 @@ let rec ring_table_duty t pn =
                 | None -> ()
                 | Some survivor ->
                     let layer = Ring_name.layer (Ring_table.name rt) in
+                    maint t `Ring;
                     ask t ~src:pn.addr ~dst:survivor.Ring_table.node
                       ~service:(fun spn ->
                         let sls = layer_state spn ~layer in
@@ -425,7 +553,8 @@ let rec ring_table_duty t pn =
                               (Ring_table.register rt
                                  { Ring_table.node = p.paddr; id = p.pid }))
                           members)
-                      ~timeout:(fun () -> ())))
+                      ~timeout:(fun () -> ()))
+          end)
         (Ring_table.entries rt);
       (* replication: push a snapshot to the global successor so the table
          survives this manager's silent failure *)
@@ -433,6 +562,7 @@ let rec ring_table_duty t pn =
        let succ = current_successor pn gls in
        if succ.paddr <> pn.addr then begin
          let snapshot = Ring_table.copy rt in
+         maint t `Ring;
          Engine.send t.eng ~src:pn.addr ~dst:succ.paddr (fun () ->
              match Hashtbl.find_opt t.nodes succ.paddr with
              | None -> ()
@@ -442,6 +572,7 @@ let rec ring_table_duty t pn =
        end);
       (* migration: is this node still the rightful manager? *)
       let rid = Ring_table.ring_id rt in
+      maint t `Ring;
       find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:0
         ~ok:(fun owner _ ->
           if owner.paddr <> pn.addr then begin
@@ -463,7 +594,9 @@ let rec ring_table_duty t pn =
           end)
         ~failed:(fun () -> ()))
     tables;
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.ring_check_every (fun () -> ring_table_duty t pn)
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.ring_check_every *. t.scale)
+    (fun () -> ring_table_duty t pn)
 
 (* Ring unification: concurrent joiners may read a stale ring table and boot
    a private one-node ring. Periodically every node re-reads its rings'
@@ -476,8 +609,10 @@ let rec ring_refresh t pn =
     let rname = ring_name_of t pn ~layer in
     let key = Ring_name.to_string rname in
     let rid = Ring_name.ring_id t.cfg.space rname in
+    maint t `Ring;
     find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:0
       ~ok:(fun manager _ ->
+        maint t `Ring;
         ask t ~src:pn.addr ~dst:manager.paddr
           ~service:(fun mpn ->
             match stored_table mpn key with
@@ -512,7 +647,9 @@ let rec ring_refresh t pn =
           ~timeout:(fun () -> ()))
       ~failed:(fun () -> ())
   done;
-  Engine.timer t.eng ~node:pn.addr ~delay:t.cfg.ring_check_every (fun () -> ring_refresh t pn)
+  Engine.timer t.eng ~node:pn.addr
+    ~delay:(t.cfg.ring_check_every *. t.scale)
+    (fun () -> ring_refresh t pn)
 
 (* ---- lifecycle ---------------------------------------------------------- *)
 
@@ -570,6 +707,8 @@ let spawn t ~addr ~id =
     store_ring_table t pn rt
   done;
   start_maintenance t pn;
+  perturb t;
+  ensure_probe t;
   emit_churn t
 
 (* Join one lower layer (paper §3.3): locate the ring table through the top
@@ -655,6 +794,8 @@ let join_lower_layer t pn ~layer ~and_then =
 let join t ~addr ~id ~bootstrap =
   let pn = fresh_node t ~addr ~id in
   pn.anchor <- bootstrap;
+  perturb t;
+  ensure_probe t;
   Obs.Timeseries.add t.ts_joins ~at:(Engine.now t.eng) 1.0;
   emit_churn t;
   (* step 1-2: fetch the landmark table from the bootstrap and ping the
@@ -714,6 +855,7 @@ let join t ~addr ~id ~bootstrap =
 let fail_node t addr =
   if not (Hashtbl.mem t.nodes addr) then invalid_arg "Hprotocol.fail_node: unknown node";
   Engine.kill t.eng addr;
+  perturb t;
   Obs.Timeseries.add t.ts_fails ~at:(Engine.now t.eng) 1.0;
   emit_churn t
 
@@ -783,3 +925,19 @@ let lookup t ~origin ~key k =
         end)
   in
   attempt t.cfg.lookup_retries
+
+let export_metrics ?(prefix = "hieras.protocol") t m =
+  let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
+  c "maint.stabilize" t.maint_stabilize;
+  c "maint.notify" t.maint_notify;
+  c "maint.fix_fingers" t.maint_fix_fingers;
+  c "maint.check_pred" t.maint_check_pred;
+  c "maint.ring" t.maint_ring;
+  c "maint.total" (maintenance_ops t);
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".maint.scale")) t.scale;
+  Array.iteri
+    (fun i s ->
+      Simnet.Stability.export_metrics
+        ~prefix:(Printf.sprintf "%s.layer%d.stability" prefix (i + 1))
+        s m)
+    t.stabs

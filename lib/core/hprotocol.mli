@@ -38,6 +38,15 @@ type config = {
   rpc_timeout : float;
   lookup_retries : int;
   ring_check_every : float;  (** ring-table liveness / migration period *)
+  stability_k : int;
+      (** consecutive unchanged fingerprint probes (per layer) before that
+          layer is declared converged (default 3, must be >= 1) *)
+  adaptive : bool;
+      (** back off maintenance intervals while every layer is converged
+          (default false — fixed cadence, byte-compatible with earlier
+          versions) *)
+  backoff_max : float;
+      (** cap on the adaptive interval multiplier (default 8.0, >= 1) *)
 }
 
 val default_config : Hashid.Id.space -> depth:int -> config
@@ -60,7 +69,13 @@ val create :
     over the live members, [k] in 2..depth), plus counters [hieras.joins]
     (initiated), [hieras.joins_completed] (all layers joined, maintenance
     started) and [hieras.fails]. All are refreshed on every
-    join/spawn/fail. *)
+    join/spawn/fail. Convergence series: counter [hieras.maint.ops]
+    (maintenance RPCs initiated, ring duties included), gauges
+    [hieras.maint.scale] (current interval multiplier) and [hieras.stable]
+    (0/1, set when every layer is converged; sampled at probe cadence).
+
+    Raises [Invalid_argument] if [depth < 2], [stability_k < 1] or
+    [backoff_max < 1]. *)
 
 val engine : t -> Simnet.Engine.t
 val config : t -> config
@@ -95,6 +110,8 @@ val successor_addr : t -> int -> layer:int -> int option
 (** Successor at a paper layer (1 = global). *)
 
 val predecessor_addr : t -> int -> layer:int -> int option
+val successor_list_addrs : t -> int -> layer:int -> int list
+val finger_addrs : t -> int -> layer:int -> int option array
 val ring_from : t -> int -> layer:int -> int list
 (** Follow layer-successor pointers from a node until the cycle closes. *)
 
@@ -109,3 +126,34 @@ val find_ring_table : t -> Ring_name.t -> (int * Ring_table.t) option
     returns the storing node and the table. *)
 
 val live_members : t -> int list
+
+(** {2 Convergence and maintenance cost}
+
+    One {!Simnet.Stability} detector per layer, fed from a fixed-cadence
+    message-free probe that fingerprints each layer's routing state
+    (live membership, predecessors, successor lists, finger tables). With
+    [adaptive] set, all maintenance intervals (including ring duties)
+    double while {e every} layer is stable, up to [backoff_max], and snap
+    back to the base cadence on any detected change or lifecycle event. *)
+
+val stability : t -> layer:int -> Simnet.Stability.t
+(** The layer's detector, [layer] in [1 .. depth] (1 = global). *)
+
+val converged_layer : t -> layer:int -> bool
+val converged : t -> bool
+(** Every layer stable. *)
+
+val interval_scale : t -> float
+(** Current maintenance-interval multiplier (1.0 unless [adaptive]). *)
+
+val maintenance_ops : t -> int
+(** Total maintenance RPCs initiated (per-layer stabilize + notify +
+    fix-fingers + check-predecessor, plus ring-table duties) — the
+    bandwidth-overhead measure. *)
+
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Counters
+    [<prefix>.maint.{stabilize,notify,fix_fingers,check_pred,ring,total}],
+    gauge [<prefix>.maint.scale], and each layer's detector under
+    [<prefix>.layer<k>.stability] (default prefix ["hieras.protocol"]).
+    Idempotent. *)

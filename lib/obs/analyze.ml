@@ -579,9 +579,46 @@ let metrics_of_bench j =
   in
   List.rev acc
 
+(* Soak reports compare per cell; every extracted metric is lower-is-better
+   (failure rates rather than success rates), matching delta_of. *)
+let metrics_of_soak j =
+  match Jsonu.member "cells" j with
+  | Some (Jsonu.Arr cells) ->
+      List.concat_map
+        (fun cell ->
+          match (Jsonu.member "algo" cell, Jsonu.member "factor" cell) with
+          | Some algo, Some factor -> (
+              match (Jsonu.to_string algo, Jsonu.to_float factor) with
+              | Some algo, Some factor ->
+                  let prefix = Printf.sprintf "soak.%s.x%s" algo (Jsonu.float_repr factor) in
+                  let num name =
+                    Option.bind (Jsonu.member name cell) Jsonu.to_float
+                  in
+                  let direct =
+                    List.filter_map
+                      (fun name ->
+                        Option.map (fun v -> (prefix ^ "." ^ name, v)) (num name))
+                      [ "messages_per_s"; "maint_ops_per_s"; "mean_convergence_ms" ]
+                  in
+                  let failure_rate ~ok ~total name =
+                    match (num ok, num total) with
+                    | Some ok, Some total when total > 0.0 ->
+                        [ (prefix ^ "." ^ name, 1.0 -. (ok /. total)) ]
+                    | _ -> []
+                  in
+                  direct
+                  @ failure_rate ~ok:"lookups_ok" ~total:"lookups_issued"
+                      "lookup_failure_rate"
+                  @ failure_rate ~ok:"ring_ok" ~total:"ring_checks" "ring_bad_rate"
+              | _ -> [])
+          | _ -> [])
+        cells
+  | _ -> []
+
 let classify j =
   match Jsonu.member "schema" j with
   | Some (Jsonu.Str "hieras-trace-report") -> Ok "trace-report"
+  | Some (Jsonu.Str "hieras-soak") -> Ok "soak"
   | _ -> if Jsonu.member "micro" j <> None then Ok "bench" else Error "unrecognised report"
 
 let load_json path =
@@ -600,7 +637,12 @@ let compare_files ~base ~cand ~threshold =
       | Ok bk, Ok ck when bk <> ck ->
           Error (Printf.sprintf "cannot compare a %s against a %s" bk ck)
       | Ok kind, Ok _ ->
-          let extract = if kind = "bench" then metrics_of_bench else metrics_of_trace_report in
+          let extract =
+            match kind with
+            | "bench" -> metrics_of_bench
+            | "soak" -> metrics_of_soak
+            | _ -> metrics_of_trace_report
+          in
           let bm = extract bj and cm = extract cj in
           let rows =
             List.filter_map

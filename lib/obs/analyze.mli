@@ -118,7 +118,7 @@ type cmp_row = {
 }
 
 type comparison = {
-  kind : string;  (** ["trace-report"] or ["bench"] *)
+  kind : string;  (** ["trace-report"], ["bench"] or ["soak"] *)
   threshold : float;
   rows : cmp_row list;  (** every metric present in both inputs *)
   regressions : cmp_row list;
@@ -130,7 +130,10 @@ type comparison = {
 val compare_files : base:string -> cand:string -> threshold:float -> (comparison, string) result
 (** Load two JSON files and diff them. Both must be the same kind: trace
     reports ({!report_json} output, recognised by
-    ["schema":"hieras-trace-report"]) or bench snapshots
+    ["schema":"hieras-trace-report"]), soak results (recognised by
+    ["schema":"hieras-soak"] — compared per cell on message/maintenance
+    rates, mean convergence time, and lookup/ring {e failure} rates so
+    every metric stays lower-is-better), or bench snapshots
     ([BENCH_*.json], recognised by their ["micro"] array — compared on
     micro ns/op and per-figure seconds). *)
 

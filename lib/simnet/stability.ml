@@ -1,0 +1,106 @@
+type t = {
+  k : int;
+  mutable have_fp : bool;
+  mutable last_fp : int;
+  mutable streak : int;
+  mutable stable : bool;
+  mutable epoch_start : float;
+  mutable converged_at : float option;
+  mutable observations : int;
+  mutable changes : int;
+  mutable convergences : int;
+  mutable disturbances : int;
+  mutable last_convergence_ms : float;
+  mutable total_convergence_ms : float;
+}
+
+let create ?(k = 3) () =
+  if k < 1 then invalid_arg "Stability.create: k must be >= 1";
+  {
+    k;
+    have_fp = false;
+    last_fp = 0;
+    streak = 0;
+    stable = false;
+    epoch_start = 0.0;
+    converged_at = None;
+    observations = 0;
+    changes = 0;
+    convergences = 0;
+    disturbances = 0;
+    last_convergence_ms = 0.0;
+    total_convergence_ms = 0.0;
+  }
+
+let k t = t.k
+let is_stable t = t.stable
+let streak t = t.streak
+let observations t = t.observations
+let changes t = t.changes
+let convergences t = t.convergences
+let disturbances t = t.disturbances
+let converged_at t = t.converged_at
+let last_convergence_ms t = t.last_convergence_ms
+let total_convergence_ms t = t.total_convergence_ms
+
+(* leaving the stable phase: the convergence clock restarts here *)
+let unsettle t ~at =
+  if t.stable then begin
+    t.stable <- false;
+    t.converged_at <- None;
+    t.disturbances <- t.disturbances + 1;
+    t.epoch_start <- at
+  end
+
+let perturb t ~at =
+  unsettle t ~at;
+  t.streak <- 0
+
+let observe t ~at ~fingerprint =
+  t.observations <- t.observations + 1;
+  if not t.have_fp then begin
+    t.have_fp <- true;
+    t.last_fp <- fingerprint;
+    t.streak <- 0
+  end
+  else if fingerprint = t.last_fp then begin
+    t.streak <- t.streak + 1;
+    if (not t.stable) && t.streak >= t.k then begin
+      t.stable <- true;
+      t.converged_at <- Some at;
+      t.convergences <- t.convergences + 1;
+      t.last_convergence_ms <- at -. t.epoch_start;
+      t.total_convergence_ms <- t.total_convergence_ms +. t.last_convergence_ms
+    end
+  end
+  else begin
+    t.changes <- t.changes + 1;
+    t.last_fp <- fingerprint;
+    unsettle t ~at;
+    t.streak <- 0
+  end
+
+(* FNV-1a over native ints, folded 8 bits at a time so negative and large
+   values mix fully; [land max_int] keeps the accumulator positive (and so
+   equal across 63-bit runtimes regardless of how callers render it) *)
+let fp_init = 0xcbf29ce84222325 (* FNV offset basis, truncated to fit a 63-bit int *)
+
+let fp_add acc v =
+  let acc = ref acc and v = ref v in
+  for _ = 0 to 7 do
+    acc := (!acc lxor (!v land 0xff)) * 0x100_0000_01b3 land max_int;
+    v := !v asr 8
+  done;
+  !acc
+
+let export_metrics ?(prefix = "stability") t m =
+  let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
+  let g name v = Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ "." ^ name)) v in
+  c "observations" t.observations;
+  c "changes" t.changes;
+  c "convergences" t.convergences;
+  c "disturbances" t.disturbances;
+  g "stable" (if t.stable then 1.0 else 0.0);
+  g "streak" (float_of_int t.streak);
+  g "last_convergence_ms" t.last_convergence_ms;
+  g "total_convergence_ms" t.total_convergence_ms

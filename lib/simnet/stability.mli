@@ -1,0 +1,84 @@
+(** Convergence detection for the message-level maintenance protocols.
+
+    A detector watches a {e fingerprint} of some routing state (successor
+    lists, predecessors, finger tables — hashed by the caller with
+    {!fp_init}/{!fp_add}) through periodic {!observe} calls and declares the
+    state {e stable} once [k] consecutive observations see the same
+    fingerprint. It is a two-phase state machine:
+
+    {v
+      Converging --[k unchanged observations]--> Stable
+      Stable --[fingerprint change | perturb]--> Converging
+    v}
+
+    Entering [Stable] records a {e convergence}: the time since the phase
+    began (creation, the last observed change, or the last {!perturb})
+    is the convergence time — the metric the maintenance-vs-performance
+    tradeoff is scored on. Leaving [Stable] records a {e disturbance}.
+
+    The protocols ({!Chord.Protocol}, [Hieras.Hprotocol]) feed one detector
+    per ring (per layer for HIERAS) from a fixed-cadence probe and use
+    {!is_stable} to drive adaptive maintenance intervals: back off while
+    stable, snap back the instant a change is observed. Everything here is
+    driven by simulated time, so a detector is a pure function of the run. *)
+
+type t
+
+val create : ?k:int -> unit -> t
+(** [k] (default 3, must be >= 1) is the number of consecutive unchanged
+    observations required to declare stability. The convergence clock
+    starts at time 0. *)
+
+val observe : t -> at:float -> fingerprint:int -> unit
+(** Feed one probe result. An unchanged fingerprint extends the streak (and
+    may complete a convergence); a changed one resets it (and ends a stable
+    phase). The first observation only seeds the fingerprint. *)
+
+val perturb : t -> at:float -> unit
+(** Note an external lifecycle event (join initiated, node killed) whose
+    effect on the fingerprint may not be visible yet: resets the streak and,
+    if stable, starts a new converging phase at [at]. Idempotent while
+    already converging (the phase keeps its original start). *)
+
+val k : t -> int
+val is_stable : t -> bool
+val streak : t -> int
+(** Consecutive unchanged observations so far. *)
+
+val observations : t -> int
+val changes : t -> int
+(** Observations whose fingerprint differed from the previous one. *)
+
+val convergences : t -> int
+(** Completed Converging-to-Stable transitions. *)
+
+val disturbances : t -> int
+(** Stable-to-Converging transitions (fingerprint changes and perturbs
+    while stable). *)
+
+val converged_at : t -> float option
+(** Time stability was declared, [None] while converging. *)
+
+val last_convergence_ms : t -> float
+(** Duration of the most recently completed converging phase (0 before the
+    first convergence). *)
+
+val total_convergence_ms : t -> float
+(** Sum over all completed converging phases — total time the ring spent
+    out of its fixpoint, as seen at probe granularity. *)
+
+(** {2 Fingerprinting}
+
+    A tiny FNV-1a-style mixer so callers hash routing state without any
+    dependency: fold every relevant integer (addresses, -1 for absent
+    entries) with {!fp_add} starting from {!fp_init}, visiting state in a
+    deterministic (sorted) order. *)
+
+val fp_init : int
+val fp_add : int -> int -> int
+
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Counters [<prefix>.observations], [.changes], [.convergences],
+    [.disturbances]; gauges [.stable] (0/1), [.streak],
+    [.last_convergence_ms], [.total_convergence_ms] (default prefix
+    ["stability"]). Idempotent. *)

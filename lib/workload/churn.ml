@@ -1,6 +1,16 @@
 type kind = Join | Leave | Fail
 type event = { at : float; node : int; kind : kind }
 
+(* Total, version-independent event order. [List.sort] stability is not
+   guaranteed by the language spec, so every ordering here is made explicit:
+   equal timestamps tie-break on node id, then kind. *)
+let kind_rank = function Join -> 0 | Fail -> 1 | Leave -> 2
+
+let compare_event a b =
+  match Float.compare a.at b.at with
+  | 0 -> ( match compare a.node b.node with 0 -> compare (kind_rank a.kind) (kind_rank b.kind) | c -> c)
+  | c -> c
+
 type spec = {
   horizon : float;
   join_rate : float;
@@ -49,7 +59,9 @@ let generate ?(ts = Obs.Timeseries.disabled) spec ~initial ~pool rng =
     end
   in
   (* merge the three Poisson processes and replay them in time order, so
-     leaves/failures only ever target nodes alive at that instant *)
+     leaves/failures only ever target nodes alive at that instant; equal
+     timestamps across streams replay in kind order (Join, Fail, Leave) —
+     an explicit tie-break, since sort stability is not guaranteed *)
   let schedule =
     List.concat
       [
@@ -57,7 +69,10 @@ let generate ?(ts = Obs.Timeseries.disabled) spec ~initial ~pool rng =
         arrival_times spec rng spec.fail_rate Fail;
         arrival_times spec rng spec.leave_rate Leave;
       ]
-    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+    |> List.sort (fun (a, ka) (b, kb) ->
+           match Float.compare a b with
+           | 0 -> compare (kind_rank ka) (kind_rank kb)
+           | c -> c)
   in
   let events = ref [] in
   List.iter
@@ -80,4 +95,4 @@ let generate ?(ts = Obs.Timeseries.disabled) spec ~initial ~pool rng =
               Obs.Timeseries.set ts_live ~at (float_of_int (Hashtbl.length live))
           | None -> ()))
     schedule;
-  List.rev !events
+  List.sort compare_event (List.rev !events)

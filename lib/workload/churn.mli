@@ -14,12 +14,18 @@ type spec = {
   leave_rate : float;  (** expected graceful leaves per second *)
 }
 
+val compare_event : event -> event -> int
+(** Total order: time, then node id, then kind (Join < Fail < Leave). The
+    tie-breaks are explicit so trace replays never depend on sort stability
+    (which the language spec does not guarantee) — drivers replaying a
+    trace at equal timestamps agree with {!generate} by sorting with this. *)
+
 val generate :
   ?ts:Obs.Timeseries.t -> spec -> initial:int -> pool:int -> Prng.Rng.t -> event list
 (** Nodes [0 .. initial-1] are assumed present at time 0; events use fresh
     node numbers from [initial .. pool-1] for joins and pick random live
-    nodes for leaves/failures. Events are sorted by time. At least one node
-    always stays alive.
+    nodes for leaves/failures. Events are sorted with {!compare_event}. At
+    least one node always stays alive.
 
     [ts] (default disabled) receives the {e planned} schedule as series:
     gauge [churn.live] (intended live population, seeded at t=0 with

@@ -63,3 +63,21 @@ let build_resilience () =
   let an = Obs.Analyze.create () in
   String.split_on_char '\n' (Buffer.contents buf) |> List.iter (Obs.Analyze.feed_line an);
   Obs.Analyze.report_json (Obs.Analyze.report an) ^ "\n"
+
+(* The golden soak results: a short two-factor churn soak over a 24-node
+   pool, rendered as the single-line soak JSON. Pins the churn/fault/probe
+   draws, both message-level protocols' maintenance behaviour, the
+   convergence detector's bookkeeping and the soak result schema — any
+   change to protocol message flow or stability accounting moves these
+   bytes. *)
+let soak_spec =
+  {
+    Experiments.Soak.default_spec with
+    Experiments.Soak.pool = 24;
+    initial = 8;
+    horizon_ms = 20_000.0;
+    factors = [ 0.5; 1.0 ];
+  }
+
+let build_soak () =
+  Experiments.Soak.results_json (Experiments.Soak.run soak_spec) ^ "\n"

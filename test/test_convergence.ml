@@ -1,0 +1,276 @@
+(* Convergence detection and adaptive maintenance: the Simnet.Stability
+   state machine itself, qcheck properties over the protocol-level detectors
+   (bounded-time convergence after arbitrary join sequences, converged ring
+   implies ideal key ownership, adaptive backoff never starves re-convergence
+   after a kill), the adaptive-saves-bandwidth guarantee, and the soak golden
+   regression. *)
+
+module Id = Hashid.Id
+module Engine = Simnet.Engine
+module Stab = Simnet.Stability
+module CP = Chord.Protocol
+module HP = Hieras.Hprotocol
+
+let space = Id.space ~bits:32
+let ids n = Array.init n (fun i -> Id.of_hash space (Printf.sprintf "conv-%d" i))
+
+let oracle n =
+  Chord.Network.of_ids ~space ~ids:(ids n) ~hosts:(Array.init n (fun i -> i)) ()
+
+(* --- the state machine ------------------------------------------------------ *)
+
+let test_stability_machine () =
+  Alcotest.check_raises "k = 0 rejected" (Invalid_argument "Stability.create: k must be >= 1")
+    (fun () -> ignore (Stab.create ~k:0 ()));
+  let s = Stab.create ~k:3 () in
+  Alcotest.(check bool) "born converging" false (Stab.is_stable s);
+  (* first observation only seeds the fingerprint *)
+  Stab.observe s ~at:100.0 ~fingerprint:7;
+  Alcotest.(check int) "seed starts no streak" 0 (Stab.streak s);
+  (* three unchanged observations complete the convergence *)
+  Stab.observe s ~at:200.0 ~fingerprint:7;
+  Stab.observe s ~at:300.0 ~fingerprint:7;
+  Alcotest.(check bool) "not yet" false (Stab.is_stable s);
+  Stab.observe s ~at:400.0 ~fingerprint:7;
+  Alcotest.(check bool) "stable at k" true (Stab.is_stable s);
+  Alcotest.(check (option (float 0.0))) "declared at" (Some 400.0) (Stab.converged_at s);
+  Alcotest.(check (float 0.0)) "clock ran from epoch start" 400.0 (Stab.last_convergence_ms s);
+  (* a changed fingerprint is a disturbance and restarts the clock *)
+  Stab.observe s ~at:500.0 ~fingerprint:8;
+  Alcotest.(check bool) "disturbed" false (Stab.is_stable s);
+  Alcotest.(check int) "one disturbance" 1 (Stab.disturbances s);
+  Alcotest.(check int) "one change" 1 (Stab.changes s);
+  Stab.observe s ~at:600.0 ~fingerprint:8;
+  Stab.observe s ~at:700.0 ~fingerprint:8;
+  Stab.observe s ~at:800.0 ~fingerprint:8;
+  Alcotest.(check bool) "re-stable" true (Stab.is_stable s);
+  Alcotest.(check (float 0.0)) "second convergence took 300" 300.0 (Stab.last_convergence_ms s);
+  Alcotest.(check (float 0.0)) "totals add up" 700.0 (Stab.total_convergence_ms s);
+  Alcotest.(check int) "two convergences" 2 (Stab.convergences s);
+  (* perturb while stable: disturbance now, even though the fingerprint has
+     not moved yet; the streak must rebuild from zero *)
+  Stab.perturb s ~at:900.0;
+  Alcotest.(check bool) "perturb unsettles" false (Stab.is_stable s);
+  Alcotest.(check int) "streak reset" 0 (Stab.streak s);
+  Alcotest.(check int) "perturb counted" 2 (Stab.disturbances s);
+  (* perturb while already converging keeps the original epoch start *)
+  Stab.perturb s ~at:1500.0;
+  Stab.observe s ~at:1600.0 ~fingerprint:8;
+  Stab.observe s ~at:1700.0 ~fingerprint:8;
+  Stab.observe s ~at:1800.0 ~fingerprint:8;
+  Alcotest.(check (float 0.0)) "clock from first perturb" 900.0 (Stab.last_convergence_ms s)
+
+let test_fingerprint_mixer () =
+  (* order-sensitive, total over native ints, stays positive *)
+  let h l = List.fold_left Stab.fp_add Stab.fp_init l in
+  Alcotest.(check bool) "order matters" true (h [ 1; 2 ] <> h [ 2; 1 ]);
+  Alcotest.(check bool) "negatives distinct" true (h [ -1 ] <> h [ 1 ]);
+  Alcotest.(check bool) "positive" true (h [ -1; min_int; max_int; 0 ] >= 0);
+  Alcotest.(check int) "deterministic" (h [ 3; 1; 4; 1; 5 ]) (h [ 3; 1; 4; 1; 5 ])
+
+(* --- protocol-level properties --------------------------------------------- *)
+
+let build_chord ?(adaptive = false) ~n ~seed ~spread () =
+  let rng = Prng.Rng.create ~seed in
+  let lat = Topology.Transit_stub.generate ~hosts:n rng in
+  let latency a b = Topology.Latency.host_latency lat a b in
+  let eng = Engine.create ~latency ~nodes:n in
+  let cfg = { (CP.default_config space) with CP.adaptive } in
+  let p = CP.create cfg eng in
+  let id = ids n in
+  CP.spawn p ~addr:0 ~id:id.(0);
+  let jrng = Prng.Rng.create ~seed:(seed + 17) in
+  let last = ref 0.0 in
+  for i = 1 to n - 1 do
+    let at = Prng.Rng.float jrng spread in
+    if at > !last then last := at;
+    Engine.schedule eng ~delay:at (fun () -> CP.join p ~addr:i ~id:id.(i) ~bootstrap:0)
+  done;
+  (eng, p, !last)
+
+(* Any join sequence (random arrival times over a 20 s window) must converge,
+   and the detector must notice, within a bounded horizon after the last
+   join: 120 s covers 240 un-backed-off probe rounds — if the ring needed
+   more the maintenance machinery, not the bound, is broken. *)
+let converge_prop (seed, n) =
+  let eng, p, last_join = build_chord ~n ~seed ~spread:20_000.0 () in
+  let horizon = last_join +. 120_000.0 in
+  Engine.run ~until:horizon eng;
+  let det = CP.stability p in
+  CP.converged p
+  && Stab.convergences det >= 1
+  && (match Stab.converged_at det with Some t -> t <= horizon | None -> false)
+
+let test_convergence_bounded =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"detector fires within bound after any join sequence" ~count:15
+       QCheck.(pair small_nat (int_range 4 20))
+       converge_prop)
+
+(* Once the detector declares stability, the ring is not merely quiet — it is
+   the ideal ring: every key's owner equals the analytic successor. *)
+let ownership_prop (seed, n) =
+  let eng, p, last_join = build_chord ~n ~seed ~spread:15_000.0 () in
+  Engine.run ~until:(last_join +. 120_000.0) eng;
+  if not (CP.converged p) then false
+  else begin
+    let net = oracle n in
+    let krng = Prng.Rng.create ~seed:(seed + 71) in
+    let ok = ref 0 in
+    let total = 10 in
+    for _ = 1 to total do
+      let key = Id.random space krng in
+      let expect = Chord.Network.id net (Chord.Network.successor_of_key net key) in
+      CP.lookup p ~origin:(Prng.Rng.int krng n) ~key (fun r ->
+          match r with
+          | Some o when Id.equal o.CP.owner_id expect -> incr ok
+          | _ -> ())
+    done;
+    Engine.run ~until:(Engine.now eng +. 60_000.0) eng;
+    !ok = total
+  end
+
+let test_converged_implies_ideal =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"converged ring owns every key ideally" ~count:10
+       QCheck.(pair small_nat (int_range 4 16))
+       ownership_prop)
+
+(* Adaptive backoff stretches the maintenance cadence while stable — but a
+   kill must still be detected and healed. If backoff ever starved the
+   probe or froze the intervals, the survivors would not re-converge. *)
+let adaptive_heals_prop (seed, n) =
+  let eng, p, last_join = build_chord ~adaptive:true ~n ~seed ~spread:10_000.0 () in
+  Engine.run ~until:(last_join +. 120_000.0) eng;
+  if not (CP.converged p) then false
+  else begin
+    let backed_off = CP.interval_scale p > 1.0 in
+    let victim = 1 + (seed mod (n - 1)) in
+    CP.fail_node p victim;
+    Engine.run ~until:(Engine.now eng +. 240_000.0) eng;
+    let live = List.filter (fun a -> a <> victim) (List.init n (fun i -> i)) in
+    let ring = CP.ring_from p (List.hd live) in
+    backed_off && CP.converged p
+    && List.sort compare ring = live
+    && Stab.disturbances (CP.stability p) >= 1
+  end
+
+let test_adaptive_still_heals =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"adaptive backoff still re-converges after a kill" ~count:10
+       QCheck.(pair small_nat (int_range 5 14))
+       adaptive_heals_prop)
+
+(* The HIERAS variant: every layer's detector must fire, and the global ring
+   must be ideal once they all have. *)
+let hieras_converge_prop (seed, n) =
+  let rng = Prng.Rng.create ~seed in
+  let lat = Topology.Transit_stub.generate ~hosts:n rng in
+  let latency a b = Topology.Latency.host_latency lat a b in
+  let eng = Engine.create ~latency ~nodes:n in
+  let lm = Binning.Landmark.choose_spread lat ~count:3 (Prng.Rng.create ~seed:(seed + 2)) in
+  let p = HP.create (HP.default_config space ~depth:2) eng ~lat ~landmarks:lm in
+  let id = ids n in
+  HP.spawn p ~addr:0 ~id:id.(0);
+  for i = 1 to n - 1 do
+    Engine.schedule eng ~delay:(float_of_int i *. 400.0) (fun () ->
+        HP.join p ~addr:i ~id:id.(i) ~bootstrap:0)
+  done;
+  Engine.run ~until:(float_of_int n *. 400.0 +. 160_000.0) eng;
+  HP.converged p
+  && HP.converged_layer p ~layer:1
+  && HP.converged_layer p ~layer:2
+  && Stab.convergences (HP.stability p ~layer:1) >= 1
+  && Stab.convergences (HP.stability p ~layer:2) >= 1
+  &&
+  let sorted =
+    List.sort (fun a b -> Id.compare (ids n).(a) (ids n).(b)) (List.init n (fun i -> i))
+  in
+  let ring = HP.ring_from p 0 ~layer:1 in
+  List.sort compare ring = List.sort compare sorted
+
+let test_hieras_convergence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"hieras detectors fire on every layer" ~count:8
+       QCheck.(pair small_nat (int_range 6 16))
+       hieras_converge_prop)
+
+(* Fixed seed: with the ring quiet, adaptive mode must spend measurably less
+   maintenance bandwidth than fixed cadence — and still be converged. *)
+let test_adaptive_saves_bandwidth () =
+  let run adaptive =
+    let eng, p, last_join = build_chord ~adaptive ~n:16 ~seed:42 ~spread:5_000.0 () in
+    Engine.run ~until:(last_join +. 300_000.0) eng;
+    Alcotest.(check bool)
+      (Printf.sprintf "converged (adaptive=%b)" adaptive)
+      true (CP.converged p);
+    CP.maintenance_ops p
+  in
+  let fixed = run false and adaptive = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive spends less than fixed (%d < %d)" adaptive fixed)
+    true (adaptive * 2 < fixed)
+
+(* --- soak golden ------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_soak_golden () =
+  let want = read_file (Filename.concat "golden" "soak_ts64.json") in
+  let got = Obs_test_support.Golden.build_soak () in
+  Alcotest.(check string)
+    "byte-identical (regenerate with: dune exec test/support/gen_golden.exe -- --soak > \
+     test/golden/soak_ts64.json)"
+    want got
+
+let test_soak_parallel_deterministic () =
+  (* the cells of the golden spec computed on a real worker pool must merge
+     to the same bytes as the sequential run *)
+  let spec = Obs_test_support.Golden.soak_spec in
+  let seq = Experiments.Soak.results_json (Experiments.Soak.run spec) in
+  let par =
+    Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+        Experiments.Soak.results_json (Experiments.Soak.run ~pool spec))
+  in
+  Alcotest.(check string) "pool-independent bytes" seq par
+
+let test_soak_validate () =
+  let bad f = match Experiments.Soak.validate f with Ok () -> false | Error _ -> true in
+  let d = Experiments.Soak.default_spec in
+  Alcotest.(check bool) "default valid" true
+    (match Experiments.Soak.validate d with Ok () -> true | Error _ -> false);
+  Alcotest.(check bool) "pool" true (bad { d with Experiments.Soak.pool = 1 });
+  Alcotest.(check bool) "initial" true (bad { d with Experiments.Soak.initial = 0 });
+  Alcotest.(check bool) "horizon" true (bad { d with Experiments.Soak.horizon_ms = 0.0 });
+  Alcotest.(check bool) "factors" true (bad { d with Experiments.Soak.factors = [] });
+  Alcotest.(check bool) "loss" true (bad { d with Experiments.Soak.loss = 1.0 });
+  Alcotest.(check bool) "depth" true (bad { d with Experiments.Soak.depth = 9 })
+
+let () =
+  Alcotest.run "convergence"
+    [
+      ( "stability",
+        [
+          Alcotest.test_case "state machine" `Quick test_stability_machine;
+          Alcotest.test_case "fingerprint mixer" `Quick test_fingerprint_mixer;
+        ] );
+      ( "protocol-convergence",
+        [
+          test_convergence_bounded;
+          test_converged_implies_ideal;
+          test_adaptive_still_heals;
+          test_hieras_convergence;
+          Alcotest.test_case "adaptive saves bandwidth" `Slow test_adaptive_saves_bandwidth;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "golden soak results byte-identical" `Slow test_soak_golden;
+          Alcotest.test_case "parallel run deterministic" `Slow test_soak_parallel_deterministic;
+          Alcotest.test_case "spec validation" `Quick test_soak_validate;
+        ] );
+    ]

@@ -370,6 +370,110 @@ let test_hieras_concurrent_joins_unify_rings () =
         (List.sort compare cycle))
     (List.sort_uniq compare orders)
 
+(* --- protocol conformance ----------------------------------------------------
+   The analytic networks (Chord.Network, and per-ring restrictions of it) are
+   the fixpoint the maintenance machinery is supposed to reach. These tests
+   demand byte-for-byte agreement at convergence: every node's successor list
+   and every conceptual finger slot of the message-level protocol must equal
+   the analytic table built over the same (id, address) population — not just
+   "a correct ring", the *same* ring. *)
+
+let oracle_of_members ~succ_list_len idf members =
+  let members = Array.of_list members in
+  Chord.Network.of_ids ~space ~ids:(Array.map idf members) ~hosts:members ~succ_list_len ()
+
+let oracle_index net ~n addr =
+  let rec go i =
+    if i >= n then Alcotest.fail (Printf.sprintf "addr %d not in oracle" addr)
+    else if Chord.Network.host net i = addr then i
+    else go (i + 1)
+  in
+  go 0
+
+let oracle_succ_addrs net ~n addr =
+  Chord.Network.successor_list net (oracle_index net ~n addr)
+  |> Array.to_list
+  |> List.map (Chord.Network.host net)
+
+let oracle_finger_addrs net ~n addr =
+  let ft = Chord.Network.finger_table net (oracle_index net ~n addr) in
+  Array.init (Id.bits space) (fun k -> Chord.Network.host net (Chord.Finger_table.finger ft k))
+
+let check_fingers ~what expect got =
+  Array.iteri
+    (fun k e ->
+      match got.(k) with
+      | Some a -> Alcotest.(check int) (Printf.sprintf "%s finger %d" what k) e a
+      | None -> Alcotest.fail (Printf.sprintf "%s finger %d unset at convergence" what k))
+    expect
+
+let test_chord_conforms_to_network () =
+  let n = 16 in
+  let _, p = build_chord ~hosts:n 33 in
+  let sll = (CP.config p).CP.succ_list_len in
+  let net = oracle_of_members ~succ_list_len:sll (CP.node_id p) (List.init n (fun i -> i)) in
+  Alcotest.(check bool) "detector agrees the ring is converged" true (CP.converged p);
+  for addr = 0 to n - 1 do
+    let what = Printf.sprintf "node %d" addr in
+    Alcotest.(check (list int))
+      (what ^ " successor list")
+      (oracle_succ_addrs net ~n addr)
+      (CP.successor_list_addrs p addr);
+    check_fingers ~what (oracle_finger_addrs net ~n addr) (CP.finger_addrs p addr)
+  done
+
+let test_hieras_conforms_per_layer () =
+  let n = 24 and depth = 2 in
+  let _, _, p = build_hieras ~hosts:n ~depth 34 in
+  let sll = (HP.config p).HP.succ_list_len in
+  Alcotest.(check bool) "all layers converged" true (HP.converged p);
+  for layer = 1 to depth do
+    (* partition the membership into this layer's rings; layer 1 is the one
+       global ring (order_of is undefined there), deeper layers split by
+       landmark order *)
+    let order_of i = if layer = 1 then "global" else HP.order_of p i ~layer in
+    let orders = List.sort_uniq compare (List.init n order_of) in
+    List.iter
+      (fun o ->
+        let members = List.filter (fun i -> order_of i = o) (List.init n (fun i -> i)) in
+        let rn = List.length members in
+        let net = oracle_of_members ~succ_list_len:sll (HP.node_id p) members in
+        List.iter
+          (fun addr ->
+            let what = Printf.sprintf "layer %d ring %s node %d" layer o addr in
+            (* a singleton ring has no analytic successor list (r = n-1 = 0);
+               the protocol represents it as a self-loop *)
+            let expect_succs =
+              if rn = 1 then [ addr ] else oracle_succ_addrs net ~n:rn addr
+            in
+            Alcotest.(check (list int))
+              (what ^ " successor list") expect_succs
+              (HP.successor_list_addrs p addr ~layer);
+            check_fingers ~what (oracle_finger_addrs net ~n:rn addr)
+              (HP.finger_addrs p addr ~layer))
+          members)
+      orders
+  done
+
+let test_conformance_survives_healing () =
+  (* kill a few nodes, let maintenance re-converge, then demand the healed
+     ring again equals the analytic network over the survivors *)
+  let n = 24 in
+  let eng, p = build_chord ~hosts:n 35 in
+  let dead = [ 4; 13; 21 ] in
+  List.iter (CP.fail_node p) dead;
+  Engine.run ~until:500_000.0 eng;
+  let live = List.filter (fun i -> not (List.mem i dead)) (List.init n (fun i -> i)) in
+  let rn = List.length live in
+  let net = oracle_of_members ~succ_list_len:(CP.config p).CP.succ_list_len (CP.node_id p) live in
+  List.iter
+    (fun addr ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "survivor %d successor list" addr)
+        (oracle_succ_addrs net ~n:rn addr)
+        (CP.successor_list_addrs p addr))
+    live
+
 let () =
   Alcotest.run "protocols"
     [
@@ -396,5 +500,12 @@ let () =
           Alcotest.test_case "ring table replication" `Slow test_hieras_ring_table_replication;
           Alcotest.test_case "survives message loss" `Slow test_hieras_survives_message_loss;
           Alcotest.test_case "concurrent joins unify" `Slow test_hieras_concurrent_joins_unify_rings;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "chord matches analytic network" `Slow test_chord_conforms_to_network;
+          Alcotest.test_case "hieras matches per-layer oracles" `Slow test_hieras_conforms_per_layer;
+          Alcotest.test_case "healed ring matches survivor oracle" `Slow
+            test_conformance_survives_healing;
         ] );
     ]

@@ -228,6 +228,46 @@ let prop_churn_replay_consistent =
               else false)
         events)
 
+(* generate's output must already be in compare_event order — sorting again
+   is the identity — so drivers replaying a trace at equal timestamps agree
+   with the generator on any OCaml (no reliance on sort stability) *)
+let prop_churn_order_canonical =
+  QCheck.Test.make ~name:"churn traces are already in compare_event order" ~count:50
+    QCheck.(pair small_nat (int_range 2 20))
+    (fun (seed, initial) ->
+      let spec =
+        { Churn.horizon = 80_000.0; join_rate = 0.6; fail_rate = 0.3; leave_rate = 0.3 }
+      in
+      let events = Churn.generate spec ~initial ~pool:(initial + 40) (Prng.Rng.create ~seed) in
+      events = List.sort Churn.compare_event events)
+
+let test_churn_tie_break_total () =
+  (* equal timestamps: node id decides, then kind (Join < Fail < Leave) *)
+  let e at node kind = { Churn.at; node; kind } in
+  let shuffled =
+    [
+      e 5.0 2 Churn.Leave; e 5.0 1 Churn.Fail; e 5.0 2 Churn.Join; e 1.0 9 Churn.Join;
+      e 5.0 1 Churn.Join; e 5.0 2 Churn.Fail;
+    ]
+  in
+  let want =
+    [
+      e 1.0 9 Churn.Join; e 5.0 1 Churn.Join; e 5.0 1 Churn.Fail; e 5.0 2 Churn.Join;
+      e 5.0 2 Churn.Fail; e 5.0 2 Churn.Leave;
+    ]
+  in
+  Alcotest.(check bool) "deterministic tie-break" true
+    (List.sort Churn.compare_event shuffled = want);
+  (* antisymmetric and reflexive on the ties *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Churn.compare_event a b and ba = Churn.compare_event b a in
+          Alcotest.(check int) "antisymmetry" (compare ab 0) (compare 0 ba))
+        shuffled)
+    shuffled
+
 let () =
   Alcotest.run "workload"
     [
@@ -256,8 +296,14 @@ let () =
           Alcotest.test_case "validation" `Quick test_churn_validation;
           Alcotest.test_case "time series agree with events" `Quick
             test_churn_timeseries_agrees_with_events;
+          Alcotest.test_case "tie-break is total and deterministic" `Quick
+            test_churn_tie_break_total;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_requests_deterministic_per_seed; prop_churn_replay_consistent ] );
+          [
+            prop_requests_deterministic_per_seed;
+            prop_churn_replay_consistent;
+            prop_churn_order_canonical;
+          ] );
     ]
