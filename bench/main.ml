@@ -7,6 +7,9 @@
      dune exec bench/main.exe -- --scale 0.05 quick smoke run
      dune exec bench/main.exe -- --only fig4  one experiment
      dune exec bench/main.exe -- --no-micro   skip the bechamel section
+     dune exec bench/main.exe -- --large      add the 10^6-node packed-network
+                                              micro entries [chord|hieras]-lookup-1e6
+                                              (µs/op + peak RSS; ~40 s extra)
      dune exec bench/main.exe -- --no-ext     skip the extensions section
      dune exec bench/main.exe -- --jobs 8     run on 8 domains (0 = all cores;
                                               results are identical for any
@@ -34,6 +37,7 @@
 let scale = ref 1.0
 let only = ref None
 let micro = ref true
+let large = ref false
 let ext = ref true
 let csv_dir = ref None
 let seed = ref 2003
@@ -65,6 +69,9 @@ let () =
         parse rest
     | "--no-micro" :: rest ->
         micro := false;
+        parse rest
+    | "--large" :: rest ->
+        large := true;
         parse rest
     | "--no-ext" :: rest ->
         ext := false;
@@ -119,6 +126,18 @@ let bench_cfg () =
 (* Part 1: every table and figure                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* per-figure wall time plus GC allocation deltas (minor/major words promoted
+   while the figure ran); top_heap_words is the process high-water mark when
+   the figure finished — a running max, deterministic for a fixed figure
+   order *)
+type fig_timing = {
+  fig_id : string;
+  seconds : float;
+  minor_words : float;
+  major_words : float;
+  top_heap_words : int;
+}
+
 let run_figures pool =
   let cfg = bench_cfg () in
   Printf.printf "HIERAS reproduction — paper experiment harness\n";
@@ -137,9 +156,20 @@ let run_figures pool =
   in
   let timings = ref [] in
   let timed id f =
+    let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     Obs.Timer.span !timer id (fun () -> emit (f ()));
-    timings := (id, Unix.gettimeofday () -. t0) :: !timings
+    let dt = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    timings :=
+      {
+        fig_id = id;
+        seconds = dt;
+        minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        top_heap_words = g1.Gc.top_heap_words;
+      }
+      :: !timings
   in
   (match !only with
   | Some id -> (
@@ -170,10 +200,19 @@ let run_extensions pool =
   print_newline ();
   print_endline "=== extensions: beyond the paper's figures ===";
   Printf.printf "configuration: %s\n\n" (Format.asprintf "%a" Experiments.Config.pp cfg);
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   Obs.Timer.span !timer "extensions" (fun () ->
       Experiments.Report.print_all (Experiments.Extensions.all ~pool cfg));
-  ("extensions", Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  {
+    fig_id = "extensions";
+    seconds = dt;
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    top_heap_words = g1.Gc.top_heap_words;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: latency-oracle instrumentation                              *)
@@ -195,7 +234,15 @@ let oracle_probe pool =
         ignore (Experiments.Runner.measure ~pool ~registry ~timer:!timer env hnet cfg);
         (env, hnet))
   in
-  ignore hnet;
+  (* packed-network footprint at the probe's scale: the figures' networks are
+     freed figure-by-figure, so this pair is the one that can land in the
+     report and registry *)
+  let chord_bytes = Chord.Network.bytes_resident (Hieras.Hnetwork.chord hnet) in
+  let hieras_bytes = Hieras.Hnetwork.bytes_resident hnet in
+  Obs.Metrics.set (Obs.Metrics.gauge registry "bench.chord.bytes_resident")
+    (float_of_int chord_bytes);
+  Obs.Metrics.set (Obs.Metrics.gauge registry "bench.hieras.bytes_resident")
+    (float_of_int hieras_bytes);
   let lat = Experiments.Runner.latency_oracle env in
   Topology.Latency.export_metrics lat registry;
   let st = Topology.Latency.stats lat in
@@ -231,7 +278,13 @@ let oracle_probe pool =
   Printf.printf "  cold row fill    %.1f ns/row (lazy first touch, single-source Dijkstra)\n"
     cold;
   Printf.printf "  warm row query   %.1f ns/op\n" warm;
-  (st, [ ("oracle-lazy-cold-row", cold); ("oracle-lazy-warm-row", warm) ])
+  Printf.printf "  chord resident   %d bytes (packed, %d nodes)\n" chord_bytes
+    (Chord.Network.size (Hieras.Hnetwork.chord hnet));
+  Printf.printf "  hieras resident  %d bytes (packed, depth %d)\n" hieras_bytes
+    (Hieras.Hnetwork.depth hnet);
+  ( st,
+    [ ("oracle-lazy-cold-row", cold); ("oracle-lazy-warm-row", warm) ],
+    (chord_bytes, hieras_bytes) )
 
 (* ------------------------------------------------------------------ *)
 (* Part 2b: structured lookup tracing (--trace-out)                    *)
@@ -325,10 +378,9 @@ let micro_tests pool =
            ignore (Topology.Latency.host_latency lat origins.(i) origins.((i + 1) land 4095))));
   ]
 
-let run_micro pool =
-  Obs.Timer.span !timer "micro" @@ fun () ->
-  print_newline ();
-  print_endline "=== micro-benchmarks (bechamel) ===";
+(* shared bechamel OLS loop; [print] renders one estimate (always collected
+   as ns/op in the results) *)
+let ols_run ~print tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
@@ -341,12 +393,60 @@ let run_micro pool =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
-              Printf.printf "  %-28s %12.1f ns/op\n" name est;
+              print name est;
               results := (name, est) :: !results
           | _ -> Printf.printf "  %-28s (no estimate)\n" name)
         analyzed)
-    (micro_tests pool);
+    tests;
   List.rev !results
+
+let run_micro pool =
+  Obs.Timer.span !timer "micro" @@ fun () ->
+  print_newline ();
+  print_endline "=== micro-benchmarks (bechamel) ===";
+  ols_run
+    ~print:(fun name est -> Printf.printf "  %-28s %12.1f ns/op\n" name est)
+    (micro_tests pool)
+
+(* The 10^6-node packed-network entries (--large): analytic lookups against
+   Scale-built networks. At this scale an op costs tens of µs, so the
+   estimates print as µs/op; peak RSS after both builds rides along — the
+   acceptance numbers of DESIGN.md §12. *)
+let run_large_micro () =
+  Obs.Timer.span !timer "micro-1e6" @@ fun () ->
+  print_newline ();
+  print_endline "=== micro-benchmarks: 10^6-node packed networks (--large) ===";
+  let spec = Experiments.Scale.{ default_spec with requests = 0; seed = !seed } in
+  let chord, hnet = Experiments.Scale.networks spec in
+  let n = Chord.Network.size chord in
+  let space = Chord.Network.space chord in
+  let rng = Prng.Rng.create ~seed:(!seed + 29) in
+  let keys = Array.init 4096 (fun _ -> Hashid.Id.random space rng) in
+  let origins = Array.init 4096 (fun _ -> Prng.Rng.int rng n) in
+  let counter = ref 0 in
+  let next () =
+    counter := (!counter + 1) land 4095;
+    !counter
+  in
+  let tests =
+    [
+      Test.make ~name:"chord-lookup-1e6"
+        (Staged.stage (fun () ->
+             let i = next () in
+             ignore (Chord.Lookup.route_hops_only chord ~origin:origins.(i) ~key:keys.(i))));
+      Test.make ~name:"hieras-lookup-1e6"
+        (Staged.stage (fun () ->
+             let i = next () in
+             ignore (Hieras.Hlookup.route_hops_only hnet ~origin:origins.(i) ~key:keys.(i))));
+    ]
+  in
+  let results =
+    ols_run
+      ~print:(fun name est -> Printf.printf "  %-28s %12.2f us/op\n" name (est /. 1e3))
+      tests
+  in
+  Printf.printf "  %-28s %12d KiB\n" "peak-rss" (Experiments.Scale.peak_rss_kb ());
+  results
 
 (* ------------------------------------------------------------------ *)
 (* JSON trajectory output                                              *)
@@ -365,7 +465,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~jobs ~figures ~oracle ~micro_results =
+let write_json ~jobs ~figures ~oracle ~memory ~micro_results =
   let cfg = bench_cfg () in
   let backend_name = Topology.Latency.backend_name !backend in
   let label =
@@ -389,8 +489,11 @@ let write_json ~jobs ~figures ~oracle ~micro_results =
   add "  },\n";
   add "  \"figures\": [\n";
   List.iteri
-    (fun i (id, dt) ->
-      add "    {\"id\": \"%s\", \"seconds\": %.3f}%s\n" (json_escape id) dt
+    (fun i ft ->
+      add
+        "    {\"id\": \"%s\", \"seconds\": %.3f, \"minor_words\": %.0f, \"major_words\": %.0f, \
+         \"top_heap_words\": %d}%s\n"
+        (json_escape ft.fig_id) ft.seconds ft.minor_words ft.major_words ft.top_heap_words
         (if i = List.length figures - 1 then "" else ","))
     figures;
   add "  ],\n";
@@ -401,6 +504,19 @@ let write_json ~jobs ~figures ~oracle ~micro_results =
   add "    \"rows_computed\": %d,\n" st.Topology.Latency.rows_computed;
   add "    \"row_hits\": %d,\n" st.Topology.Latency.row_hits;
   add "    \"resident_bytes\": %d\n" st.Topology.Latency.resident_bytes;
+  add "  },\n";
+  (* packed-network footprint + whole-run allocation totals; peak_rss_kb is
+     machine-dependent and deliberately NOT a compared metric (Analyze skips
+     it), the rest gate regressions lower-is-better *)
+  let chord_bytes, hieras_bytes = memory in
+  let g = Gc.quick_stat () in
+  add "  \"memory\": {\n";
+  add "    \"chord_bytes_resident\": %d,\n" chord_bytes;
+  add "    \"hieras_bytes_resident\": %d,\n" hieras_bytes;
+  add "    \"gc_minor_words\": %.0f,\n" g.Gc.minor_words;
+  add "    \"gc_major_words\": %.0f,\n" g.Gc.major_words;
+  add "    \"gc_top_heap_words\": %d,\n" g.Gc.top_heap_words;
+  add "    \"peak_rss_kb\": %d\n" (Experiments.Scale.peak_rss_kb ());
   add "  },\n";
   add "  \"micro\": [\n";
   List.iteri
@@ -425,10 +541,12 @@ let () =
       let fig_times =
         if !ext && !only = None then fig_times @ [ run_extensions pool ] else fig_times
       in
-      let oracle_stats, oracle_micro = oracle_probe pool in
+      let oracle_stats, oracle_micro, memory = oracle_probe pool in
       (match !trace_out with Some path -> traced_batch pool path | None -> ());
       let micro_results =
-        (if !micro && !only = None then run_micro pool else []) @ oracle_micro
+        (if !micro && !only = None then run_micro pool else [])
+        @ (if !large then run_large_micro () else [])
+        @ oracle_micro
       in
       Parallel.Pool.export_metrics pool registry;
       if Obs.Timer.enabled !timer then Obs.Timer.export_metrics !timer registry;
@@ -448,4 +566,4 @@ let () =
         print_string (Obs.Metrics.to_text (Obs.Metrics.snapshot registry))
       end;
       if !json then
-        write_json ~jobs ~figures:fig_times ~oracle:oracle_stats ~micro_results)
+        write_json ~jobs ~figures:fig_times ~oracle:oracle_stats ~memory ~micro_results)

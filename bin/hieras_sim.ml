@@ -10,6 +10,7 @@
      analyze  analyze a JSONL trace / compare two reports
      churn    protocol-level churn run with time-series telemetry
      soak     long-horizon churn soak: maintenance bandwidth vs churn rate
+     scale    million-node packed-network run with analytic hop counts
      resilience  lookup success/stretch vs failed-node fraction
 
    Exit codes: 0 success, 1 runtime failure (also: regressions found by
@@ -817,6 +818,109 @@ let soak_cmd =
           (bit-identical for any --jobs)")
     term
 
+(* ---- scale -------------------------------------------------------------- *)
+
+let scale_cmd =
+  let module Scale = Experiments.Scale in
+  let nodes_t =
+    Arg.(
+      value
+      & opt int Scale.default_spec.Scale.nodes
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Network size (>= 2).")
+  in
+  let requests_t =
+    Arg.(
+      value
+      & opt int Scale.default_spec.Scale.requests
+      & info [ "requests" ] ~docv:"R" ~doc:"Analytic lookups to replay.")
+  in
+  let succ_t =
+    Arg.(
+      value
+      & opt int Scale.default_spec.Scale.succ_list_len
+      & info [ "succ-list-len" ] ~docv:"R" ~doc:"Chord successor-list length (r).")
+  in
+  let cross_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "cross-check" ] ~docv:"K"
+          ~doc:
+            "Replay the first $(docv) requests through the full simulated \
+             routes as well and compare hop-for-hop with the analytic walk \
+             (0 = off).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic results (schema hieras-scale: structure \
+             and hop distributions, byte-identical for any --jobs) to $(docv).")
+  in
+  let bench_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the perf snapshot (schema hieras-scale-bench: wall times, \
+             \xc2\xb5s/lookup, GC words, peak RSS, results embedded) to $(docv) — \
+             the BENCH_scale.json artifact.")
+  in
+  let label_t =
+    Arg.(value & opt string "scale" & info [ "label" ] ~docv:"S" ~doc:"Bench snapshot label.")
+  in
+  let run nodes requests landmarks depth succ_list_len seed cross_check jobs out bench label
+      metrics =
+    let spec =
+      { Scale.nodes; requests; landmarks; depth; succ_list_len; seed; cross_check }
+    in
+    (match Scale.validate spec with Ok () -> () | Error e -> exit_usage e);
+    with_jobs jobs (fun pool ->
+        let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+        let r = Scale.run ~pool ?registry ~now:Unix.gettimeofday spec in
+        Experiments.Report.print (Scale.section r);
+        if r.Scale.cross_mismatches > 0 then
+          exit_err
+            (Printf.sprintf "analytic walk disagrees with simulated routes on %d/%d lookups"
+               r.Scale.cross_mismatches r.Scale.cross_checked);
+        (match out with
+        | None -> ()
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc (Scale.results_json r);
+                output_char oc '\n');
+            Printf.printf "wrote scale results to %s\n" file);
+        (match bench with
+        | None -> ()
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc (Scale.bench_json ~label r);
+                output_char oc '\n');
+            Printf.printf "wrote scale bench snapshot to %s\n" file);
+        match registry with
+        | None -> ()
+        | Some reg ->
+            Parallel.Pool.export_metrics pool reg;
+            print_newline ();
+            print_metrics reg)
+  in
+  let term =
+    Term.(
+      const run $ nodes_t $ requests_t $ landmarks_t $ depth_t $ succ_t $ seed_t $ cross_t
+      $ jobs_t $ out_t $ bench_t $ label_t $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Million-node scale run: build packed Chord and HIERAS networks over \
+          a synthetic topology and replay a seeded lookup stream in the \
+          analytic hop-count mode, sharded over --jobs (results \
+          bit-identical for any width)")
+    term
+
 (* ---- resilience --------------------------------------------------------- *)
 
 let resilience_cmd =
@@ -923,6 +1027,7 @@ let main =
       analyze_cmd;
       churn_cmd;
       soak_cmd;
+      scale_cmd;
       resilience_cmd;
       extensions_cmd;
     ]

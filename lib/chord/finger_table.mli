@@ -23,6 +23,31 @@ val build :
     indices); the owner must be among the members. Finger [i] is the first
     member clockwise from [owner_id + 2^i]. *)
 
+val pack :
+  Hashid.Id.space ->
+  owner_id:Hashid.Id.t ->
+  member_ids:Hashid.Id.t array ->
+  ?member_pre:int array ->
+  member_nodes:int array ->
+  push:(int -> int -> unit) ->
+  unit ->
+  unit
+(** Emit exactly the [(exp, node)] segments {!build} would store, in
+    ascending exponent order, through [push] — the packed-network builders
+    append them to a shared arena instead of allocating a [t] per node.
+    Runs of equal fingers are crossed by galloping (exponent monotonicity),
+    so cost is O(segments × log run) probes rather than [bits]; each probe
+    is a single id comparison against the current successor position.
+    [member_pre], when given, must be the aligned {!Hashid.Id.prefix_int}
+    column of [member_ids]: comparisons then resolve by one integer load
+    except on (astronomically rare) prefix ties. *)
+
+val of_segments :
+  owner:int -> bits:int -> exps:int array -> nodes:int array -> t
+(** Reconstruct a table from stored segments (a packed network's thin view).
+    [exps]/[nodes] must be a well-formed ascending segment list as produced
+    by {!pack}; only basic shape is validated. *)
+
 val owner : t -> int
 
 val segments : t -> (int * int) array
@@ -40,6 +65,28 @@ val closest_preceding :
 (** The farthest finger strictly inside [(self, key)] on the circle — the
     next hop of Chord's greedy routing. [None] when no finger makes
     progress. *)
+
+val closest_preceding_arena :
+  nodes:int array ->
+  lo:int ->
+  hi:int ->
+  id_of:(int -> Hashid.Id.t) ->
+  self:Hashid.Id.t ->
+  key:Hashid.Id.t ->
+  int
+(** {!closest_preceding} over the [\[lo, hi)] slice of a packed segment-node
+    arena; [-1] when no finger makes progress. The allocation-free form the
+    lookup hot paths use. *)
+
+val preceding_candidates_arena :
+  nodes:int array ->
+  lo:int ->
+  hi:int ->
+  id_of:(int -> Hashid.Id.t) ->
+  self:Hashid.Id.t ->
+  key:Hashid.Id.t ->
+  int list
+(** {!preceding_candidates} over an arena slice. *)
 
 val preceding_candidates :
   t -> id_of:(int -> Hashid.Id.t) -> self:Hashid.Id.t -> key:Hashid.Id.t -> int list

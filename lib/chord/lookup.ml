@@ -35,14 +35,8 @@ let walk net ~origin ~key ~record =
         finished := true
       end
       else begin
-        let next =
-          match
-            Finger_table.closest_preceding (Network.finger_table net cur) ~id_of
-              ~self:(id_of cur) ~key
-          with
-          | Some next when next <> cur -> next
-          | _ -> succ
-        in
+        let f = Network.closest_preceding_finger net cur ~key in
+        let next = if f >= 0 && f <> cur then f else succ in
         record cur next;
         current := next
       end
@@ -172,33 +166,30 @@ let route_resilient ?(trace = Obs.Trace.disabled) ?(policy = default_policy) net
   let guard = 4 * (Id.bits sp + n) in
   let rec loop cur steps =
     if steps > guard then failwith "Chord.Lookup: resilient routing did not terminate";
-    let slist = Network.successor_list net cur in
-    let llen = Array.length slist in
+    let snth k = Network.succ_list_nth net cur k in
+    let llen = Network.succ_list_len net in
     (* first live successor-list entry; dead entries before it are known via
        heartbeats, so skipping them costs no probe. Stop if the list wraps
        back to cur (possible when the list is longer than the population). *)
     let rec first_live i =
-      if i >= llen || slist.(i) = cur then None
-      else if is_alive slist.(i) then Some i
+      if i >= llen || snth i = cur then None
+      else if is_alive (snth i) then Some i
       else first_live (i + 1)
     in
     let emit_skips upto =
       for j = 0 to upto - 1 do
-        fallback cur slist.(j)
+        fallback cur (snth j)
       done
     in
     match first_live 0 with
-    | Some i when Id.in_oc key ~lo:(id_of cur) ~hi:(id_of slist.(i)) ->
+    | Some i when Id.in_oc key ~lo:(id_of cur) ~hi:(id_of (snth i)) ->
         (* s is the first live node clockwise from cur and the key precedes
            it: s is the live owner — final hop *)
         emit_skips i;
-        record cur slist.(i);
-        Some slist.(i)
+        record cur (snth i);
+        Some (snth i)
     | s_opt -> (
-        let candidates =
-          Finger_table.preceding_candidates (Network.finger_table net cur) ~id_of
-            ~self:(id_of cur) ~key
-        in
+        let candidates = Network.preceding_candidates net cur ~key in
         (* farthest-first; probing a dead finger costs the full schedule *)
         let rec try_fingers = function
           | [] -> None
@@ -217,8 +208,8 @@ let route_resilient ?(trace = Obs.Trace.disabled) ?(policy = default_policy) net
             match s_opt with
             | Some i ->
                 emit_skips i;
-                record cur slist.(i);
-                loop slist.(i) (steps + 1)
+                record cur (snth i);
+                loop (snth i) (steps + 1)
             | None -> None (* locally partitioned: nothing live to forward to *)))
   in
   let dest_opt =

@@ -1,12 +1,20 @@
 module Id = Hashid.Id
 
+(* Packed struct-of-arrays representation (DESIGN.md §12). Node [i] is the
+   i-th identifier in sorted order, so ring successor/predecessor are the
+   implicit [(i ± 1) mod n] — and the successor list of [i] is the implicit
+   run [i+1 .. i+r]: neither is materialized. All finger tables live in one
+   shared arena: node [i]'s run-length segments are
+   [f_exp/f_node.(f_off.(i) .. f_off.(i+1) - 1)]. *)
 type t = {
   space : Id.space;
   ids : Id.t array; (* sorted ascending; node i has ids.(i) *)
+  pre : int array; (* aligned Id.prefix_int column: one-load comparisons *)
   hosts : int array;
-  fingers : Finger_table.t array;
-  succ_lists : int array array;
-  by_id : (Id.t, int) Hashtbl.t;
+  succ_len : int; (* r = min succ_list_len (n-1) *)
+  f_off : int array; (* n+1 segment offsets into the finger arena *)
+  f_exp : Bytes.t; (* first exponent of each segment (bits <= 255) *)
+  f_node : int array; (* finger node of each segment *)
 }
 
 let mk ~space ~ids ~hosts ~succ_list_len =
@@ -23,16 +31,37 @@ let mk ~space ~ids ~hosts ~succ_list_len =
       invalid_arg "Chord.Network: duplicate identifiers"
   done;
   let member_nodes = Array.init n (fun i -> i) in
-  let fingers =
-    Array.init n (fun i ->
-        Finger_table.build space ~owner:i ~owner_id:sorted_ids.(i) ~member_ids:sorted_ids
-          ~member_nodes)
+  let pre = Array.map Id.prefix_int sorted_ids in
+  let f_off = Array.make (n + 1) 0 in
+  let exp_buf = Buffer.create (n * 12) in
+  let node_buf = ref (Array.make (max 16 (n * 12)) 0) in
+  let seg_count = ref 0 in
+  let push e v =
+    if !seg_count = Array.length !node_buf then begin
+      let grown = Array.make (2 * !seg_count) 0 in
+      Array.blit !node_buf 0 grown 0 !seg_count;
+      node_buf := grown
+    end;
+    Buffer.add_char exp_buf (Char.unsafe_chr e);
+    !node_buf.(!seg_count) <- v;
+    incr seg_count
   in
-  let r = min succ_list_len (n - 1) in
-  let succ_lists = Array.init n (fun i -> Array.init r (fun k -> (i + k + 1) mod n)) in
-  let by_id = Hashtbl.create (2 * n) in
-  Array.iteri (fun i id -> Hashtbl.replace by_id id i) sorted_ids;
-  { space; ids = sorted_ids; hosts = sorted_hosts; fingers; succ_lists; by_id }
+  for i = 0 to n - 1 do
+    f_off.(i) <- !seg_count;
+    Finger_table.pack space ~owner_id:sorted_ids.(i) ~member_ids:sorted_ids ~member_pre:pre
+      ~member_nodes ~push ()
+  done;
+  f_off.(n) <- !seg_count;
+  {
+    space;
+    ids = sorted_ids;
+    pre;
+    hosts = sorted_hosts;
+    succ_len = min succ_list_len (n - 1);
+    f_off;
+    f_exp = Buffer.to_bytes exp_buf;
+    f_node = Array.sub !node_buf 0 !seg_count;
+  }
 
 let of_ids ~space ~ids ~hosts ?(succ_list_len = 8) () = mk ~space ~ids ~hosts ~succ_list_len
 
@@ -60,20 +89,101 @@ let id t i = t.ids.(i)
 let host t i = t.hosts.(i)
 let successor t i = (i + 1) mod Array.length t.ids
 let predecessor t i = (i + Array.length t.ids - 1) mod Array.length t.ids
-let successor_list t i = Array.copy t.succ_lists.(i)
-let finger_table t i = t.fingers.(i)
-let find_node t key = Hashtbl.find_opt t.by_id key
+let succ_list_len t = t.succ_len
+
+let succ_list_nth t i k =
+  if k < 0 || k >= t.succ_len then invalid_arg "Chord.Network.succ_list_nth";
+  (i + k + 1) mod Array.length t.ids
+
+let successor_list t i =
+  let n = Array.length t.ids in
+  Array.init t.succ_len (fun k -> (i + k + 1) mod n)
+
+let finger_table t i =
+  let lo = t.f_off.(i) and hi = t.f_off.(i + 1) in
+  let exps = Array.init (hi - lo) (fun k -> Char.code (Bytes.get t.f_exp (lo + k))) in
+  let nodes = Array.sub t.f_node lo (hi - lo) in
+  Finger_table.of_segments ~owner:i ~bits:(Id.bits t.space) ~exps ~nodes
+
+(* Scan an arena slice for the farthest finger strictly inside (self, key) —
+   identical to [Finger_table.closest_preceding_arena] over this network's
+   ids, but the circular-interval class is computed once per call and every
+   membership test resolves through the prefix column (one integer load; the
+   full string compare runs only on a 56-bit prefix tie). Exposed so the
+   HIERAS layer arenas (whose nodes index this same network) share it. *)
+let closest_preceding_in_arena t ~nodes ~lo ~hi ~self ~key =
+  let ids = t.ids and pre = t.pre in
+  let key_pre = Id.prefix_int key in
+  let cmp_key j =
+    let p = Array.unsafe_get pre j in
+    if p < key_pre then -1
+    else if p > key_pre then 1
+    else Id.compare (Array.unsafe_get ids j) key
+  in
+  let self_pre = Array.unsafe_get pre self in
+  let above_self j =
+    let p = Array.unsafe_get pre j in
+    if p <> self_pre then p > self_pre
+    else Id.compare (Array.unsafe_get ids j) (Array.unsafe_get ids self) > 0
+  in
+  let c_lo = cmp_key self in
+  let rec go k =
+    if k < lo then -1
+    else
+      let j : int = Array.unsafe_get nodes k in
+      let inside =
+        if c_lo < 0 then above_self j && cmp_key j < 0
+        else if c_lo > 0 then above_self j || cmp_key j < 0
+        else j <> self (* degenerate self = key: the whole circle but self *)
+      in
+      if inside then j else go (k - 1)
+  in
+  go (hi - 1)
+
+let closest_preceding_finger t i ~key =
+  closest_preceding_in_arena t ~nodes:t.f_node ~lo:t.f_off.(i) ~hi:t.f_off.(i + 1) ~self:i
+    ~key
+
+let preceding_candidates t i ~key =
+  Finger_table.preceding_candidates_arena ~nodes:t.f_node ~lo:t.f_off.(i)
+    ~hi:t.f_off.(i + 1)
+    ~id_of:(fun j -> t.ids.(j))
+    ~self:t.ids.(i) ~key
 
 let successor_of_key t key =
   let n = Array.length t.ids in
+  let key_pre = Id.prefix_int key in
   let rec search lo hi =
     if lo >= hi then lo
     else
       let mid = (lo + hi) / 2 in
-      if Id.compare t.ids.(mid) key < 0 then search (mid + 1) hi else search lo mid
+      let p = Array.unsafe_get t.pre mid in
+      let c =
+        if p < key_pre then -1
+        else if p > key_pre then 1
+        else Id.compare (Array.unsafe_get t.ids mid) key
+      in
+      if c < 0 then search (mid + 1) hi else search lo mid
   in
   let pos = search 0 n in
   if pos = n then 0 else pos
 
-let total_finger_segments t =
-  Array.fold_left (fun acc ft -> acc + Finger_table.distinct_count ft) 0 t.fingers
+let find_node t key =
+  let pos = successor_of_key t key in
+  if Id.equal t.ids.(pos) key then Some pos else None
+
+let total_finger_segments t = Array.length t.f_node
+
+let bytes_resident t =
+  let word = Sys.word_size / 8 in
+  let arr len = (len + 1) * word in
+  let n = Array.length t.ids in
+  (* each id is a separate immutable byte string: header word + payload
+     padded to a whole word (OCaml's string block layout) *)
+  let id_payload = (Id.bits t.space + 7) / 8 in
+  let id_block = word + (((id_payload / word) + 1) * word) in
+  arr n (* ids pointer array *) + (n * id_block) + arr n (* prefix column *)
+  + arr n (* hosts *)
+  + arr (n + 1) (* f_off *)
+  + (word + ((Bytes.length t.f_exp / word) + 1) * word) (* f_exp *)
+  + arr (Array.length t.f_node)

@@ -10,7 +10,13 @@
 
     Nodes are dense indices [0 .. size-1] ordered by identifier; node
     [(i+1) mod size] is node [i]'s ring successor. Each node carries the
-    index of the topology end-host it runs on. *)
+    index of the topology end-host it runs on.
+
+    The state is a packed struct-of-arrays (DESIGN.md §12): flat id/host
+    arrays plus one shared finger arena with per-node offsets — no per-node
+    records or tables on the lookup hot path, which is what lets a 10^6-node
+    network fit comfortably in memory. Record-style accessors
+    ({!finger_table}, {!successor_list}) remain as thin views. *)
 
 type t
 
@@ -43,7 +49,36 @@ val host : t -> int -> int
 val successor : t -> int -> int
 val predecessor : t -> int -> int
 val successor_list : t -> int -> int array
+(** A fresh array [\[|i+1; ..; i+r|\]] (mod size) — synthesized from the
+    sorted order; the packed network stores no successor lists. *)
+
+val succ_list_len : t -> int
+(** [r = min succ_list_len (size - 1)] — the length {!successor_list}
+    returns. *)
+
+val succ_list_nth : t -> int -> int -> int
+(** [succ_list_nth t i k = (successor_list t i).(k)] without the array —
+    the resilient route's allocation-free accessor. *)
+
 val finger_table : t -> int -> Finger_table.t
+(** A thin view materialized from the node's finger-arena slice. Prefer
+    {!closest_preceding_finger} / {!preceding_candidates} on hot paths. *)
+
+val closest_preceding_finger : t -> int -> key:Hashid.Id.t -> int
+(** [Finger_table.closest_preceding] read straight off the packed arena:
+    the farthest finger of node [i] strictly inside [(id i, key)], or [-1]
+    when no finger makes progress. *)
+
+val closest_preceding_in_arena :
+  t -> nodes:int array -> lo:int -> hi:int -> self:int -> key:Hashid.Id.t -> int
+(** The same scan over an external segment-node arena slice whose entries
+    index {e this} network's nodes — what the HIERAS layer arenas use. The
+    circular-interval class is fixed once per call and membership tests
+    resolve through the id-prefix column, so a probe is one integer load
+    except on 56-bit prefix ties. *)
+
+val preceding_candidates : t -> int -> key:Hashid.Id.t -> int list
+(** [Finger_table.preceding_candidates] off the packed arena. *)
 
 val find_node : t -> Hashid.Id.t -> int option
 (** Node with exactly this identifier. *)
@@ -52,4 +87,9 @@ val successor_of_key : t -> Hashid.Id.t -> int
 (** The node that owns a key: first node clockwise from it (inclusive). *)
 
 val total_finger_segments : t -> int
-(** Sum of distinct finger-table entries over all nodes (cost model). *)
+(** Sum of distinct finger-table entries over all nodes (cost model) —
+    O(1): the finger arena's length. *)
+
+val bytes_resident : t -> int
+(** Approximate heap footprint of the packed network (id strings, host
+    array, finger arena, offsets) in bytes. *)

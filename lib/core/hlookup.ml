@@ -37,15 +37,8 @@ let walk_ring_to_predecessor hnet ~layer ~start ~key ~record =
       (* no ring member lies strictly between us and the key *)
       finished := true
     else begin
-      let next =
-        match
-          Chord.Finger_table.closest_preceding
-            (Hnetwork.finger_table hnet ~layer cur)
-            ~id_of ~self:(id_of cur) ~key
-        with
-        | Some next when next <> cur -> next
-        | _ -> succ
-      in
+      let f = Hnetwork.closest_preceding_finger hnet ~layer cur ~key in
+      let next = if f >= 0 && f <> cur then f else succ in
       record ~layer cur next;
       current := next
     end
@@ -73,49 +66,24 @@ let walk_global hnet ~start ~key ~record =
       finished := true
     end
     else begin
-      let next =
-        match
-          Chord.Finger_table.closest_preceding
-            (Chord.Network.finger_table net cur)
-            ~id_of ~self:(id_of cur) ~key
-        with
-        | Some next when next <> cur -> next
-        | _ -> succ
-      in
+      let f = Chord.Network.closest_preceding_finger net cur ~key in
+      let next = if f >= 0 && f <> cur then f else succ in
       record ~layer:1 cur next;
       current := next
     end
   done;
   !current
 
-let route ?(trace = Obs.Trace.disabled) hnet ~origin ~key =
+(* The multi-loop composition shared by [route] (latency + trace) and
+   [route_hops_only] (the analytic mode): descend layers [depth .. 2], each
+   stopping at the ring predecessor of the key, with the paper's early-exit
+   check against the global successor between layers, then the global loop.
+   Returns (destination, finished_at_layer); [record] sees every hop. *)
+let walk_layers hnet ~origin ~key ~record =
   let net = Hnetwork.chord hnet in
-  let lat = Hnetwork.latency_oracle hnet in
   let depth = Hnetwork.depth hnet in
   let owner = Chord.Network.successor_of_key net key in
   let id_of i = Chord.Network.id net i in
-  let traced = Obs.Trace.enabled trace in
-  let lid =
-    if traced then Obs.Trace.start trace ~algo:"hieras" ~origin ~key:(Id.to_hex key) else 0
-  in
-  let hops = ref [] in
-  let count = ref 0 in
-  let total = ref 0.0 in
-  let per_hops = Array.make depth 0 in
-  let per_lat = Array.make depth 0.0 in
-  let record ~layer from_node to_node =
-    let l =
-      Topology.Latency.host_latency lat (Chord.Network.host net from_node)
-        (Chord.Network.host net to_node)
-    in
-    if traced then
-      Obs.Trace.hop trace ~lookup:lid ~seq:!count ~layer ~from_node ~to_node ~latency_ms:l;
-    hops := { from_node; to_node; latency = l; layer } :: !hops;
-    incr count;
-    total := !total +. l;
-    per_hops.(layer - 1) <- per_hops.(layer - 1) + 1;
-    per_lat.(layer - 1) <- per_lat.(layer - 1) +. l
-  in
   let current = ref origin in
   let finished_at = ref 1 in
   (try
@@ -142,20 +110,60 @@ let route ?(trace = Obs.Trace.disabled) hnet ~origin ~key =
      finished_at := 1
    with Exit -> ());
   assert (!current = owner);
+  (!current, !finished_at)
+
+let route ?(trace = Obs.Trace.disabled) hnet ~origin ~key =
+  let net = Hnetwork.chord hnet in
+  let lat = Hnetwork.latency_oracle hnet in
+  let depth = Hnetwork.depth hnet in
+  let traced = Obs.Trace.enabled trace in
+  let lid =
+    if traced then Obs.Trace.start trace ~algo:"hieras" ~origin ~key:(Id.to_hex key) else 0
+  in
+  let hops = ref [] in
+  let count = ref 0 in
+  let total = ref 0.0 in
+  let per_hops = Array.make depth 0 in
+  let per_lat = Array.make depth 0.0 in
+  let record ~layer from_node to_node =
+    let l =
+      Topology.Latency.host_latency lat (Chord.Network.host net from_node)
+        (Chord.Network.host net to_node)
+    in
+    if traced then
+      Obs.Trace.hop trace ~lookup:lid ~seq:!count ~layer ~from_node ~to_node ~latency_ms:l;
+    hops := { from_node; to_node; latency = l; layer } :: !hops;
+    incr count;
+    total := !total +. l;
+    per_hops.(layer - 1) <- per_hops.(layer - 1) + 1;
+    per_lat.(layer - 1) <- per_lat.(layer - 1) +. l
+  in
+  let destination, finished_at = walk_layers hnet ~origin ~key ~record in
   if traced then
-    Obs.Trace.finish trace ~lookup:lid ~destination:!current ~hops:!count ~latency_ms:!total
-      ~finished_at_layer:!finished_at;
+    Obs.Trace.finish trace ~lookup:lid ~destination ~hops:!count ~latency_ms:!total
+      ~finished_at_layer:finished_at;
   {
     origin;
     key;
-    destination = !current;
+    destination;
     hops = List.rev !hops;
     hop_count = !count;
     latency = !total;
     hops_per_layer = per_hops;
     latency_per_layer = per_lat;
-    finished_at_layer = !finished_at;
+    finished_at_layer = finished_at;
   }
+
+let route_hops_only hnet ~origin ~key =
+  let depth = Hnetwork.depth hnet in
+  let per_hops = Array.make depth 0 in
+  let count = ref 0 in
+  let record ~layer _ _ =
+    incr count;
+    per_hops.(layer - 1) <- per_hops.(layer - 1) + 1
+  in
+  let destination, finished_at = walk_layers hnet ~origin ~key ~record in
+  (!count, per_hops, destination, finished_at)
 
 let route_checked ?trace hnet ~origin ~key =
   let r = route ?trace hnet ~origin ~key in
@@ -274,11 +282,7 @@ let route_resilient ?(trace = Obs.Trace.disabled) ?(policy = Chord.Lookup.defaul
             (cur, false)
           end
           else begin
-            let candidates =
-              Chord.Finger_table.preceding_candidates
-                (Hnetwork.finger_table hnet ~layer cur)
-                ~id_of ~self:(id_of cur) ~key
-            in
+            let candidates = Hnetwork.preceding_candidates hnet ~layer cur ~key in
             let rec try_fingers = function
               | [] -> None
               | f :: rest ->
@@ -303,45 +307,40 @@ let route_resilient ?(trace = Obs.Trace.disabled) ?(policy = Chord.Lookup.defaul
   (* Early-exit check between layers, against the first live global
      successor instead of just the immediate one. *)
   let early_exit p =
-    let slist = Chord.Network.successor_list net p in
+    let snth k = Chord.Network.succ_list_nth net p k in
+    let llen = Chord.Network.succ_list_len net in
     let rec first_live i =
-      if i >= Array.length slist then None
-      else if is_alive slist.(i) then Some i
-      else first_live (i + 1)
+      if i >= llen then None else if is_alive (snth i) then Some i else first_live (i + 1)
     in
     match first_live 0 with
-    | Some i when Id.in_oc key ~lo:(id_of p) ~hi:(id_of slist.(i)) ->
+    | Some i when Id.in_oc key ~lo:(id_of p) ~hi:(id_of (snth i)) ->
         for j = 0 to i - 1 do
-          fallback ~layer:1 p slist.(j)
+          fallback ~layer:1 p (snth j)
         done;
-        record ~layer:1 p slist.(i);
-        Some slist.(i)
+        record ~layer:1 p (snth i);
+        Some (snth i)
     | _ -> None
   in
   (* Final loop on the global ring: the resilient Chord walk, tagged layer 1. *)
   let rec global cur steps =
     if steps > guard then failwith "Hieras.Hlookup: resilient global loop did not terminate";
-    let slist = Chord.Network.successor_list net cur in
-    let llen = Array.length slist in
+    let snth k = Chord.Network.succ_list_nth net cur k in
+    let llen = Chord.Network.succ_list_len net in
     let rec first_live i =
-      if i >= llen then None else if is_alive slist.(i) then Some i else first_live (i + 1)
+      if i >= llen then None else if is_alive (snth i) then Some i else first_live (i + 1)
     in
     let emit_skips upto =
       for j = 0 to upto - 1 do
-        fallback ~layer:1 cur slist.(j)
+        fallback ~layer:1 cur (snth j)
       done
     in
     match first_live 0 with
-    | Some i when Id.in_oc key ~lo:(id_of cur) ~hi:(id_of slist.(i)) ->
+    | Some i when Id.in_oc key ~lo:(id_of cur) ~hi:(id_of (snth i)) ->
         emit_skips i;
-        record ~layer:1 cur slist.(i);
-        Some slist.(i)
+        record ~layer:1 cur (snth i);
+        Some (snth i)
     | s_opt -> (
-        let candidates =
-          Chord.Finger_table.preceding_candidates
-            (Chord.Network.finger_table net cur)
-            ~id_of ~self:(id_of cur) ~key
-        in
+        let candidates = Chord.Network.preceding_candidates net cur ~key in
         let rec try_fingers = function
           | [] -> None
           | f :: rest ->
@@ -359,8 +358,8 @@ let route_resilient ?(trace = Obs.Trace.disabled) ?(policy = Chord.Lookup.defaul
             match s_opt with
             | Some i ->
                 emit_skips i;
-                record ~layer:1 cur slist.(i);
-                global slist.(i) (steps + 1)
+                record ~layer:1 cur (snth i);
+                global (snth i) (steps + 1)
             | None -> None (* locally partitioned global ring: stalled *)))
   in
   let dest = ref None in

@@ -34,6 +34,13 @@ val route : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid.Id.t ->
     it — and one end event mirroring the returned accounting; when disabled
     the instrumentation costs one branch per hop and allocates nothing. *)
 
+val route_hops_only : Hnetwork.t -> origin:int -> key:Hashid.Id.t -> int * int array * int * int
+(** The analytic mode: [(hop_count, hops_per_layer, destination,
+    finished_at_layer)] of exactly the walk {!route} performs — same hop
+    sequence, same early exits — but touching only the packed structure: no
+    latency oracle, no trace, no per-hop allocation. Cross-validated against
+    {!route} by tests and the scale experiment. *)
+
 val route_checked : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
 (** Like {!route} but asserts the destination equals the Chord owner of the
     key — used by tests; routing correctness must never depend on binning

@@ -48,7 +48,27 @@ val ring_successor : t -> layer:int -> int -> int
 val ring_predecessor : t -> layer:int -> int -> int
 val finger_table : t -> layer:int -> int -> Chord.Finger_table.t
 (** Layer 1 returns the Chord table; layers 2.. return the ring-restricted
-    table. *)
+    table — a thin view materialized from the layer's packed finger arena
+    (DESIGN.md §12). Prefer {!closest_preceding_finger} /
+    {!preceding_candidates} on hot paths. *)
+
+val closest_preceding_finger : t -> layer:int -> int -> key:Hashid.Id.t -> int
+(** [Chord.Finger_table.closest_preceding] on the node's layer-restricted
+    table, read straight off the packed arena; [-1] when no finger makes
+    progress. Layer 1 delegates to the Chord network. *)
+
+val preceding_candidates : t -> layer:int -> int -> key:Hashid.Id.t -> int list
+(** [Chord.Finger_table.preceding_candidates] off the packed arena
+    (farthest-first failover order of the resilient route). *)
+
+val total_finger_segments : t -> layer:int -> int
+(** Length of a lower layer's finger arena = sum of distinct ring-restricted
+    finger entries over all nodes (layer in [2 .. depth]). *)
+
+val bytes_resident : t -> int
+(** Approximate heap footprint of the packed HIERAS state {e including} the
+    wrapped Chord network (id strings, per-layer ring arrays, finger arenas,
+    order strings) in bytes. *)
 
 val ring_table : t -> layer:int -> order:string -> Ring_table.t option
 val ring_table_manager : t -> Ring_name.t -> int

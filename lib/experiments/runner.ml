@@ -170,23 +170,47 @@ let measure ?pool ?registry ?(trace = Obs.Trace.disabled) ?(timer = Obs.Timer.di
   in
   let n = Chord.Network.size env.chord in
   let depth = Hieras.Hnetwork.depth hnet in
-  (* requests are pre-generated sequentially from the config seed, so the
+  (* requests are generated sequentially from the config seed, so the
      stream is the same whatever the pool width *)
   let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 104729) in
-  let spec = Workload.Requests.paper_default ~count:cfg.Config.requests in
-  let requests =
+  let spec =
+    (* phase recorded on both paths so timer exports stay jobs-independent;
+       on the streaming path generation itself overlaps the replay *)
     Obs.Timer.span timer "gen-requests" (fun () ->
-        Workload.Requests.to_array spec ~nodes:n ~space rng)
+        Workload.Requests.paper_default ~count:cfg.Config.requests)
   in
   let trace = if Obs.Trace.enabled trace then Some trace else None in
   let parts =
-    Obs.Timer.span timer "lookup-replay" (fun () ->
-        Pool.map_chunks pool ~n:(Array.length requests) ~chunk_size (fun ~lo ~hi ->
-            let p = fresh_metrics cfg ~depth in
-            for i = lo to hi - 1 do
-              measure_one ?trace env hnet p requests.(i)
-            done;
-            p))
+    if Pool.jobs pool = 1 then
+      (* fold-only consumer: stream the requests instead of materialising
+         the array, closing an accumulator at every [chunk_size] boundary so
+         the merge order — and every floating-point reduction — matches the
+         parallel chunk layout exactly *)
+      Obs.Timer.span timer "lookup-replay" (fun () ->
+          let parts = ref [] in
+          let cur = ref (fresh_metrics cfg ~depth) in
+          let filled = ref 0 in
+          Workload.Requests.iter spec ~nodes:n ~space rng (fun r ->
+              if !filled = chunk_size then begin
+                parts := !cur :: !parts;
+                cur := fresh_metrics cfg ~depth;
+                filled := 0
+              end;
+              measure_one ?trace env hnet !cur r;
+              incr filled);
+          if !filled > 0 then parts := !cur :: !parts;
+          List.rev !parts)
+    else begin
+      (* parallel workers need random chunk access: materialise once *)
+      let requests = Workload.Requests.to_array spec ~nodes:n ~space rng in
+      Obs.Timer.span timer "lookup-replay" (fun () ->
+          Pool.map_chunks pool ~n:(Array.length requests) ~chunk_size (fun ~lo ~hi ->
+              let p = fresh_metrics cfg ~depth in
+              for i = lo to hi - 1 do
+                measure_one ?trace env hnet p requests.(i)
+              done;
+              p))
+    end
   in
   let m =
     match parts with
@@ -196,7 +220,15 @@ let measure ?pool ?registry ?(trace = Obs.Trace.disabled) ?(timer = Obs.Timer.di
   let req = float_of_int (max cfg.Config.requests 1) in
   Array.iteri (fun k v -> m.hops_per_layer.(k) <- v /. req) (Array.copy m.hops_per_layer);
   Array.iteri (fun k v -> m.latency_per_layer.(k) <- v /. req) (Array.copy m.latency_per_layer);
-  Option.iter (fun reg -> export_registry reg m) registry;
+  Option.iter
+    (fun reg ->
+      export_registry reg m;
+      (* packed-network footprint rides along with every measured run so
+         memory regressions surface in the same registry as hop counts *)
+      let g name v = Obs.Metrics.set (Obs.Metrics.gauge reg name) v in
+      g "runner.chord.bytes_resident" (float_of_int (Chord.Network.bytes_resident env.chord));
+      g "runner.hieras.bytes_resident" (float_of_int (Hieras.Hnetwork.bytes_resident hnet)))
+    registry;
   m
 
 let run ?pool ?registry ?trace ?timer cfg =

@@ -48,6 +48,14 @@ let random sp rng =
 let compare (a : t) (b : t) = String.compare a b
 let equal (a : t) (b : t) = String.equal a b
 
+let prefix_int (x : t) =
+  let k = min 7 (String.length x) in
+  let v = ref 0 in
+  for i = 0 to k - 1 do
+    v := (!v lsl 8) lor Char.code (String.unsafe_get x i)
+  done;
+  !v
+
 let add_pow2 sp (x : t) i =
   if i < 0 || i >= sp.bits then invalid_arg "Id.add_pow2: exponent out of range";
   let b = Bytes.of_string x in

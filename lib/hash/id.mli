@@ -43,6 +43,15 @@ val random : space -> Prng.Rng.t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val prefix_int : t -> int
+(** The identifier's leading [min 56 bits] as a non-negative int — a
+    comparison accelerator: within one space,
+    [prefix_int a < prefix_int b] implies [compare a b < 0], and equal
+    prefixes require a full {!compare} to decide. Packed networks keep a
+    flat [prefix_int] array next to the id array so the routing hot path
+    resolves almost every comparison with one integer load (two random
+    160-bit ids collide on 56 leading bits with probability [2^-56]). *)
+
 val add_pow2 : space -> t -> int -> t
 (** [add_pow2 sp x i] is [x + 2^i mod 2^bits]; requires [0 <= i < bits].
     This generates Chord finger starts. *)

@@ -568,14 +568,34 @@ let metrics_of_bench j =
     | Some (Jsonu.Arr rows) ->
         List.fold_left
           (fun acc row ->
-            match (Jsonu.member "id" row, Jsonu.member "seconds" row) with
-            | Some id, Some v -> (
-                match (Jsonu.to_string id, Jsonu.to_float v) with
-                | Some n, Some f -> (("figure." ^ n ^ ".seconds"), f) :: acc
-                | _ -> acc)
-            | _ -> acc)
+            match Option.bind (Jsonu.member "id" row) Jsonu.to_string with
+            | None -> acc
+            | Some n ->
+                List.fold_left
+                  (fun acc field ->
+                    match Option.bind (Jsonu.member field row) Jsonu.to_float with
+                    | Some f -> (("figure." ^ n ^ "." ^ field), f) :: acc
+                    | None -> acc)
+                  acc
+                  [ "seconds"; "minor_words"; "major_words"; "top_heap_words" ])
           acc rows
     | _ -> acc
+  in
+  (* packed-network footprint gates like any other metric; the whole-run GC
+     totals and peak_rss_kb stay informational — the totals include the
+     bechamel section (iteration counts are time-dependent) and RSS is
+     machine-dependent *)
+  let acc =
+    match Jsonu.member "memory" j with
+    | Some mem ->
+        List.fold_left
+          (fun acc field ->
+            match Option.bind (Jsonu.member field mem) Jsonu.to_float with
+            | Some f -> (("memory." ^ field), f) :: acc
+            | None -> acc)
+          acc
+          [ "chord_bytes_resident"; "hieras_bytes_resident" ]
+    | None -> acc
   in
   List.rev acc
 
@@ -615,10 +635,45 @@ let metrics_of_soak j =
         cells
   | _ -> []
 
+(* Scale runs compare on the deterministic core only — hop statistics, arena
+   segment counts, resident bytes, agreement rates. Wall clock, GC and RSS
+   never enter (machine-dependent); a scale-bench artifact is compared
+   through its embedded ["results"] object. *)
+let metrics_of_scale j =
+  let j = match Jsonu.member "results" j with Some r -> r | None -> j in
+  let num path label acc =
+    let rec dig v = function
+      | [] -> Jsonu.to_float v
+      | k :: rest -> Option.bind (Jsonu.member k v) (fun v -> dig v rest)
+    in
+    match dig j path with Some f -> (label, f) :: acc | None -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc algo ->
+        List.fold_left
+          (fun acc field ->
+            num [ algo; field ] (Printf.sprintf "scale.%s.%s" algo field) acc)
+          acc
+          [ "hops_mean"; "hops_max"; "segments"; "bytes_resident" ])
+      [] [ "chord"; "hieras" ]
+  in
+  let acc =
+    match
+      ( Option.bind (Jsonu.member "dest_match" j) Jsonu.to_float,
+        Option.bind (Jsonu.member "lookups" j) Jsonu.to_float )
+    with
+    | Some m, Some l when l > 0.0 -> ("scale.dest_mismatch_rate", 1.0 -. (m /. l)) :: acc
+    | _ -> acc
+  in
+  let acc = num [ "cross"; "mismatches" ] "scale.cross.mismatches" acc in
+  List.rev acc
+
 let classify j =
   match Jsonu.member "schema" j with
   | Some (Jsonu.Str "hieras-trace-report") -> Ok "trace-report"
   | Some (Jsonu.Str "hieras-soak") -> Ok "soak"
+  | Some (Jsonu.Str "hieras-scale") | Some (Jsonu.Str "hieras-scale-bench") -> Ok "scale"
   | _ -> if Jsonu.member "micro" j <> None then Ok "bench" else Error "unrecognised report"
 
 let load_json path =
@@ -641,6 +696,7 @@ let compare_files ~base ~cand ~threshold =
             match kind with
             | "bench" -> metrics_of_bench
             | "soak" -> metrics_of_soak
+            | "scale" -> metrics_of_scale
             | _ -> metrics_of_trace_report
           in
           let bm = extract bj and cm = extract cj in

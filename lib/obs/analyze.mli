@@ -118,7 +118,7 @@ type cmp_row = {
 }
 
 type comparison = {
-  kind : string;  (** ["trace-report"], ["bench"] or ["soak"] *)
+  kind : string;  (** ["trace-report"], ["bench"], ["soak"] or ["scale"] *)
   threshold : float;
   rows : cmp_row list;  (** every metric present in both inputs *)
   regressions : cmp_row list;
@@ -133,9 +133,14 @@ val compare_files : base:string -> cand:string -> threshold:float -> (comparison
     ["schema":"hieras-trace-report"]), soak results (recognised by
     ["schema":"hieras-soak"] — compared per cell on message/maintenance
     rates, mean convergence time, and lookup/ring {e failure} rates so
-    every metric stays lower-is-better), or bench snapshots
-    ([BENCH_*.json], recognised by their ["micro"] array — compared on
-    micro ns/op and per-figure seconds). *)
+    every metric stays lower-is-better), bench snapshots ([BENCH_*.json],
+    recognised by their ["micro"] array — compared on micro ns/op,
+    per-figure seconds and GC words, and packed-network
+    ["memory".*_bytes_resident]; whole-run GC totals and [peak_rss_kb]
+    stay informational), or scale runs (["hieras-scale"] /
+    ["hieras-scale-bench"] — compared on the deterministic core: hop
+    statistics, segment counts, resident bytes and agreement rates,
+    never wall clock or RSS). *)
 
 val comparison_text : comparison -> string
 (** Aligned table of metric, base, candidate, delta — regressions

@@ -8,5 +8,16 @@ let generator t space rng =
   | Zipf { catalogue; alpha } ->
       if catalogue <= 0 then invalid_arg "Keys.generator: empty catalogue";
       let table = Prng.Dist.make_zipf_table ~n:catalogue ~alpha in
-      let keys = Array.init catalogue (fun i -> file_key space (Printf.sprintf "doc-%d" i)) in
-      fun () -> keys.(Prng.Dist.zipf_draw rng table)
+      (* each key is a pure function of its index: hash catalogue entries on
+         first draw instead of materialising all of them up front, so a
+         streaming consumer that only touches the head of the Zipf
+         distribution never pays for the tail *)
+      let keys = Array.make catalogue None in
+      fun () ->
+        let i = Prng.Dist.zipf_draw rng table in
+        match keys.(i) with
+        | Some k -> k
+        | None ->
+            let k = file_key space (Printf.sprintf "doc-%d" i) in
+            keys.(i) <- Some k;
+            k

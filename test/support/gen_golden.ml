@@ -5,13 +5,16 @@
      dune exec test/support/gen_golden.exe -- --resilience \
        > test/golden/resilience_ts64.json
      dune exec test/support/gen_golden.exe -- --soak \
-       > test/golden/soak_ts64.json *)
+       > test/golden/soak_ts64.json
+     dune exec test/support/gen_golden.exe -- --scale \
+       > test/golden/scale_ts64.json *)
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> print_string (Obs_test_support.Golden.build_trace ())
   | [ _; "--report" ] -> print_string (Obs_test_support.Golden.build_report ())
   | [ _; "--resilience" ] -> print_string (Obs_test_support.Golden.build_resilience ())
   | [ _; "--soak" ] -> print_string (Obs_test_support.Golden.build_soak ())
+  | [ _; "--scale" ] -> print_string (Obs_test_support.Golden.build_scale ())
   | _ ->
-      prerr_endline "usage: gen_golden [--report | --resilience | --soak]";
+      prerr_endline "usage: gen_golden [--report | --resilience | --soak | --scale]";
       exit 2

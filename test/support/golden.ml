@@ -81,3 +81,23 @@ let soak_spec =
 
 let build_soak () =
   Experiments.Soak.results_json (Experiments.Soak.run soak_spec) ^ "\n"
+
+(* The golden scale results: the million-node scale experiment shrunk to 64
+   nodes, every lookup cross-checked against the full simulated route,
+   rendered as the deterministic single-line results JSON. Pins the packed
+   network builders (finger-arena pack and the id-prefix acceleration), the
+   analytic routing walk of both algorithms, the chunk-seeded request
+   stream, and the scale result schema — and it is byte-identical for any
+   --jobs by construction, which CI separately enforces at 10^5 lookups. *)
+let scale_spec =
+  {
+    Experiments.Scale.default_spec with
+    Experiments.Scale.nodes = 64;
+    requests = 256;
+    landmarks = 4;
+    depth = 3;
+    cross_check = 256;
+  }
+
+let build_scale () =
+  Experiments.Scale.results_json (Experiments.Scale.run scale_spec) ^ "\n"

@@ -1,0 +1,243 @@
+(* Tests for the million-node scale machinery, exercised at small sizes:
+   the packed struct-of-arrays network against the record-level
+   [Finger_table.build] reference (qcheck observational equality), the
+   analytic routing mode against the full simulated walk (identical hop
+   sequences, destinations and histograms), and the determinism contract of
+   the sharded replay — jobs-independent results and the committed golden
+   bytes. *)
+
+module Id = Hashid.Id
+module Network = Chord.Network
+module FT = Chord.Finger_table
+module Hnetwork = Hieras.Hnetwork
+module Scale = Experiments.Scale
+module Rng = Prng.Rng
+
+let space = Id.sha1_space
+
+(* n distinct random identifiers, sorted ascending — the canonical input of
+   [Network.of_ids] *)
+let sorted_ids ~n rng =
+  let tbl = Hashtbl.create (2 * n) in
+  let rec fresh () =
+    let id = Id.random space rng in
+    if Hashtbl.mem tbl id then fresh ()
+    else begin
+      Hashtbl.replace tbl id ();
+      id
+    end
+  in
+  let ids = Array.init n (fun _ -> fresh ()) in
+  Array.sort Id.compare ids;
+  ids
+
+(* --- packed network == record-level reference ------------------------------ *)
+
+(* The packed arena is filled by [Finger_table.pack] with the id-prefix
+   acceleration and position-space galloping; [Finger_table.build] is the
+   plain record-level path without [member_pre]. Observational equality of
+   the two over random networks pins the acceleration as exact. *)
+let test_packed_equals_reference () =
+  QCheck.Test.make ~count:25 ~name:"packed network == Finger_table.build reference"
+    QCheck.(pair (int_range 2 80) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = sorted_ids ~n rng in
+      let t = Network.of_ids ~space ~ids ~hosts:(Array.init n (fun i -> i)) () in
+      let member_nodes = Array.init n (fun i -> i) in
+      for i = 0 to n - 1 do
+        if Network.successor t i <> (i + 1) mod n then
+          QCheck.Test.fail_reportf "successor of %d" i;
+        if Network.predecessor t i <> (i + n - 1) mod n then
+          QCheck.Test.fail_reportf "predecessor of %d" i;
+        let view = Network.finger_table t i in
+        let ref_t =
+          FT.build space ~owner:i ~owner_id:ids.(i) ~member_ids:ids ~member_nodes
+        in
+        if FT.segments view <> FT.segments ref_t then
+          QCheck.Test.fail_reportf "finger segments of node %d differ" i;
+        (* every conceptual finger slot resolves identically through both *)
+        let bits = Id.bits space in
+        for e = 0 to bits - 1 do
+          if FT.finger view e <> FT.finger ref_t e then
+            QCheck.Test.fail_reportf "finger %d of node %d" e i
+        done;
+        (* the arena scan agrees with the record-level scan for random keys *)
+        for _ = 1 to 8 do
+          let key = Id.random space rng in
+          let got = Network.closest_preceding_finger t i ~key in
+          let want =
+            match FT.closest_preceding ref_t ~id_of:(Network.id t) ~self:ids.(i) ~key with
+            | Some v -> v
+            | None -> -1
+          in
+          if got <> want then QCheck.Test.fail_reportf "closest_preceding at node %d" i
+        done
+      done;
+      (* owner binary search (prefix column + fallback) vs linear scan *)
+      for _ = 1 to 32 do
+        let key = Id.random space rng in
+        let want =
+          let rec scan i = if i = n then 0 else if Id.compare ids.(i) key >= 0 then i else scan (i + 1) in
+          scan 0
+        in
+        if Network.successor_of_key t key <> want then
+          QCheck.Test.fail_reportf "successor_of_key"
+      done;
+      true)
+
+(* Per-layer HIERAS views: ring successor/predecessor off the packed arrays
+   and every ring-restricted finger table against the reference built over
+   that ring's members. *)
+let test_hieras_layers_equal_reference () =
+  QCheck.Test.make ~count:8 ~name:"hieras layer packs == per-ring reference"
+    QCheck.(triple (int_range 8 64) (int_range 2 4) (int_range 0 10_000))
+    (fun (n, depth, seed) ->
+      let spec =
+        { Scale.default_spec with Scale.nodes = n; requests = 0; depth; seed }
+      in
+      let chord, hnet = Scale.networks spec in
+      let rng = Rng.create ~seed:(seed + 7) in
+      for layer = 2 to depth do
+        List.iter
+          (fun rname ->
+            let order = Hieras.Ring_name.order rname in
+            let members = Hnetwork.ring_members hnet ~layer ~order in
+            let m = Array.length members in
+            let member_ids = Array.map (Network.id chord) members in
+            Array.iteri
+              (fun pos node ->
+                if Hnetwork.ring_successor hnet ~layer node <> members.((pos + 1) mod m)
+                then QCheck.Test.fail_reportf "ring successor (layer %d)" layer;
+                if
+                  Hnetwork.ring_predecessor hnet ~layer node
+                  <> members.((pos + m - 1) mod m)
+                then QCheck.Test.fail_reportf "ring predecessor (layer %d)" layer;
+                let view = Hnetwork.finger_table hnet ~layer node in
+                let ref_t =
+                  FT.build space ~owner:node ~owner_id:(Network.id chord node)
+                    ~member_ids ~member_nodes:members
+                in
+                if FT.segments view <> FT.segments ref_t then
+                  QCheck.Test.fail_reportf "layer %d finger segments of node %d" layer node;
+                let key = Id.random space rng in
+                let got = Hnetwork.closest_preceding_finger hnet ~layer node ~key in
+                let want =
+                  match
+                    FT.closest_preceding ref_t ~id_of:(Network.id chord)
+                      ~self:(Network.id chord node) ~key
+                  with
+                  | Some v -> v
+                  | None -> -1
+                in
+                if got <> want then
+                  QCheck.Test.fail_reportf "layer %d closest_preceding" layer)
+              members)
+          (Hnetwork.ring_names hnet ~layer)
+      done;
+      true)
+
+(* --- analytic mode == simulated walk --------------------------------------- *)
+
+(* Replays the scale experiment's own request stream through both the
+   analytic walk and the full simulated route, comparing hop-for-hop and as
+   whole histograms — the cross-validation the ISSUE requires at N <= 2000. *)
+let test_analytic_equals_simulated () =
+  let spec =
+    { Scale.default_spec with Scale.nodes = 512; requests = 512; depth = 3; seed = 4242 }
+  in
+  let chord, hnet = Scale.networks spec in
+  let lat = Hnetwork.latency_oracle hnet in
+  let hist_a = Array.make 64 0 and hist_s = Array.make 64 0 in
+  let hhist_a = Array.make 64 0 and hhist_s = Array.make 64 0 in
+  Scale.iter_requests spec ~f:(fun i ~origin ~key ->
+      let c_hops, c_dest = Chord.Lookup.route_hops_only chord ~origin ~key in
+      let rc = Chord.Lookup.route chord lat ~origin ~key in
+      Alcotest.(check int) (Printf.sprintf "chord hops (req %d)" i) rc.Chord.Lookup.hop_count c_hops;
+      Alcotest.(check int) (Printf.sprintf "chord dest (req %d)" i) rc.Chord.Lookup.destination c_dest;
+      let h_hops, per_layer, h_dest, fin = Hieras.Hlookup.route_hops_only hnet ~origin ~key in
+      let rh = Hieras.Hlookup.route hnet ~origin ~key in
+      Alcotest.(check int) (Printf.sprintf "hieras hops (req %d)" i) rh.Hieras.Hlookup.hop_count h_hops;
+      Alcotest.(check int) (Printf.sprintf "hieras dest (req %d)" i) rh.Hieras.Hlookup.destination h_dest;
+      Alcotest.(check (array int))
+        (Printf.sprintf "hieras per-layer (req %d)" i)
+        rh.Hieras.Hlookup.hops_per_layer per_layer;
+      Alcotest.(check int)
+        (Printf.sprintf "hieras finished_at (req %d)" i)
+        rh.Hieras.Hlookup.finished_at_layer fin;
+      hist_a.(min 63 c_hops) <- hist_a.(min 63 c_hops) + 1;
+      hist_s.(min 63 rc.Chord.Lookup.hop_count) <- hist_s.(min 63 rc.Chord.Lookup.hop_count) + 1;
+      hhist_a.(min 63 h_hops) <- hhist_a.(min 63 h_hops) + 1;
+      hhist_s.(min 63 rh.Hieras.Hlookup.hop_count) <- hhist_s.(min 63 rh.Hieras.Hlookup.hop_count) + 1);
+  Alcotest.(check (array int)) "chord hop histogram" hist_s hist_a;
+  Alcotest.(check (array int)) "hieras hop histogram" hhist_s hhist_a
+
+(* [Scale.run]'s built-in cross-check covers the same comparison through the
+   public entry point — zero mismatches must hold. *)
+let test_run_cross_check () =
+  let spec =
+    { Scale.default_spec with Scale.nodes = 200; requests = 300; depth = 2; cross_check = 300 }
+  in
+  let r = Scale.run spec in
+  Alcotest.(check int) "cross-checked" 300 r.Scale.cross_checked;
+  Alcotest.(check int) "cross mismatches" 0 r.Scale.cross_mismatches;
+  Alcotest.(check int) "all lookups counted" 300 r.Scale.lookups;
+  Alcotest.(check int) "destinations agree" 300 r.Scale.dest_match
+
+(* --- determinism: jobs-independence and golden bytes ------------------------ *)
+
+let test_jobs_independent () =
+  (* crosses two chunk boundaries so the merge order matters *)
+  let spec = { Scale.default_spec with Scale.nodes = 128; requests = 20_000 } in
+  let seq = Scale.run spec in
+  let par =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool -> Scale.run ~pool spec)
+  in
+  Alcotest.(check string) "results_json identical for jobs 1 vs 4"
+    (Scale.results_json seq) (Scale.results_json par)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_golden_scale () =
+  let want = read_file (Filename.concat "golden" "scale_ts64.json") in
+  let got = Obs_test_support.Golden.build_scale () in
+  Alcotest.(check string)
+    "byte-identical (regenerate with: dune exec test/support/gen_golden.exe -- --scale > test/golden/scale_ts64.json)"
+    want got
+
+let test_validate () =
+  let ok s = Result.is_ok (Scale.validate s) in
+  Alcotest.(check bool) "default ok" true (ok Scale.default_spec);
+  Alcotest.(check bool) "nodes < 2" false (ok { Scale.default_spec with Scale.nodes = 1 });
+  Alcotest.(check bool) "depth 5" false (ok { Scale.default_spec with Scale.depth = 5 });
+  Alcotest.(check bool) "negative requests" false
+    (ok { Scale.default_spec with Scale.requests = -1 });
+  Alcotest.(check bool) "cross_check > requests" false
+    (ok { Scale.default_spec with Scale.requests = 10; cross_check = 11 })
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "scale"
+    [
+      ( "packed",
+        [
+          qt (test_packed_equals_reference ());
+          qt (test_hieras_layers_equal_reference ());
+        ] );
+      ( "analytic",
+        [
+          Alcotest.test_case "analytic == simulated (hop-for-hop + histograms)" `Slow
+            test_analytic_equals_simulated;
+          Alcotest.test_case "Scale.run cross-check is exact" `Quick test_run_cross_check;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs-independent results" `Quick test_jobs_independent;
+          Alcotest.test_case "golden scale_ts64.json" `Quick test_golden_scale;
+          Alcotest.test_case "spec validation" `Quick test_validate;
+        ] );
+    ]
