@@ -12,6 +12,7 @@
      soak     long-horizon churn soak: maintenance bandwidth vs churn rate
      scale    million-node packed-network run with analytic hop counts
      resilience  lookup success/stretch vs failed-node fraction
+     tournament  every algorithm x flat/layered on one seeded matrix
 
    Exit codes: 0 success, 1 runtime failure (also: regressions found by
    `analyze compare`), 2 invalid command line. *)
@@ -995,6 +996,72 @@ let resilience_cmd =
           schedule")
     term
 
+(* ---- tournament --------------------------------------------------------- *)
+
+let tournament_cmd =
+  let module Tournament = Experiments.Tournament in
+  let fault_frac_t =
+    Arg.(
+      value
+      & opt float 0.3
+      & info [ "fault-frac" ] ~docv:"F"
+          ~doc:"Fault fraction in [0, 0.95] sizing both the crash and outage schedules.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the comparison matrix (schema hieras-tournament, one JSON \
+             object, byte-identical for any --jobs) to $(docv) — comparable \
+             with `analyze compare`.")
+  in
+  let run model nodes landmarks depth requests seed scale jobs backend fault_frac out metrics
+      timings folded =
+    if fault_frac < 0.0 || fault_frac > 0.95 then
+      exit_usage (Printf.sprintf "--fault-frac must be in [0, 0.95] (got %g)" fault_frac);
+    let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale ~backend in
+    with_jobs jobs (fun pool ->
+        let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+        with_timer ~timings ~folded (fun timer ->
+            let r = Tournament.run ~pool ?registry ~timer ~fault_fraction:fault_frac cfg in
+            Experiments.Report.print (Tournament.section r);
+            (match out with
+            | None -> ()
+            | Some file ->
+                Out_channel.with_open_text file (fun oc ->
+                    output_string oc (Tournament.results_json r);
+                    output_char oc '\n');
+                Printf.printf "wrote %d tournament contestants to %s\n"
+                  (List.length r.Tournament.entries) file);
+            Option.iter (fun reg -> Obs.Timer.export_metrics timer reg) registry);
+        match registry with
+        | None -> ()
+        | Some reg ->
+            Parallel.Pool.export_metrics pool reg;
+            print_newline ();
+            print_metrics reg)
+  in
+  let term =
+    Term.(
+      const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t
+      $ Arg.(
+          value
+          & opt int 10_000
+          & info [ "requests" ] ~docv:"R" ~doc:"Routing requests replayed per contestant.")
+      $ seed_t $ scale_t $ jobs_t $ backend_t $ fault_frac_t $ out_t $ metrics_t $ timings_t
+      $ folded_t)
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:
+         "Cross-algorithm tournament: Chord, Pastry, CAN and Tapestry, flat \
+          and HIERAS-layered, on one identical seeded request stream and \
+          topology — hops, latency, stretch and resilience under crash and \
+          outage faults, in one deterministic matrix")
+    term
+
 (* ---- extensions -------------------------------------------------------- *)
 
 let extensions_cmd =
@@ -1029,6 +1096,7 @@ let main =
       soak_cmd;
       scale_cmd;
       resilience_cmd;
+      tournament_cmd;
       extensions_cmd;
     ]
 

@@ -1,0 +1,16 @@
+(** CAN as a {!Routing.S} substrate.
+
+    The greedy step is {!Route.next_hop} (derived [route] ≡ {!Route.route_key}
+    hop-for-hop); fallback candidates are the strictly-improving zone
+    neighbors, closest first. A HIERAS ring re-splits the torus among the
+    members' join points — the ring CANs of {!Layered}, behind the generic
+    ring interface. There is no separate early exit: the layered walk's
+    owner check after each ring loop is exactly {!Layered}'s
+    global-zone-contains test. *)
+
+type t
+
+val make : net:Network.t -> lat:Topology.Latency.t -> t
+val network : t -> Network.t
+
+include Routing.S with type t := t

@@ -9,6 +9,20 @@ type result = {
   latency : float;
 }
 
+(* one greedy step: the neighbor whose zone is torus-closest to the point,
+   first-minimal wins; returns [cur] itself on a greedy dead end *)
+let next_hop net ~point ~cur =
+  let best = ref cur and best_d = ref (Zone.torus_distance (Network.zone net cur) point) in
+  List.iter
+    (fun v ->
+      let d = Zone.torus_distance (Network.zone net v) point in
+      if d < !best_d then begin
+        best := v;
+        best_d := d
+      end)
+    (Network.neighbors net cur);
+  !best
+
 let route net lat ~origin ~point =
   let hops = ref [] in
   let count = ref 0 in
@@ -28,18 +42,10 @@ let route net lat ~origin ~point =
     incr steps;
     if !steps > guard then failwith "Can.Route: routing did not terminate";
     let cur = !current in
-    let best = ref cur and best_d = ref (Zone.torus_distance (Network.zone net cur) point) in
-    List.iter
-      (fun v ->
-        let d = Zone.torus_distance (Network.zone net v) point in
-        if d < !best_d then begin
-          best := v;
-          best_d := d
-        end)
-      (Network.neighbors net cur);
-    if !best = cur then failwith "Can.Route: greedy dead end";
-    record cur !best;
-    current := !best
+    let best = next_hop net ~point ~cur in
+    if best = cur then failwith "Can.Route: greedy dead end";
+    record cur best;
+    current := best
   done;
   {
     origin;

@@ -19,3 +19,8 @@ val route :
 
 val route_key :
   Network.t -> Topology.Latency.t -> origin:int -> key:Hashid.Id.t -> result
+
+val next_hop : Network.t -> point:float array -> cur:int -> int
+(** One greedy step: the neighbor whose zone is torus-closest to the point
+    (first strictly-improving minimum in neighbor-list order), or [cur]
+    itself on a greedy dead end. *)

@@ -1,0 +1,166 @@
+module Id = Hashid.Id
+
+module Base = struct
+  type t = { net : Network.t; lat : Topology.Latency.t }
+
+  let name = "chord"
+  let layered_name = "hieras"
+  let size t = Network.size t.net
+  let host t i = Network.host t.net i
+
+  let link_latency t a b =
+    Topology.Latency.host_latency t.lat (Network.host t.net a) (Network.host t.net b)
+
+  let guard t = 4 * (Id.bits (Network.space t.net) + Network.size t.net)
+  let owner_of_key t ~key = Network.successor_of_key t.net key
+  let live_owner t ~is_alive ~key = Lookup.live_owner t.net ~is_alive ~key
+
+  (* one greedy step of [Lookup.walk]: the successor when it owns the key,
+     otherwise the closest preceding finger (successor fallback) *)
+  let step t ~cur ~key =
+    let net = t.net in
+    let succ = Network.successor net cur in
+    if Id.in_oc key ~lo:(Network.id net cur) ~hi:(Network.id net succ) then succ
+    else
+      let f = Network.closest_preceding_finger net cur ~key in
+      if f >= 0 && f <> cur then f else succ
+
+  (* the successor-list chain from [cur], stopping if it wraps — the same
+     heartbeat window [Lookup.route_resilient] walks past dead successors *)
+  let succ_chain net cur =
+    let llen = Network.succ_list_len net in
+    let rec entries i =
+      if i >= llen then []
+      else
+        let s = Network.succ_list_nth net cur i in
+        if s = cur then [] else s :: entries (i + 1)
+    in
+    entries 0
+
+  let candidates t ~cur ~key =
+    let net = t.net in
+    let succ = Network.successor net cur in
+    if Id.in_oc key ~lo:(Network.id net cur) ~hi:(Network.id net succ) then
+      (* final-hop regime: the chain's first live entry is the live owner *)
+      succ_chain net cur
+    else
+      let pc = Network.preceding_candidates net cur ~key in
+      pc @ List.filter (fun s -> not (List.mem s pc)) (succ_chain net cur)
+
+  (* A HIERAS ring over a Chord member subset is Chord again: the members
+     sorted on the circle with finger tables restricted to the subset —
+     the same state [Hnetwork]'s layer packs hold, in per-ring form. *)
+  type ring = {
+    r_members : int array; (* ascending by identifier *)
+    r_pos : (int, int) Hashtbl.t;
+    r_tables : Finger_table.t array; (* r_tables.(p) belongs to r_members.(p) *)
+  }
+
+  let make_ring t ~members =
+    let net = t.net in
+    let members = Array.copy members in
+    Array.sort (fun a b -> Id.compare (Network.id net a) (Network.id net b)) members;
+    let ids = Array.map (Network.id net) members in
+    let m = Array.length members in
+    let pos = Hashtbl.create (2 * m) in
+    Array.iteri (fun p node -> Hashtbl.replace pos node p) members;
+    let sp = Network.space net in
+    let tables =
+      Array.mapi
+        (fun p node ->
+          Finger_table.build sp ~owner:node ~owner_id:ids.(p) ~member_ids:ids
+            ~member_nodes:members)
+        members
+    in
+    { r_members = members; r_pos = pos; r_tables = tables }
+
+  let ring_succ rg p = rg.r_members.((p + 1) mod Array.length rg.r_members)
+  let ring_pos rg cur = Hashtbl.find rg.r_pos cur
+
+  let ring_stop t rg ~cur ~key =
+    let p = ring_pos rg cur in
+    let succ = ring_succ rg p in
+    Id.in_oc key ~lo:(Network.id t.net cur) ~hi:(Network.id t.net succ)
+
+  let ring_step t rg ~cur ~key =
+    let p = ring_pos rg cur in
+    let succ = ring_succ rg p in
+    match
+      Finger_table.closest_preceding rg.r_tables.(p)
+        ~id_of:(fun i -> Network.id t.net i)
+        ~self:(Network.id t.net cur) ~key
+    with
+    | Some f when f <> cur -> f
+    | _ -> succ
+
+  let ring_candidates t rg ~cur ~key =
+    let p = ring_pos rg cur in
+    let pc =
+      Finger_table.preceding_candidates rg.r_tables.(p)
+        ~id_of:(fun i -> Network.id t.net i)
+        ~self:(Network.id t.net cur) ~key
+    in
+    (* ring-successor chain up to the network's successor-list window — the
+       per-ring analogue of [Hlookup]'s resilient chain walk *)
+    let m = Array.length rg.r_members in
+    let window = min (m - 1) (Network.succ_list_len t.net) in
+    let chain = List.init window (fun k -> rg.r_members.((p + 1 + k) mod m)) in
+    pc @ List.filter (fun s -> not (List.mem s pc)) chain
+
+  let early_finish t ~cur ~key =
+    let succ = Network.successor t.net cur in
+    if Id.in_oc key ~lo:(Network.id t.net cur) ~hi:(Network.id t.net succ) then Some succ
+    else None
+end
+
+include Routing.Extend (Base)
+
+let make ~net ~lat = { Base.net; lat }
+let network (t : t) = t.Base.net
+
+(* The derived entry points would reproduce [Lookup]'s hop sequences, but the
+   native implementations are the tested golden surface (and carry PR 5's
+   exact fallback accounting) — delegate rather than re-derive. *)
+
+let lift_flat (r : Lookup.result) : Routing.result =
+  {
+    origin = r.Lookup.origin;
+    key = r.key;
+    destination = r.destination;
+    hops =
+      List.map
+        (fun (h : Lookup.hop) ->
+          { Routing.from_node = h.from_node; to_node = h.to_node; latency = h.latency; layer = 1 })
+        r.hops;
+    hop_count = r.hop_count;
+    latency = r.latency;
+    hops_per_layer = [| r.hop_count |];
+    latency_per_layer = [| r.latency |];
+    finished_at_layer = 1;
+  }
+
+let lower_policy (p : Routing.policy) : Lookup.policy =
+  {
+    rpc_timeout_ms = p.Routing.rpc_timeout_ms;
+    max_retries = p.max_retries;
+    backoff_base_ms = p.backoff_base_ms;
+    backoff_mult = p.backoff_mult;
+    succ_window = p.succ_window;
+  }
+
+let route ?trace (t : t) ~origin ~key = lift_flat (Lookup.route ?trace t.Base.net t.Base.lat ~origin ~key)
+let route_hops_only (t : t) ~origin ~key = Lookup.route_hops_only t.Base.net ~origin ~key
+
+let route_resilient ?trace ?(policy = Routing.default_policy) (t : t) ~is_alive ~origin ~key =
+  let a =
+    Lookup.route_resilient ?trace ~policy:(lower_policy policy) t.Base.net t.Base.lat ~is_alive
+      ~origin ~key
+  in
+  {
+    Routing.outcome = Option.map lift_flat a.Lookup.outcome;
+    retries = a.retries;
+    timeouts = a.timeouts;
+    fallbacks = a.fallbacks;
+    layer_escapes = 0;
+    penalty_ms = a.penalty_ms;
+  }

@@ -1,0 +1,16 @@
+(** Chord as a {!Routing.S} substrate.
+
+    The routing entry points delegate to {!Lookup} (same hop sequences, same
+    trace bytes, same PR 5 resilience accounting — "chord" traces emitted
+    through this module are byte-identical to the goldens); the {!Routing.BASE}
+    primitives expose the greedy step, its fallback candidates and
+    subset-restricted rings (member-sorted circle + restricted finger tables,
+    the per-ring form of [Hnetwork]'s layer packs) so [Hieras.Make] can layer
+    locality rings over it. *)
+
+type t
+
+val make : net:Network.t -> lat:Topology.Latency.t -> t
+val network : t -> Network.t
+
+include Routing.S with type t := t

@@ -1,0 +1,14 @@
+(** Library root: the historical Chord-specialized HIERAS modules plus the
+    substrate-generic functor. [Hieras.Make (R)] layers locality rings over
+    any [Routing.S]; [Hnetwork]/[Hlookup] remain the packed, scale-tuned
+    Chord instantiation the goldens and the million-node experiments pin. *)
+
+module Cost = Cost
+module Hlookup = Hlookup
+module Hnetwork = Hnetwork
+module Hprotocol = Hprotocol
+module Location = Location
+module Ring_name = Ring_name
+module Ring_table = Ring_table
+module Layered = Layered
+module Make = Layered.Make

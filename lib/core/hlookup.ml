@@ -154,9 +154,17 @@ let route ?(trace = Obs.Trace.disabled) hnet ~origin ~key =
     finished_at_layer = finished_at;
   }
 
-let route_hops_only hnet ~origin ~key =
+let route_hops_only ?into hnet ~origin ~key =
   let depth = Hnetwork.depth hnet in
-  let per_hops = Array.make depth 0 in
+  let per_hops =
+    match into with
+    | None -> Array.make depth 0
+    | Some a ->
+      if Array.length a < depth then
+        invalid_arg "Hieras.Hlookup.route_hops_only: scratch shorter than depth";
+      Array.fill a 0 depth 0;
+      a
+  in
   let count = ref 0 in
   let record ~layer _ _ =
     incr count;

@@ -34,12 +34,17 @@ val route : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid.Id.t ->
     it — and one end event mirroring the returned accounting; when disabled
     the instrumentation costs one branch per hop and allocates nothing. *)
 
-val route_hops_only : Hnetwork.t -> origin:int -> key:Hashid.Id.t -> int * int array * int * int
+val route_hops_only :
+  ?into:int array -> Hnetwork.t -> origin:int -> key:Hashid.Id.t -> int * int array * int * int
 (** The analytic mode: [(hop_count, hops_per_layer, destination,
     finished_at_layer)] of exactly the walk {!route} performs — same hop
     sequence, same early exits — but touching only the packed structure: no
-    latency oracle, no trace, no per-hop allocation. Cross-validated against
-    {!route} by tests and the scale experiment. *)
+    latency oracle, no trace, no per-hop allocation. [into], when given
+    (length >= depth), is zeroed and used as the per-layer accumulator
+    instead of allocating one per call; the returned array is [into]
+    itself, so callers reusing a scratch must consume it before the next
+    call. Cross-validated against {!route} by tests and the scale
+    experiment. *)
 
 val route_checked : ?trace:Obs.Trace.t -> Hnetwork.t -> origin:int -> key:Hashid.Id.t -> result
 (** Like {!route} but asserts the destination equals the Chord owner of the

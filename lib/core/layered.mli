@@ -1,0 +1,75 @@
+(** HIERAS layering over any {!Routing.S} substrate (DESIGN.md §13).
+
+    [Make (R)] builds locality rings — landmark binning, refinement chains,
+    one ring per order per layer, the same structure as {!Hnetwork.build} —
+    out of [R]'s subset-ring primitives, and routes with {!Hlookup}'s
+    multi-loop composition expressed through [R]'s step functions.
+    [Make (Chord.Routable)] reproduces [Hlookup] over [Hnetwork] hop for hop
+    and trace-byte for trace-byte; [Make (Can.Routable)] is the paper's
+    §3.2 HIERAS-over-CAN. The result satisfies {!Routing.ROUTABLE}, so
+    layered overlays enter experiments anywhere flat substrates do. *)
+
+module Make (R : Routing.S) : sig
+  type t
+
+  val name : string
+  (** [R.layered_name] — the trace algo tag ("hieras" over Chord). *)
+
+  val build :
+    base:R.t ->
+    lat:Topology.Latency.t ->
+    landmarks:Binning.Landmark.t ->
+    depth:int ->
+    ?measure:(host:int -> float array) ->
+    unit ->
+    t
+  (** Bin the substrate's nodes by landmark distance ([measure] overrides
+      the probe, as in [Hnetwork.build]) and build one [R] ring per bin per
+      layer. [depth >= 2]. *)
+
+  val base : t -> R.t
+  val depth : t -> int
+  val size : t -> int
+  val host : t -> int -> int
+
+  val order_of_node : t -> layer:int -> int -> string
+  val ring_count : t -> layer:int -> int
+  val ring_members : t -> layer:int -> int -> int array
+  (** Members of the node's layer ring (a fresh copy), ascending by node
+      index. *)
+
+  val ring_size_of_node : t -> layer:int -> int -> int
+
+  val owner_of_key : t -> key:Hashid.Id.t -> int
+  val live_owner : t -> is_alive:(int -> bool) -> key:Hashid.Id.t -> int option
+
+  val route : ?trace:Obs.Trace.t -> t -> origin:int -> key:Hashid.Id.t -> Routing.result
+  (** Descend layers [depth .. 2] (ring walks + the substrate's early-exit
+      check), then the flat walk; hops are layer-tagged and the trace algo
+      is {!name}. *)
+
+  val route_hops :
+    ?into:int array -> t -> origin:int -> key:Hashid.Id.t -> int * int array * int * int
+  (** [(hops, hops_per_layer, destination, finished_at_layer)] — the
+      analytic walk. [into], when given (length >= depth), is zeroed and
+      used as the per-layer accumulator instead of allocating one per call
+      (the returned array is [into] itself). *)
+
+  val route_hops_only : t -> origin:int -> key:Hashid.Id.t -> int * int
+  (** [(hops, destination)] — the {!Routing.ROUTABLE} analytic form. *)
+
+  val route_resilient :
+    ?trace:Obs.Trace.t ->
+    ?policy:Routing.policy ->
+    t ->
+    is_alive:(int -> bool) ->
+    origin:int ->
+    key:Hashid.Id.t ->
+    Routing.attempt
+  (** Failure-aware layered routing: resilient ring walks (probing dead
+      in-ring candidates, climbing a layer early — [Layer_escape] — when a
+      ring has no live route), the early exit checked against liveness,
+      then the substrate's flat candidates. Succeeds iff it reaches
+      [live_owner]. With everyone alive, hop-for-hop identical to
+      {!route}. *)
+end

@@ -170,9 +170,11 @@ let merge_acc a b =
     dest_match = a.dest_match + b.dest_match;
   }
 
-let measure_one chord hnet acc ~origin ~key =
+let measure_one ?scratch chord hnet acc ~origin ~key =
   let c_hops, c_dest = Chord.Lookup.route_hops_only chord ~origin ~key in
-  let h_hops, per_layer, h_dest, fin = Hieras.Hlookup.route_hops_only hnet ~origin ~key in
+  let h_hops, per_layer, h_dest, fin =
+    Hieras.Hlookup.route_hops_only ?into:scratch hnet ~origin ~key
+  in
   Summary.add acc.chord_hops (float_of_int c_hops);
   Summary.add acc.hieras_hops (float_of_int h_hops);
   Histogram.add acc.chord_pdf (float_of_int c_hops);
@@ -276,10 +278,13 @@ let run ?(pool = Pool.sequential) ?registry ?(now = fun () -> 0.0) s =
     Pool.map_chunks pool ~n:s.requests ~chunk_size (fun ~lo ~hi ->
         let acc = fresh_acc depth in
         let rng = chunk_rng s lo in
+        (* per-chunk scratch: the per-layer accumulator is consumed inside
+           [measure_one] before the next lookup reuses it *)
+        let scratch = Array.make depth 0 in
         for _ = lo to hi - 1 do
           let origin = Prng.Rng.int rng s.nodes in
           let key = Id.random space rng in
-          measure_one chord hnet acc ~origin ~key
+          measure_one ~scratch chord hnet acc ~origin ~key
         done;
         acc)
   in

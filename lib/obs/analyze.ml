@@ -669,11 +669,55 @@ let metrics_of_scale j =
   let acc = num [ "cross"; "mismatches" ] "scale.cross.mismatches" acc in
   List.rev acc
 
+(* Tournament matrices compare per contestant: baseline means and stretch,
+   plus failure rates and recovery penalty under each fault schedule — all
+   lower-is-better, so the generic threshold logic applies unchanged. *)
+let metrics_of_tournament j =
+  match Jsonu.member "contestants" j with
+  | Some (Jsonu.Arr entries) ->
+      let lookups =
+        Option.bind (Jsonu.member "requests" j) Jsonu.to_float |> Option.value ~default:0.0
+      in
+      List.concat_map
+        (fun e ->
+          match Option.bind (Jsonu.member "algo" e) Jsonu.to_string with
+          | None -> []
+          | Some algo ->
+              let prefix = "tournament." ^ algo in
+              let num k = Option.bind (Jsonu.member k e) Jsonu.to_float in
+              let direct =
+                List.filter_map
+                  (fun name -> Option.map (fun v -> (prefix ^ "." ^ name, v)) (num name))
+                  [ "hops_mean"; "latency_mean"; "stretch" ]
+              in
+              let fault name =
+                match Jsonu.member name e with
+                | Some f ->
+                    let fnum k = Option.bind (Jsonu.member k f) Jsonu.to_float in
+                    let rate =
+                      match fnum "succeeded" with
+                      | Some ok when lookups > 0.0 ->
+                          [ (Printf.sprintf "%s.%s.failure_rate" prefix name, 1.0 -. (ok /. lookups)) ]
+                      | _ -> []
+                    in
+                    let penalty =
+                      match fnum "penalty_ms" with
+                      | Some p -> [ (Printf.sprintf "%s.%s.penalty_ms" prefix name, p) ]
+                      | None -> []
+                    in
+                    rate @ penalty
+                | None -> []
+              in
+              direct @ fault "crash" @ fault "outage")
+        entries
+  | _ -> []
+
 let classify j =
   match Jsonu.member "schema" j with
   | Some (Jsonu.Str "hieras-trace-report") -> Ok "trace-report"
   | Some (Jsonu.Str "hieras-soak") -> Ok "soak"
   | Some (Jsonu.Str "hieras-scale") | Some (Jsonu.Str "hieras-scale-bench") -> Ok "scale"
+  | Some (Jsonu.Str "hieras-tournament") -> Ok "tournament"
   | _ -> if Jsonu.member "micro" j <> None then Ok "bench" else Error "unrecognised report"
 
 let load_json path =
@@ -697,6 +741,7 @@ let compare_files ~base ~cand ~threshold =
             | "bench" -> metrics_of_bench
             | "soak" -> metrics_of_soak
             | "scale" -> metrics_of_scale
+            | "tournament" -> metrics_of_tournament
             | _ -> metrics_of_trace_report
           in
           let bm = extract bj and cm = extract cj in

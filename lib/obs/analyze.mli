@@ -118,7 +118,9 @@ type cmp_row = {
 }
 
 type comparison = {
-  kind : string;  (** ["trace-report"], ["bench"], ["soak"] or ["scale"] *)
+  kind : string;
+      (** ["trace-report"], ["bench"], ["soak"], ["scale"] or
+          ["tournament"] *)
   threshold : float;
   rows : cmp_row list;  (** every metric present in both inputs *)
   regressions : cmp_row list;
@@ -140,7 +142,10 @@ val compare_files : base:string -> cand:string -> threshold:float -> (comparison
     stay informational), or scale runs (["hieras-scale"] /
     ["hieras-scale-bench"] — compared on the deterministic core: hop
     statistics, segment counts, resident bytes and agreement rates,
-    never wall clock or RSS). *)
+    never wall clock or RSS), or tournament matrices
+    (["hieras-tournament"] — compared per contestant on baseline
+    hops/latency/stretch plus per-schedule lookup {e failure} rates and
+    recovery penalty, all lower-is-better). *)
 
 val comparison_text : comparison -> string
 (** Aligned table of metric, base, candidate, delta — regressions

@@ -1,0 +1,102 @@
+module Id = Hashid.Id
+
+module Base = struct
+  type t = Network.t
+
+  let name = "pastry"
+  let layered_name = "hieras-pastry"
+  let size = Network.size
+  let host = Network.host
+  let link_latency = Network.link_latency
+  let guard t = 8 * (Id.digit_count4 (Network.space t) + Network.size t)
+  let owner_of_key t ~key = Network.root_of_key t key
+
+  let live_owner t ~is_alive ~key =
+    let root = Network.root_of_key t key in
+    if is_alive root then Some root
+    else begin
+      (* the root is down: ownership moves to the numerically closest live
+         node (first index on ties — indices are id-sorted) *)
+      let sp = Network.space t in
+      let n = Network.size t in
+      let best = ref (-1) and best_d = ref infinity in
+      for i = 0 to n - 1 do
+        if is_alive i then begin
+          let d = Route.num_dist sp (Network.id t i) key in
+          if d < !best_d then begin
+            best := i;
+            best_d := d
+          end
+        end
+      done;
+      if !best >= 0 then Some !best else None
+    end
+
+  let step t ~cur ~key = Route.next_hop t ~root:(Network.root_of_key t key) ~key ~cur
+
+  (* every contact the node knows: leaf set + all routing-table cells *)
+  let known_contacts t cur =
+    let acc = ref [] in
+    Array.iter (fun l -> acc := l :: !acc) (Network.leaf_set t cur);
+    for r = 0 to Network.rows t - 1 do
+      for c = 0 to 15 do
+        match Network.table_entry t cur ~row:r ~col:c with
+        | Some cand -> acc := cand :: !acc
+        | None -> ()
+      done
+    done;
+    !acc
+
+  (* strictly numerically-closer members of [keep], closest first (index on
+     ties), deduplicated — the monotone fallback order behind the preferred
+     next hop *)
+  let closing_contacts t ~keep ~cur ~key =
+    let sp = Network.space t in
+    let my = Route.num_dist sp (Network.id t cur) key in
+    let by_closeness a b =
+      let da = Route.num_dist sp (Network.id t a) key
+      and db = Route.num_dist sp (Network.id t b) key in
+      if da <> db then Float.compare da db else Int.compare a b
+    in
+    known_contacts t cur
+    |> List.filter (fun c -> c <> cur && keep c && Route.num_dist sp (Network.id t c) key < my)
+    |> List.sort_uniq by_closeness
+
+  let candidates t ~cur ~key =
+    let next = step t ~cur ~key in
+    let rest =
+      closing_contacts t ~keep:(fun _ -> true) ~cur ~key |> List.filter (fun c -> c <> next)
+    in
+    if next = cur then rest else next :: rest
+
+  (* A HIERAS ring over a Pastry subset: the members on the identifier
+     circle, walked by numerical closeness — contact-list shortcuts when a
+     known contact is an in-ring member strictly closer to the key, circle
+     neighbors otherwise. *)
+  type ring = { circle : Routing.Circle.t }
+
+  let make_ring t ~members =
+    { circle = Routing.Circle.make ~space:(Network.space t) ~id_of:(Network.id t) ~members }
+
+  let ring_stop _t rg ~cur ~key = Routing.Circle.root rg.circle ~key = cur
+
+  let ring_candidates t rg ~cur ~key =
+    let cands = closing_contacts t ~keep:(Routing.Circle.mem rg.circle) ~cur ~key in
+    let tw = Routing.Circle.toward rg.circle ~cur ~key in
+    if tw = cur || List.mem tw cands then cands else cands @ [ tw ]
+
+  let ring_step t rg ~cur ~key =
+    match ring_candidates t rg ~cur ~key with
+    | next :: _ -> next
+    | [] -> cur (* unreachable when [not (ring_stop ...)] *)
+
+  let early_finish t ~cur ~key =
+    (* leaf-set delivery: the current node already knows the key's root *)
+    let root = Network.root_of_key t key in
+    if Array.exists (( = ) root) (Network.leaf_set t cur) then Some root else None
+end
+
+include Routing.Extend (Base)
+
+let make net = net
+let network (t : t) = t

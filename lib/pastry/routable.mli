@@ -1,0 +1,16 @@
+(** Pastry as a {!Routing.S} substrate.
+
+    The greedy step is {!Route.next_hop} (so the derived [route] is
+    hop-for-hop {!Route.route}); fallback candidates are the node's known
+    contacts (leaf set + routing table) that are strictly numerically closer
+    to the key, closest first. HIERAS rings are identifier-circle member sets
+    ({!Routing.Circle}) walked by numerical closeness with contact-list
+    shortcuts; the between-layer early exit fires when the key's root is
+    already in the current node's leaf set. *)
+
+type t
+
+val make : Network.t -> t
+val network : t -> Network.t
+
+include Routing.S with type t := t

@@ -16,11 +16,59 @@ let num_dist sp a key =
   let d = Id.distance_cw sp a key in
   Float.min d (1.0 -. d)
 
+let next_hop net ~root ~key ~cur =
+  let sp = Network.space net in
+  let id_of i = Network.id net i in
+  let cur_id = id_of cur in
+  let leaves = Network.leaf_set net cur in
+  (* 1. leaf-set delivery: if the root is in our leaf set (or the key sits
+     within the leaf range), jump straight to the numerically closest *)
+  if Array.exists (( = ) root) leaves then root
+  else begin
+    let row = Network.shared_prefix_len net cur_id key in
+    let col = Id.digit4 sp key row in
+    match Network.table_entry net cur ~row ~col with
+    | Some entry -> entry
+    | None ->
+        (* rare case: any known node with >= equal prefix and strictly
+           smaller numerical distance *)
+        let my_dist = num_dist sp cur_id key in
+        let best = ref (-1) and best_d = ref my_dist in
+        let consider cand =
+          if cand <> cur then begin
+            let cid = id_of cand in
+            if Network.shared_prefix_len net cid key >= row then begin
+              let d = num_dist sp cid key in
+              if d < !best_d then begin
+                best := cand;
+                best_d := d
+              end
+            end
+          end
+        in
+        Array.iter consider leaves;
+        for r = 0 to Network.rows net - 1 do
+          for c = 0 to 15 do
+            match Network.table_entry net cur ~row:r ~col:c with
+            | Some cand -> consider cand
+            | None -> ()
+          done
+        done;
+        if !best >= 0 then !best
+        else
+          (* fall back to the numerically closest leaf: guaranteed to
+             make progress towards the root along the circle *)
+          Array.fold_left
+            (fun acc cand ->
+              if num_dist sp (id_of cand) key < num_dist sp (id_of acc) key then cand
+              else acc)
+            cur leaves
+  end
+
 let route net ~origin ~key =
   let sp = Network.space net in
   let n = Network.size net in
   let root = Network.root_of_key net key in
-  let id_of i = Network.id net i in
   let hops = ref [] in
   let count = ref 0 in
   let total = ref 0.0 in
@@ -36,53 +84,7 @@ let route net ~origin ~key =
     incr steps;
     if !steps > guard then failwith "Pastry.Route: routing did not terminate";
     let cur = !current in
-    let cur_id = id_of cur in
-    let leaves = Network.leaf_set net cur in
-    (* 1. leaf-set delivery: if the root is in our leaf set (or the key sits
-       within the leaf range), jump straight to the numerically closest *)
-    let next =
-      if Array.exists (( = ) root) leaves then root
-      else begin
-        let row = Network.shared_prefix_len net cur_id key in
-        let col = Id.digit4 sp key row in
-        match Network.table_entry net cur ~row ~col with
-        | Some entry -> entry
-        | None ->
-            (* rare case: any known node with >= equal prefix and strictly
-               smaller numerical distance *)
-            let my_dist = num_dist sp cur_id key in
-            let best = ref (-1) and best_d = ref my_dist in
-            let consider cand =
-              if cand <> cur then begin
-                let cid = id_of cand in
-                if Network.shared_prefix_len net cid key >= row then begin
-                  let d = num_dist sp cid key in
-                  if d < !best_d then begin
-                    best := cand;
-                    best_d := d
-                  end
-                end
-              end
-            in
-            Array.iter consider leaves;
-            for r = 0 to Network.rows net - 1 do
-              for c = 0 to 15 do
-                match Network.table_entry net cur ~row:r ~col:c with
-                | Some cand -> consider cand
-                | None -> ()
-              done
-            done;
-            if !best >= 0 then !best
-            else
-              (* fall back to the numerically closest leaf: guaranteed to
-                 make progress towards the root along the circle *)
-              Array.fold_left
-                (fun acc cand ->
-                  if num_dist sp (id_of cand) key < num_dist sp (id_of acc) key then cand
-                  else acc)
-                cur leaves
-      end
-    in
+    let next = next_hop net ~root ~key ~cur in
     if next = cur then failwith "Pastry.Route: no progress possible";
     let l = Network.link_latency net cur next in
     record cur next l;

@@ -20,3 +20,14 @@ type result = {
 
 val route : Network.t -> origin:int -> key:Hashid.Id.t -> result
 (** Raises [Failure] on non-termination (internal invariant guard). *)
+
+val num_dist : Hashid.Id.space -> Hashid.Id.t -> Hashid.Id.t -> float
+(** Circular numerical distance |a - key| as a fraction of the circle —
+    Pastry's closeness metric (= [Routing.num_dist]). *)
+
+val next_hop : Network.t -> root:int -> key:Hashid.Id.t -> cur:int -> int
+(** One step of the routing procedure above: leaf-set delivery, then the
+    routing-table cell, then the rare-case scan, then the numerically
+    closest leaf. Returns [cur] itself only when no progress is possible
+    (the route loop treats that as an invariant violation). Requires
+    [root = Network.root_of_key net key] and [cur <> root]. *)

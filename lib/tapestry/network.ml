@@ -136,6 +136,66 @@ let root_of_key t key =
   if Array.length g <> 1 then failwith "Tapestry.root_of_key: root group not a singleton";
   g.(0)
 
+let link_latency t a b = Topology.Latency.host_latency t.lat t.hosts.(a) t.hosts.(b)
+
+let key_group t ~key ~len =
+  if len = 0 then Array.init (size t) (fun i -> i)
+  else if len - 1 >= Array.length t.levels then [||]
+  else
+    let prefix = String.init len (fun i -> Char.chr (Id.digit4 t.space key i)) in
+    match Hashtbl.find_opt t.levels.(len - 1) prefix with Some g -> g | None -> [||]
+
+let shared_digits t a key =
+  let rows = Id.digit_count4 t.space in
+  let aid = t.ids.(a) in
+  let rec go r = if r < rows && Id.digit4 t.space aid r = Id.digit4 t.space key r then go (r + 1) else r in
+  go 0
+
+let matched_of_path t ~path node =
+  let plen = Array.length path in
+  let rec go r = if r < plen && digit t node r = path.(r) then go (r + 1) else r in
+  go 0
+
+(* the proximity sample at one routing level: [candidates_per_hop] nodes
+   matching one more digit of the root path, evenly strided through the
+   group — a pure function of the id set (identical to enumerating the whole
+   group when it fits the budget), so routes are deterministic and safe to
+   issue from parallel workers *)
+let path_sample t ~path ~cur =
+  let r = matched_of_path t ~path cur in
+  let prefix = String.init (r + 1) (fun i -> Char.chr path.(i)) in
+  let group = group_at t prefix in
+  let m = Array.length group in
+  if m = 0 then [||]
+  else begin
+    let tries = min m t.candidates_per_hop in
+    Array.init tries (fun k -> group.(k * m / tries))
+  end
+
+let next_on_path t ~path ~cur =
+  let cands = path_sample t ~path ~cur in
+  if Array.length cands = 0 then failwith "Tapestry.route: root path group vanished";
+  let best = ref cands.(0) and best_d = ref infinity in
+  Array.iter
+    (fun cand ->
+      let d = link_latency t cur cand in
+      if d < !best_d then begin
+        best := cand;
+        best_d := d
+      end)
+    cands;
+  !best
+
+let path_candidates t ~path ~cur =
+  let cands = path_sample t ~path ~cur in
+  (* closest first, sample order on latency ties: the head is exactly
+     [next_on_path]'s first-strict-minimum pick *)
+  Array.to_list cands
+  |> List.mapi (fun k cand -> (link_latency t cur cand, k, cand))
+  |> List.sort (fun (da, ka, _) (db, kb, _) ->
+         if da <> db then Float.compare da db else Int.compare ka kb)
+  |> List.map (fun (_, _, cand) -> cand)
+
 type hop = { from_node : int; to_node : int; latency : float }
 
 type result = {
@@ -150,46 +210,24 @@ type result = {
 let route t ~origin ~key =
   let path = Array.of_list (root_path t key) in
   let plen = Array.length path in
-  (* how many digits of the root path does a node already match? *)
-  let matched node =
-    let rec go r = if r < plen && digit t node r = path.(r) then go (r + 1) else r in
-    go 0
-  in
   let hops = ref [] in
   let count = ref 0 in
   let total = ref 0.0 in
   let record from_node to_node =
-    let l = Topology.Latency.host_latency t.lat t.hosts.(from_node) t.hosts.(to_node) in
+    let l = link_latency t from_node to_node in
     hops := { from_node; to_node; latency = l } :: !hops;
     incr count;
     total := !total +. l
   in
   let current = ref origin in
   let steps = ref 0 in
-  while matched !current < plen do
+  while matched_of_path t ~path !current < plen do
     incr steps;
     if !steps > plen + 4 then failwith "Tapestry.route: did not terminate";
     let cur = !current in
-    let r = matched cur in
-    let prefix = String.init (r + 1) (fun i -> Char.chr path.(i)) in
-    let group = group_at t prefix in
-    if Array.length group = 0 then failwith "Tapestry.route: root path group vanished";
-    (* proximity selection among nodes matching one more digit *)
-    let m = Array.length group in
-    let tries = min m t.candidates_per_hop in
-    let best = ref group.(0) and best_d = ref infinity in
-    for k = 0 to tries - 1 do
-      let cand =
-        if m <= t.candidates_per_hop then group.(k) else group.(Prng.Rng.int t.rng m)
-      in
-      let d = Topology.Latency.host_latency t.lat t.hosts.(cur) t.hosts.(cand) in
-      if d < !best_d then begin
-        best := cand;
-        best_d := d
-      end
-    done;
-    record cur !best;
-    current := !best
+    let best = next_on_path t ~path ~cur in
+    record cur best;
+    current := best
   done;
   {
     origin;

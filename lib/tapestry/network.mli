@@ -42,6 +42,32 @@ val root_path : t -> Hashid.Id.t -> int list
 (** The digit sequence surrogate routing resolves for this key (diagnostic;
     its length bounds every route's hop count). *)
 
+val link_latency : t -> int -> int -> float
+(** Latency between two nodes' hosts (from the embedded oracle). *)
+
+val key_group : t -> key:Hashid.Id.t -> len:int -> int array
+(** The nodes whose identifiers match the key's first [len] base-16 digits
+    (all nodes for [len = 0]; [\[||\]] when no node matches or the prefix
+    levels stop earlier). Do not mutate the returned array. *)
+
+val shared_digits : t -> int -> Hashid.Id.t -> int
+(** Length of the common base-16 digit prefix of a node's identifier and a
+    key. *)
+
+val next_on_path : t -> path:int array -> cur:int -> int
+(** One routing step: the proximity-closest node of {!path_candidates}.
+    [path] is {!root_path} as an array; requires [cur] not to match the full
+    path yet. *)
+
+val path_candidates : t -> path:int array -> cur:int -> int list
+(** The deterministic proximity sample at [cur]'s routing level — up to
+    [candidates_per_hop] nodes matching one more digit of the root path,
+    evenly strided through the level group — sorted closest-first (sample
+    order on ties). The head is {!next_on_path}'s pick; the tail is the
+    failover order for resilient routing. A pure function of the id set:
+    routes never consult the build rng, so they are deterministic and safe
+    to issue from parallel workers. *)
+
 type hop = { from_node : int; to_node : int; latency : float }
 
 type result = {

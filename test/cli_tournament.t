@@ -1,0 +1,47 @@
+The tournament subcommand validates its flags up front with exit code 2
+(usage error), before any topology construction starts.
+
+  $ ../bin/hieras_sim.exe tournament --fault-frac 1.2
+  hieras-sim: --fault-frac must be in [0, 0.95] (got 1.2)
+  [2]
+
+  $ ../bin/hieras_sim.exe tournament --fault-frac=-0.1
+  hieras-sim: --fault-frac must be in [0, 0.95] (got -0.1)
+  [2]
+
+  $ ../bin/hieras_sim.exe tournament --depth 9
+  hieras-sim: --depth must be between 2 and 4 (got 9)
+  [2]
+
+A tiny smoke run exits 0, prints the eight-contestant matrix and exposes
+the per-contestant counters through --metrics:
+
+  $ ../bin/hieras_sim.exe tournament --nodes 64 --requests 50 | head -1
+  === tournament: Cross-algorithm tournament (64 nodes, 50 lookups, 30% fault fraction) ===
+
+  $ ../bin/hieras_sim.exe tournament --nodes 64 --requests 50 --metrics \
+  >   | grep -c '^tournament\.[a-z-]*\.crash\.succeeded'
+  8
+
+The --out matrix is byte-identical whatever --jobs says (the determinism
+contract CI enforces), and a matrix diffed against itself passes the
+`analyze compare` gate:
+
+  $ ../bin/hieras_sim.exe tournament --nodes 64 --requests 50 --out j1.json --jobs 1 | tail -1
+  wrote 8 tournament contestants to j1.json
+
+  $ ../bin/hieras_sim.exe tournament --nodes 64 --requests 50 --out j4.json --jobs 4 | tail -1
+  wrote 8 tournament contestants to j4.json
+
+  $ cmp j1.json j4.json
+
+  $ ../bin/hieras_sim.exe analyze compare j1.json j4.json --threshold 0.2 > /dev/null
+
+A genuinely degraded candidate (same scenario, twice the fault fraction)
+trips the compare gate with exit code 1:
+
+  $ ../bin/hieras_sim.exe tournament --nodes 64 --requests 50 --fault-frac 0.6 \
+  >   --out hot.json > /dev/null
+
+  $ ../bin/hieras_sim.exe analyze compare j1.json hot.json --threshold 0.2 > /dev/null
+  [1]

@@ -7,7 +7,9 @@
      dune exec test/support/gen_golden.exe -- --soak \
        > test/golden/soak_ts64.json
      dune exec test/support/gen_golden.exe -- --scale \
-       > test/golden/scale_ts64.json *)
+       > test/golden/scale_ts64.json
+     dune exec test/support/gen_golden.exe -- --tournament \
+       > test/golden/tournament_ts64.json *)
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> print_string (Obs_test_support.Golden.build_trace ())
@@ -15,6 +17,8 @@ let () =
   | [ _; "--resilience" ] -> print_string (Obs_test_support.Golden.build_resilience ())
   | [ _; "--soak" ] -> print_string (Obs_test_support.Golden.build_soak ())
   | [ _; "--scale" ] -> print_string (Obs_test_support.Golden.build_scale ())
+  | [ _; "--tournament" ] -> print_string (Obs_test_support.Golden.build_tournament ())
   | _ ->
-      prerr_endline "usage: gen_golden [--report | --resilience | --soak | --scale]";
+      prerr_endline
+        "usage: gen_golden [--report | --resilience | --soak | --scale | --tournament]";
       exit 2

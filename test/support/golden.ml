@@ -101,3 +101,15 @@ let scale_spec =
 
 let build_scale () =
   Experiments.Scale.results_json (Experiments.Scale.run scale_spec) ^ "\n"
+
+(* The golden tournament matrix: every substrate (Chord, Pastry, CAN,
+   Tapestry) flat and HIERAS-layered on the canonical 64-node scenario with
+   200 requests, rendered as the deterministic single-line tournament JSON.
+   Pins all eight routing implementations' hop/latency/stretch arithmetic,
+   the shared crash/outage liveness draws and the tournament schema at once
+   — byte-identical for any --jobs by construction, which the cram test and
+   CI separately enforce. *)
+let tournament_cfg = Config.with_requests cfg 200
+
+let build_tournament () =
+  Experiments.Tournament.results_json (Experiments.Tournament.run tournament_cfg) ^ "\n"

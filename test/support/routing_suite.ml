@@ -1,0 +1,180 @@
+(* Functorized conformance suite for {!Routing.ROUTABLE} implementations
+   (ISSUE 8 satellite): instantiated once per substrate — flat Chord,
+   Pastry, CAN, Tapestry and their [Hieras.Make] layerings — so every
+   algorithm carries the same property coverage:
+
+   - [route] terminates at [owner_of_key], the hop chain is contiguous
+     (origin -> ... -> destination) and the accounting is exact (hop count,
+     latency sum, per-layer splits);
+   - [route_hops_only] agrees with [route] hop-for-hop;
+   - an attached tracer sees one start / [hop_count] hops / one end whose
+     fields mirror the returned result;
+   - [route_resilient] with everyone alive reproduces [route] with zero
+     recovery accounting, and under seeded kills succeeds only by reaching
+     [live_owner]. *)
+
+module Id = Hashid.Id
+
+let space = Id.sha1_space
+
+module type FIXTURE = sig
+  include Routing.ROUTABLE
+
+  val label : string
+  (** Test-name prefix ("chord", "hieras-can", ...). *)
+
+  val build : unit -> t
+  (** Build the overlay under test (called once, lazily). *)
+end
+
+module Make (F : FIXTURE) = struct
+  let fixture = lazy (F.build ())
+  let eps = 1e-6
+
+  let close a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+  let key_of seed = Id.random space (Prng.Rng.create ~seed:(seed + 77))
+
+  (* origin is a seed too (reduced mod size inside each property) so building
+     the generator does not force the fixture at suite-listing time *)
+  let request_gen =
+    QCheck.make
+      ~print:(fun (o, k) -> Printf.sprintf "origin-seed=%d key-seed=%d" o k)
+      QCheck.Gen.(map2 (fun o k -> (o, k)) (int_bound 1_000_000) (int_bound 1_000_000))
+
+  let origin_of t oseed = oseed mod F.size t
+
+  let check name ok = if ok then true else QCheck.Test.fail_reportf "%s: %s" F.label name
+
+  let hops_contiguous ~origin (r : Routing.result) =
+    let rec go cur = function
+      | [] -> cur = r.Routing.destination
+      | h :: rest -> h.Routing.from_node = cur && go h.Routing.to_node rest
+    in
+    go origin r.Routing.hops
+
+  let prop_route (oseed, kseed) =
+    let t = Lazy.force fixture in
+    let origin = origin_of t oseed in
+    let key = key_of kseed in
+    let r = F.route t ~origin ~key in
+    check "destination is the key's owner" (r.Routing.destination = F.owner_of_key t ~key)
+    && check "origin recorded" (r.Routing.origin = origin)
+    && check "hop list length = hop_count" (List.length r.Routing.hops = r.Routing.hop_count)
+    && check "hop chain contiguous" (hops_contiguous ~origin r)
+    && check "zero hops iff origin owns"
+         (r.Routing.hop_count = 0 = (origin = r.Routing.destination))
+    && check "latency = sum of hop latencies"
+         (close r.Routing.latency
+            (List.fold_left (fun a (h : Routing.hop) -> a +. h.latency) 0.0 r.Routing.hops))
+    && check "per-layer hops sum to hop_count"
+         (Array.fold_left ( + ) 0 r.Routing.hops_per_layer = r.Routing.hop_count)
+    && check "per-layer latency sums to latency"
+         (close r.Routing.latency (Array.fold_left ( +. ) 0.0 r.Routing.latency_per_layer))
+    && check "finished_at_layer in range"
+         (r.Routing.finished_at_layer >= 1
+         && r.Routing.finished_at_layer <= Array.length r.Routing.hops_per_layer)
+
+  let prop_hops_only (oseed, kseed) =
+    let t = Lazy.force fixture in
+    let origin = origin_of t oseed in
+    let key = key_of kseed in
+    let r = F.route t ~origin ~key in
+    let hops, dest = F.route_hops_only t ~origin ~key in
+    check "route_hops_only hop count" (hops = r.Routing.hop_count)
+    && check "route_hops_only destination" (dest = r.Routing.destination)
+
+  let prop_trace (oseed, kseed) =
+    let t = Lazy.force fixture in
+    let origin = origin_of t oseed in
+    let key = key_of kseed in
+    let buf = Buffer.create 1024 in
+    let tr = Obs.Trace.jsonl (Buffer.add_string buf) in
+    let r = F.route ~trace:tr t ~origin ~key in
+    let events =
+      Buffer.contents buf |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.map (fun l ->
+             match Obs.Jsonu.parse l with
+             | Ok j -> j
+             | Error e -> QCheck.Test.fail_reportf "%s: trace line does not parse: %s" F.label e)
+    in
+    let kind k j =
+      match Obs.Jsonu.member "ev" j with Some (Obs.Jsonu.Str s) -> s = k | _ -> false
+    in
+    let starts = List.filter (kind "start") events in
+    let hops = List.filter (kind "hop") events in
+    let ends = List.filter (kind "end") events in
+    let str k j = Option.bind (Obs.Jsonu.member k j) Obs.Jsonu.to_string in
+    let num k j = Option.bind (Obs.Jsonu.member k j) Obs.Jsonu.to_float in
+    check "one start event" (List.length starts = 1)
+    && check "one end event" (List.length ends = 1)
+    && check "hop events = hop_count" (List.length hops = r.Routing.hop_count)
+    && check "start algo tag" (str "algo" (List.hd starts) = Some F.name)
+    && check "start origin" (num "origin" (List.hd starts) = Some (float_of_int origin))
+    && check "end destination"
+         (num "dest" (List.hd ends) = Some (float_of_int r.Routing.destination))
+    && check "end hop count" (num "hops" (List.hd ends) = Some (float_of_int r.Routing.hop_count))
+    && check "hop chain mirrors result"
+         (List.for_all2
+            (fun j (h : Routing.hop) ->
+              num "from" j = Some (float_of_int h.Routing.from_node)
+              && num "to" j = Some (float_of_int h.Routing.to_node)
+              && num "layer" j = Some (float_of_int h.Routing.layer))
+            hops r.Routing.hops)
+    &&
+    match num "lat_ms" (List.hd ends) with
+    | Some l -> check "end latency" (close l r.Routing.latency)
+    | None -> check "end latency present" false
+
+  let prop_resilient_all_alive (oseed, kseed) =
+    let t = Lazy.force fixture in
+    let origin = origin_of t oseed in
+    let key = key_of kseed in
+    let r = F.route t ~origin ~key in
+    let a = F.route_resilient t ~is_alive:(fun _ -> true) ~origin ~key in
+    match a.Routing.outcome with
+    | None -> QCheck.Test.fail_reportf "%s: all-alive resilient lookup stalled" F.label
+    | Some r' ->
+        check "all-alive destination" (r'.Routing.destination = r.Routing.destination)
+        && check "all-alive hop count" (r'.Routing.hop_count = r.Routing.hop_count)
+        && check "all-alive latency" (close r'.Routing.latency r.Routing.latency)
+        && check "no retries" (a.Routing.retries = 0)
+        && check "no timeouts" (a.Routing.timeouts = 0)
+        && check "no fallbacks" (a.Routing.fallbacks = 0)
+        && check "no layer escapes" (a.Routing.layer_escapes = 0)
+        && check "no penalty" (a.Routing.penalty_ms = 0.0)
+
+  let prop_resilient_kills (oseed, kseed) =
+    let t = Lazy.force fixture in
+    let n = F.size t in
+    let origin = origin_of t oseed in
+    let key = key_of kseed in
+    (* seeded ~30% kills; the origin always survives *)
+    let rng = Prng.Rng.create ~seed:(kseed + 41) in
+    let alive = Array.init n (fun _ -> Prng.Rng.float rng 1.0 >= 0.3) in
+    alive.(origin) <- true;
+    let is_alive i = alive.(i) in
+    let a = F.route_resilient t ~is_alive ~origin ~key in
+    check "non-negative accounting"
+      (a.Routing.retries >= 0 && a.Routing.timeouts >= 0 && a.Routing.fallbacks >= 0
+      && a.Routing.layer_escapes >= 0 && a.Routing.penalty_ms >= 0.0)
+    &&
+    match a.Routing.outcome with
+    | None -> true (* a stalled lookup is a legal outcome under failures *)
+    | Some r ->
+        (match F.live_owner t ~is_alive ~key with
+        | Some o -> check "success reaches the live owner" (r.Routing.destination = o)
+        | None -> check "outcome without a live owner" false)
+        && check "resilient hop chain contiguous" (hops_contiguous ~origin r)
+        && check "resilient destination is live" (is_alive r.Routing.destination)
+
+  let tests ~count =
+    let t name prop = QCheck.Test.make ~name:(Printf.sprintf "%s: %s" F.label name) ~count request_gen prop in
+    [
+      t "route terminates at the key's owner (exact accounting)" prop_route;
+      t "route_hops_only == route hop-for-hop" prop_hops_only;
+      t "trace events mirror the result" prop_trace;
+      t "resilient all-alive == route, zero recovery" prop_resilient_all_alive;
+      t "resilient under kills succeeds only at live_owner" prop_resilient_kills;
+    ]
+end

@@ -1,0 +1,221 @@
+(* The unified routing core (ISSUE 8): every {!Routing.ROUTABLE}
+   implementation — the four flat substrates and their [Hieras.Make]
+   layerings — runs the same functorized conformance suite
+   (test/support/routing_suite.ml), and the functor applied to Chord is
+   pinned differentially against the native [Hieras.Hlookup] path: result
+   fields match lookup-for-lookup and the trace replay reproduces
+   test/golden/trace_ts64.jsonl byte for byte. *)
+
+module Config = Experiments.Config
+module Runner = Experiments.Runner
+module Suite = Obs_test_support.Routing_suite
+module T = Experiments.Tournament
+
+let cfg = Obs_test_support.Golden.cfg
+let space = Hashid.Id.sha1_space
+let depth = cfg.Config.depth
+
+(* one 64-node Transit-Stub world shared by all fixtures, built with the
+   exact seeds Runner.build_hieras and Tournament.build_contestants use *)
+type shared = {
+  lat : Topology.Latency.t;
+  chord : Chord.Network.t;
+  hnet : Hieras.Hnetwork.t;
+  hosts : int array;
+  landmarks : Binning.Landmark.t;
+}
+
+let shared =
+  lazy
+    (let env = Runner.build_env cfg in
+     let lat = Runner.latency_oracle env in
+     let chord = Runner.chord_network env in
+     let hnet = Runner.build_hieras env cfg in
+     let hosts = Array.init (Chord.Network.size chord) (Chord.Network.host chord) in
+     let landmarks =
+       Binning.Landmark.choose_spread lat ~count:cfg.Config.landmarks
+         (Prng.Rng.create ~seed:(cfg.Config.seed + 7919))
+     in
+     { lat; chord; hnet; hosts; landmarks })
+
+let chord_r =
+  lazy
+    (let s = Lazy.force shared in
+     Chord.Routable.make ~net:s.chord ~lat:s.lat)
+
+let pastry_r =
+  lazy
+    (let s = Lazy.force shared in
+     Pastry.Routable.make
+       (Pastry.Network.build ~space ~hosts:s.hosts ~lat:s.lat
+          ~rng:(Prng.Rng.create ~seed:(cfg.Config.seed + 7577))
+          ()))
+
+let can_r =
+  lazy
+    (let s = Lazy.force shared in
+     Can.Routable.make ~net:(Can.Network.build ~space ~hosts:s.hosts ()) ~lat:s.lat)
+
+let tapestry_r =
+  lazy
+    (let s = Lazy.force shared in
+     Tapestry.Routable.make
+       (Tapestry.Network.build ~space ~hosts:s.hosts ~lat:s.lat
+          ~rng:(Prng.Rng.create ~seed:(cfg.Config.seed + 7591))
+          ()))
+
+let lchord =
+  lazy
+    (let s = Lazy.force shared in
+     T.LChord.build ~base:(Lazy.force chord_r) ~lat:s.lat ~landmarks:s.landmarks ~depth ())
+
+let lpastry =
+  lazy
+    (let s = Lazy.force shared in
+     T.LPastry.build ~base:(Lazy.force pastry_r) ~lat:s.lat ~landmarks:s.landmarks ~depth ())
+
+let lcan =
+  lazy
+    (let s = Lazy.force shared in
+     T.LCan.build ~base:(Lazy.force can_r) ~lat:s.lat ~landmarks:s.landmarks ~depth ())
+
+let ltapestry =
+  lazy
+    (let s = Lazy.force shared in
+     T.LTapestry.build ~base:(Lazy.force tapestry_r) ~lat:s.lat ~landmarks:s.landmarks ~depth ())
+
+(* --- conformance: one suite per implementation -------------------------------- *)
+
+module SChord = Suite.Make (struct
+  include Chord.Routable
+
+  let label = "chord"
+  let build () = Lazy.force chord_r
+end)
+
+module SPastry = Suite.Make (struct
+  include Pastry.Routable
+
+  let label = "pastry"
+  let build () = Lazy.force pastry_r
+end)
+
+module SCan = Suite.Make (struct
+  include Can.Routable
+
+  let label = "can"
+  let build () = Lazy.force can_r
+end)
+
+module STapestry = Suite.Make (struct
+  include Tapestry.Routable
+
+  let label = "tapestry"
+  let build () = Lazy.force tapestry_r
+end)
+
+module SLChord = Suite.Make (struct
+  include T.LChord
+
+  let label = "hieras-chord"
+  let build () = Lazy.force lchord
+end)
+
+module SLPastry = Suite.Make (struct
+  include T.LPastry
+
+  let label = "hieras-pastry"
+  let build () = Lazy.force lpastry
+end)
+
+module SLCan = Suite.Make (struct
+  include T.LCan
+
+  let label = "hieras-can"
+  let build () = Lazy.force lcan
+end)
+
+module SLTapestry = Suite.Make (struct
+  include T.LTapestry
+
+  let label = "hieras-tapestry"
+  let build () = Lazy.force ltapestry
+end)
+
+(* --- differential: functor HIERAS-over-Chord vs native Hlookup ---------------- *)
+
+let requests ~count =
+  let rng = Prng.Rng.create ~seed:(cfg.Config.seed + 104729) in
+  let spec = Workload.Requests.paper_default ~count in
+  Workload.Requests.to_array spec ~nodes:cfg.Config.nodes ~space rng
+
+let test_functor_matches_native () =
+  let s = Lazy.force shared in
+  let lc = Lazy.force lchord in
+  Array.iter
+    (fun { Workload.Requests.origin; key } ->
+      let n = Hieras.Hlookup.route s.hnet ~origin ~key in
+      let f = T.LChord.route lc ~origin ~key in
+      Alcotest.(check int) "destination" n.Hieras.Hlookup.destination f.Routing.destination;
+      Alcotest.(check int) "hop count" n.Hieras.Hlookup.hop_count f.Routing.hop_count;
+      Alcotest.(check (float 1e-9)) "latency" n.Hieras.Hlookup.latency f.Routing.latency;
+      Alcotest.(check int) "finished_at_layer" n.Hieras.Hlookup.finished_at_layer
+        f.Routing.finished_at_layer;
+      Alcotest.(check (array int)) "hops per layer" n.Hieras.Hlookup.hops_per_layer
+        f.Routing.hops_per_layer;
+      Alcotest.(check (array (float 1e-9))) "latency per layer"
+        n.Hieras.Hlookup.latency_per_layer f.Routing.latency_per_layer;
+      List.iter2
+        (fun (nh : Hieras.Hlookup.hop) (fh : Routing.hop) ->
+          Alcotest.(check int) "hop from" nh.from_node fh.from_node;
+          Alcotest.(check int) "hop to" nh.to_node fh.to_node;
+          Alcotest.(check int) "hop layer" nh.layer fh.layer;
+          Alcotest.(check (float 1e-9)) "hop latency" nh.latency fh.latency)
+        n.Hieras.Hlookup.hops f.Routing.hops;
+      let nhops, _, ndest, _ = Hieras.Hlookup.route_hops_only s.hnet ~origin ~key in
+      let fhops, fdest = T.LChord.route_hops_only lc ~origin ~key in
+      Alcotest.(check (pair int int)) "route_hops_only" (nhops, ndest) (fhops, fdest))
+    (requests ~count:256)
+
+(* the functor replay of the golden-trace scenario must reproduce the
+   committed bytes: same lookup ids, same hop sequences, same JSON *)
+let test_functor_golden_trace () =
+  let lc = Lazy.force lchord in
+  let rc = Lazy.force chord_r in
+  let buf = Buffer.create 8192 in
+  let tr = Obs.Trace.jsonl (Buffer.add_string buf) in
+  Array.iter
+    (fun { Workload.Requests.origin; key } ->
+      ignore (Chord.Routable.route ~trace:tr rc ~origin ~key);
+      ignore (T.LChord.route ~trace:tr lc ~origin ~key))
+    (requests ~count:cfg.Config.requests);
+  let golden_path = Filename.concat "golden" "trace_ts64.jsonl" in
+  let ic = open_in_bin golden_path in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string)
+    "functor trace replay is byte-identical to the golden\n\
+     (if routing intentionally changed, regenerate with:\n\
+     \  dune exec test/support/gen_golden.exe > test/golden/trace_ts64.jsonl)"
+    golden (Buffer.contents buf)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "routing"
+    [
+      ("suite-chord", q (SChord.tests ~count:60));
+      ("suite-pastry", q (SPastry.tests ~count:60));
+      ("suite-can", q (SCan.tests ~count:60));
+      ("suite-tapestry", q (STapestry.tests ~count:60));
+      ("suite-hieras-chord", q (SLChord.tests ~count:40));
+      ("suite-hieras-pastry", q (SLPastry.tests ~count:40));
+      ("suite-hieras-can", q (SLCan.tests ~count:40));
+      ("suite-hieras-tapestry", q (SLTapestry.tests ~count:40));
+      ( "differential",
+        [
+          Alcotest.test_case "functor route == native Hlookup field-for-field" `Quick
+            test_functor_matches_native;
+          Alcotest.test_case "functor trace replay == golden bytes" `Quick
+            test_functor_golden_trace;
+        ] );
+    ]

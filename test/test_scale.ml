@@ -184,6 +184,48 @@ let test_run_cross_check () =
   Alcotest.(check int) "all lookups counted" 300 r.Scale.lookups;
   Alcotest.(check int) "destinations agree" 300 r.Scale.dest_match
 
+(* --- scratch-buffer allocation regression ----------------------------------- *)
+
+(* [Hlookup.route_hops_only ~into:scratch] must not allocate the per-layer
+   accumulator per call — the hoisting the scale replay relies on. Minor-word
+   counts are deterministic for a fixed walk, so the comparison against the
+   allocating path is exact: the scratch variant must save at least the
+   [Array.make depth] header+slots on every call. A loose absolute cap
+   guards against gross per-hop allocation creeping into the walk itself
+   (packed-id reconstruction costs some words per hop; a list- or
+   record-building regression would blow far past it). *)
+let test_hops_only_scratch_allocation () =
+  let spec = { Scale.default_spec with Scale.nodes = 256; requests = 0; depth = 3 } in
+  let _chord, hnet = Scale.networks spec in
+  let depth = Hnetwork.depth hnet in
+  let scratch = Array.make depth 0 in
+  let rng = Rng.create ~seed:7 in
+  let calls = 1000 in
+  let requests = Array.init calls (fun i -> (i mod 256, Id.random space rng)) in
+  let replay ~scratch:s () =
+    Array.iter
+      (fun (origin, key) -> ignore (Hieras.Hlookup.route_hops_only ?into:s hnet ~origin ~key))
+      requests
+  in
+  let measure f =
+    f ();
+    (* warmed up: measure the steady state *)
+    let before = Gc.minor_words () in
+    f ();
+    (Gc.minor_words () -. before) /. float_of_int calls
+  in
+  let with_scratch = measure (replay ~scratch:(Some scratch)) in
+  let without = measure (replay ~scratch:None) in
+  Alcotest.(check bool)
+    (Printf.sprintf "scratch saves the per-call accumulator (%.1f vs %.1f words/call)"
+       with_scratch without)
+    true
+    (without -. with_scratch >= float_of_int (depth + 1))
+  ;
+  Alcotest.(check bool)
+    (Printf.sprintf "scratch lookups stay under 256 words/call (%.1f)" with_scratch)
+    true (with_scratch < 256.0)
+
 (* --- determinism: jobs-independence and golden bytes ------------------------ *)
 
 let test_jobs_independent () =
@@ -233,6 +275,8 @@ let () =
           Alcotest.test_case "analytic == simulated (hop-for-hop + histograms)" `Slow
             test_analytic_equals_simulated;
           Alcotest.test_case "Scale.run cross-check is exact" `Quick test_run_cross_check;
+          Alcotest.test_case "route_hops_only scratch buffer does not allocate" `Quick
+            test_hops_only_scratch_allocation;
         ] );
       ( "determinism",
         [

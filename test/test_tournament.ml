@@ -1,0 +1,98 @@
+(* The cross-algorithm tournament (ISSUE 8): the golden matrix bytes, the
+   --jobs independence contract, and the shape invariants of the comparison
+   matrix itself. *)
+
+module T = Experiments.Tournament
+module Config = Experiments.Config
+
+let tcfg = Obs_test_support.Golden.tournament_cfg
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* one sequential run shared by every test (the matrix is deterministic) *)
+let results = lazy (T.run tcfg)
+
+let test_golden () =
+  let golden = read_file (Filename.concat "golden" "tournament_ts64.json") in
+  Alcotest.(check string)
+    "tournament matrix is byte-identical to the golden\n\
+     (if routing or the schema intentionally changed, regenerate with:\n\
+     \  dune exec test/support/gen_golden.exe -- --tournament \\\n\
+     \    > test/golden/tournament_ts64.json)"
+    golden
+    (T.results_json (Lazy.force results) ^ "\n")
+
+let test_jobs_independent () =
+  let seq = T.results_json (Lazy.force results) in
+  let par =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool -> T.results_json (T.run ~pool tcfg))
+  in
+  Alcotest.(check string) "results_json identical for jobs 1 and 4" seq par
+
+let expected_algos =
+  [ "chord"; "hieras"; "pastry"; "hieras-pastry"; "can"; "hieras-can"; "tapestry"; "hieras-tapestry" ]
+
+let test_matrix_shape () =
+  let r = Lazy.force results in
+  Alcotest.(check int) "lookups" tcfg.Config.requests r.T.lookups;
+  Alcotest.(check (list string))
+    "all eight contestants in fixed order" expected_algos
+    (List.map (fun (e : T.entry) -> e.T.algo) r.T.entries);
+  List.iter
+    (fun (e : T.entry) ->
+      Alcotest.(check int)
+        (e.T.algo ^ ": every baseline route ends at the owner")
+        r.T.lookups e.T.owner_ok;
+      Alcotest.(check bool)
+        (e.T.algo ^ ": hops_mean positive")
+        true
+        (e.T.hops_mean > 0.0 && e.T.hops_mean <= e.T.hops_max);
+      Alcotest.(check bool)
+        (e.T.algo ^ ": stretch >= 1")
+        true (e.T.stretch >= 1.0);
+      List.iter
+        (fun (p : T.fault_point) ->
+          Alcotest.(check bool)
+            (e.T.algo ^ ": fault successes bounded by lookups")
+            true
+            (p.T.succeeded >= 0 && p.T.succeeded <= r.T.lookups);
+          Alcotest.(check bool)
+            (e.T.algo ^ ": non-negative recovery accounting")
+            true
+            (p.T.retries >= 0 && p.T.timeouts >= 0 && p.T.fallbacks >= 0
+            && p.T.layer_escapes >= 0 && p.T.penalty_ms >= 0.0))
+        [ e.T.crash; e.T.outage ])
+    r.T.entries
+
+let test_flat_substrates_no_escapes () =
+  let r = Lazy.force results in
+  List.iter
+    (fun (e : T.entry) ->
+      if not (List.exists (fun p -> e.T.algo = p) [ "hieras"; "hieras-pastry"; "hieras-can"; "hieras-tapestry" ])
+      then (
+        Alcotest.(check int) (e.T.algo ^ ": crash layer escapes") 0 e.T.crash.T.layer_escapes;
+        Alcotest.(check int) (e.T.algo ^ ": outage layer escapes") 0 e.T.outage.T.layer_escapes))
+    r.T.entries
+
+let test_rejects_bad_fraction () =
+  Alcotest.check_raises "fault_fraction out of range"
+    (Invalid_argument "Tournament.run: fault fraction must be in [0, 0.95]") (fun () ->
+      ignore (T.run ~fault_fraction:1.5 tcfg))
+
+let () =
+  Alcotest.run "tournament"
+    [
+      ( "tournament",
+        [
+          Alcotest.test_case "golden matrix bytes" `Quick test_golden;
+          Alcotest.test_case "jobs independence (1 vs 4)" `Quick test_jobs_independent;
+          Alcotest.test_case "matrix shape invariants" `Quick test_matrix_shape;
+          Alcotest.test_case "flat substrates never layer-escape" `Quick
+            test_flat_substrates_no_escapes;
+          Alcotest.test_case "rejects bad fault fraction" `Quick test_rejects_bad_fraction;
+        ] );
+    ]
