@@ -109,19 +109,84 @@ let metrics_t =
 
 (* Build a tracer over FILE (or the disabled tracer), run [f], and report how
    many events were written. *)
-let with_trace_out path f =
+let with_trace_out ?(sample = 1.0) path f =
   match path with
   | None -> f Obs.Trace.disabled
   | Some file ->
       let oc = open_out file in
       let events = ref 0 in
       let tr =
-        Obs.Trace.jsonl (fun line ->
+        Obs.Trace.jsonl ~sample (fun line ->
             incr events;
             output_string oc line)
       in
       let r = Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f tr) in
       Printf.printf "wrote %d trace events to %s\n" !events file;
+      r
+
+let trace_sample_t =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "trace-sample" ] ~docv:"R"
+        ~doc:
+          "With $(b,--trace-out): keep the events of a deterministic fraction \
+           $(docv) of lookups (keyed on the lookup id, so the sampled stream \
+           is a stable subset of the full trace — identical for any \
+           $(b,--jobs)).")
+
+let check_trace_sample r =
+  if r < 0.0 || r > 1.0 then
+    exit_usage (Printf.sprintf "--trace-sample must be in [0, 1] (got %g)" r)
+
+(* ---- message-level (net) tracing --------------------------------------- *)
+
+let net_trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "net-trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write message-level span events (one JSON object per line: every \
+           engine send with its RPC kind, src/dst, timing and causal parent, \
+           plus drop records; DESIGN.md \\S14) to $(docv). Analyze with \
+           `hieras-sim analyze $(docv)`.")
+
+let net_sample_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "net-sample" ] ~docv:"R"
+        ~doc:
+          "Sample rate for $(b,--net-trace-out): keep whole causal trees of a \
+           deterministic fraction $(docv) of roots (default 1 — everything). \
+           Sampling never orphans a parent, and the output is byte-identical \
+           for any $(b,--jobs).")
+
+(* --net-sample without --net-trace-out is a flag with no effect: reject it
+   rather than silently ignore it. *)
+let net_sample_rate ~net_out net_sample =
+  match (net_out, net_sample) with
+  | None, Some _ -> exit_usage "--net-sample requires --net-trace-out"
+  | _, Some r when r < 0.0 || r > 1.0 ->
+      exit_usage (Printf.sprintf "--net-sample must be in [0, 1] (got %g)" r)
+  | _, r -> Option.value ~default:1.0 r
+
+(* Build a net tracer over FILE (or the disabled tracer), run [f], and report
+   how many span events were written. *)
+let with_net_trace_out ?(sample = 1.0) path f =
+  match path with
+  | None -> f Obs.Netspan.disabled
+  | Some file ->
+      let oc = open_out file in
+      let events = ref 0 in
+      let ns =
+        Obs.Netspan.jsonl ~sample (fun line ->
+            incr events;
+            output_string oc line)
+      in
+      let r = Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f ns) in
+      Printf.printf "wrote %d net span events to %s\n" !events file;
       r
 
 let print_metrics reg = print_string (Obs.Metrics.to_text (Obs.Metrics.snapshot reg))
@@ -311,7 +376,8 @@ let cost_cmd =
 (* ---- lookup ----------------------------------------------------------- *)
 
 let lookup_cmd =
-  let run model nodes landmarks depth seed jobs backend trace_out metrics =
+  let run model nodes landmarks depth seed jobs backend trace_out trace_sample metrics =
+    check_trace_sample trace_sample;
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests:1 ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
@@ -321,7 +387,7 @@ let lookup_cmd =
     let key = Hashid.Id.random Hashid.Id.sha1_space rng in
     let origin = Prng.Rng.int rng nodes in
     let r, rc =
-      with_trace_out trace_out (fun tr ->
+      with_trace_out ~sample:trace_sample trace_out (fun tr ->
           let r = Hieras.Hlookup.route_checked ~trace:tr hnet ~origin ~key in
           let rc =
             Chord.Lookup.route ~trace:tr net (Experiments.Runner.latency_oracle env) ~origin ~key
@@ -357,14 +423,15 @@ let lookup_cmd =
   let term =
     Term.(
       const run $ model_t $ nodes_t 2000 $ landmarks_t $ depth_t $ seed_t $ jobs_t $ backend_t
-      $ trace_out_t $ metrics_t)
+      $ trace_out_t $ trace_sample_t $ metrics_t)
   in
   Cmd.v (Cmd.info "lookup" ~doc:"Trace one HIERAS lookup hop by hop") term
 
 (* ---- trace ------------------------------------------------------------ *)
 
 let trace_cmd =
-  let run model nodes landmarks depth requests seed jobs backend trace_out metrics =
+  let run model nodes landmarks depth requests seed jobs backend trace_out trace_sample metrics =
+    check_trace_sample trace_sample;
     let cfg = config_of ~model ~nodes ~landmarks ~depth ~requests ~seed ~scale:1.0 ~backend in
     with_jobs jobs @@ fun pool ->
     let env = Experiments.Runner.build_env ~pool cfg in
@@ -377,7 +444,7 @@ let trace_cmd =
     let hieras_hops = Obs.Metrics.counter reg "trace.hieras.hops" in
     let chord_lat = Obs.Metrics.histogram reg "trace.chord.latency_ms" in
     let hieras_lat = Obs.Metrics.histogram reg "trace.hieras.latency_ms" in
-    with_trace_out trace_out (fun tr ->
+    with_trace_out ~sample:trace_sample trace_out (fun tr ->
         (* same deterministic request stream as Runner.measure *)
         let rng = Prng.Rng.create ~seed:(cfg.Experiments.Config.seed + 104729) in
         let spec = Workload.Requests.paper_default ~count:cfg.Experiments.Config.requests in
@@ -408,7 +475,7 @@ let trace_cmd =
           value
           & opt int 100
           & info [ "requests" ] ~docv:"R" ~doc:"Routing requests to replay and trace.")
-      $ seed_t $ jobs_t $ backend_t $ trace_out_t $ metrics_t)
+      $ seed_t $ jobs_t $ backend_t $ trace_out_t $ trace_sample_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -426,9 +493,10 @@ let analyze_cmd =
       & pos_all string []
       & info [] ~docv:"ARGS"
           ~doc:
-            "Either a JSONL trace file (as written by $(b,--trace-out); schema \
-             in DESIGN.md \\S8), or $(b,compare) $(i,BASE) $(i,CAND) to diff \
-             two `analyze --json` reports / two BENCH_*.json snapshots.")
+            "Either a JSONL trace file (as written by $(b,--trace-out) or \
+             $(b,--net-trace-out); schemas in DESIGN.md \\S8 and \\S14; \
+             $(b,-) reads from stdin), or $(b,compare) $(i,BASE) $(i,CAND) to \
+             diff two `analyze --json` reports / two BENCH_*.json snapshots.")
   in
   let json_t =
     Arg.(
@@ -454,14 +522,30 @@ let analyze_cmd =
   in
   let analyze_file file json top_k =
     if top_k < 0 then exit_usage (Printf.sprintf "--top must be >= 0 (got %d)" top_k);
+    let of_stdin () =
+      let t = Obs.Analyze.create ~top_k () in
+      (try
+         while true do
+           Obs.Analyze.feed_line t (input_line stdin)
+         done
+       with End_of_file -> ());
+      t
+    in
     let t =
-      try Obs.Analyze.of_file ~top_k file with
+      try if file = "-" then of_stdin () else Obs.Analyze.of_file ~top_k file with
       | Sys_error msg -> exit_err msg
       | Failure msg -> exit_err msg
     in
-    let r = Obs.Analyze.report t in
-    if json then print_endline (Obs.Analyze.report_json r)
-    else print_string (Obs.Analyze.report_text r)
+    (* the stream's own event family picks the report: msg/drop lines make
+       a net (message-span) report, start/hop/end lines a lookup report *)
+    match Obs.Analyze.net_report t with
+    | Some nr ->
+        if json then print_endline (Obs.Analyze.net_report_json nr)
+        else print_string (Obs.Analyze.net_report_text nr)
+    | None ->
+        let r = Obs.Analyze.report t in
+        if json then print_endline (Obs.Analyze.report_json r)
+        else print_string (Obs.Analyze.report_text r)
   in
   let compare_reports base cand threshold =
     if threshold <= 0.0 then
@@ -480,14 +564,16 @@ let analyze_cmd =
         exit_usage
           (Printf.sprintf "analyze compare takes exactly BASE and CAND (got %d argument(s))"
              (List.length rest))
-    | _ -> exit_usage "usage: analyze TRACE [--json] [--top K] | analyze compare BASE CAND"
+    | _ -> exit_usage "usage: analyze TRACE|- [--json] [--top K] | analyze compare BASE CAND"
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Analyze a JSONL lookup trace (per-layer attribution, distributions, \
-          hotspots), or `analyze compare BASE CAND` to diff two reports — \
-          exit 1 when any metric regresses beyond the threshold")
+          hotspots) or message-span trace (per-kind traffic, bandwidth \
+          attribution, causal audit) — `-` reads stdin — or `analyze compare \
+          BASE CAND` to diff two reports; exit 1 when any metric regresses \
+          beyond the threshold")
     Term.(const run $ args_t $ json_t $ top_t $ threshold_t)
 
 (* ---- churn ------------------------------------------------------------- *)
@@ -533,7 +619,8 @@ let churn_cmd =
       & info [ "lookups" ] ~docv:"N" ~doc:"Probe lookups fired at 1 s intervals during churn.")
   in
   let run pool initial horizon join_rate fail_rate leave_rate loss bucket_ms lookups landmarks
-      depth seed trace_out metrics =
+      depth seed trace_out net_trace_out net_sample metrics =
+    let net_rate = net_sample_rate ~net_out:net_trace_out net_sample in
     if pool < 2 then exit_usage (Printf.sprintf "--pool must be >= 2 (got %d)" pool);
     if initial < 1 || initial > pool then
       exit_usage (Printf.sprintf "--initial must be in 1..pool (got %d)" initial);
@@ -553,6 +640,15 @@ let churn_cmd =
     if loss > 0.0 then Engine.set_loss eng ~rate:loss ~rng:(Prng.Rng.split rng);
     let ts = Obs.Timeseries.create ~bucket_ms () in
     Engine.attach_timeseries eng ts;
+    let net_oc = Option.map open_out net_trace_out in
+    let net_events = ref 0 in
+    Option.iter
+      (fun oc ->
+        Engine.attach_netspan eng
+          (Obs.Netspan.jsonl ~sample:net_rate (fun line ->
+               incr net_events;
+               output_string oc line)))
+      net_oc;
     let space = Id.space ~bits:32 in
     let lms = Binning.Landmark.choose_spread lat ~count:landmarks (Prng.Rng.split rng) in
     let cfg = Hieras.Hprotocol.default_config space ~depth in
@@ -636,6 +732,11 @@ let churn_cmd =
         Printf.printf "wrote %d time series to %s\n"
           (List.length (Obs.Timeseries.names ts))
           file);
+    (match (net_oc, net_trace_out) with
+    | Some oc, Some file ->
+        close_out oc;
+        Printf.printf "wrote %d net span events to %s\n" !net_events file
+    | _ -> ());
     if metrics then begin
       let reg = Obs.Metrics.create () in
       Engine.export_metrics eng reg;
@@ -656,7 +757,7 @@ let churn_cmd =
                 "Write the bucketed time series (membership, per-layer ring \
                  counts, joins/leaves/fails, network traffic) as one JSON \
                  object to $(docv).")
-      $ metrics_t)
+      $ net_trace_out_t $ net_sample_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "churn"
@@ -754,7 +855,9 @@ let soak_cmd =
              comparable with `analyze compare`.")
   in
   let run pool_n initial horizon join_rate fail_rate leave_rate factors loss bucket_ms
-      probe_every adaptive fault fault_frac landmarks depth seed jobs out metrics =
+      probe_every adaptive fault fault_frac landmarks depth seed jobs out net_trace_out
+      net_sample metrics =
+    let net_rate = net_sample_rate ~net_out:net_trace_out net_sample in
     let fault =
       match fault with
       | "none" -> None
@@ -782,6 +885,7 @@ let soak_cmd =
         adaptive;
         fault;
         fault_frac;
+        net_sample = Option.map (fun _ -> net_rate) net_trace_out;
         seed;
       }
     in
@@ -797,6 +901,13 @@ let soak_cmd =
                 output_string oc (Soak.results_json r);
                 output_char oc '\n');
             Printf.printf "wrote %d soak cells to %s\n" (List.length r.Soak.cells) file);
+        (match net_trace_out with
+        | None -> ()
+        | Some file ->
+            let tr = Soak.net_trace r in
+            Out_channel.with_open_text file (fun oc -> output_string oc tr);
+            let lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 tr in
+            Printf.printf "wrote %d net span events to %s\n" lines file);
         match registry with
         | None -> ()
         | Some reg ->
@@ -808,7 +919,8 @@ let soak_cmd =
     Term.(
       const run $ pool_t $ initial_t $ horizon_t $ join_rate_t $ fail_rate_t $ leave_rate_t
       $ factors_t $ loss_t $ bucket_t $ probe_t $ adaptive_t $ fault_t $ fault_frac_t
-      $ landmarks_t $ depth_t $ seed_t $ jobs_t $ out_t $ metrics_t)
+      $ landmarks_t $ depth_t $ seed_t $ jobs_t $ out_t $ net_trace_out_t $ net_sample_t
+      $ metrics_t)
   in
   Cmd.v
     (Cmd.info "soak"
@@ -945,7 +1057,8 @@ let resilience_cmd =
              still down at the sample instant).")
   in
   let run model nodes landmarks depth requests seed scale jobs backend failures schedule
-      trace_out metrics timings folded =
+      trace_out net_trace_out net_sample metrics timings folded =
+    let net_rate = net_sample_rate ~net_out:net_trace_out net_sample in
     let kind =
       match Experiments.Resilience.schedule_of_name schedule with
       | Some k -> k
@@ -966,10 +1079,12 @@ let resilience_cmd =
         let registry = if metrics then Some (Obs.Metrics.create ()) else None in
         with_timer ~timings ~folded (fun timer ->
             with_trace_out trace_out (fun trace ->
-                let r =
-                  Experiments.Resilience.run ~pool ?registry ~trace ~timer ~fractions ~kind cfg
-                in
-                Experiments.Report.print (Experiments.Resilience.section r));
+                with_net_trace_out ~sample:net_rate net_trace_out (fun net ->
+                    let r =
+                      Experiments.Resilience.run ~pool ?registry ~trace ~net ~timer ~fractions
+                        ~kind cfg
+                    in
+                    Experiments.Report.print (Experiments.Resilience.section r)));
             Option.iter (fun reg -> Obs.Timer.export_metrics timer reg) registry);
         match registry with
         | None -> ()
@@ -986,7 +1101,7 @@ let resilience_cmd =
           & opt int 10_000
           & info [ "requests" ] ~docv:"R" ~doc:"Routing requests per sweep point.")
       $ seed_t $ scale_t $ jobs_t $ backend_t $ failures_t $ schedule_t $ trace_out_t
-      $ metrics_t $ timings_t $ folded_t)
+      $ net_trace_out_t $ net_sample_t $ metrics_t $ timings_t $ folded_t)
   in
   Cmd.v
     (Cmd.info "resilience"

@@ -1,5 +1,6 @@
 module Id = Hashid.Id
 module Engine = Simnet.Engine
+module Netspan = Obs.Netspan
 
 type config = {
   space : Id.space;
@@ -203,15 +204,17 @@ let ring_from t start =
 (* Request/response with timeout. [service] runs at [dst] against its node
    state and must call its continuation exactly once with the response;
    the response value travels back in a second message. A timer at the
-   requester fires [on_timeout] if the response has not arrived. *)
-let ask t ~src ~dst ~(service : pnode -> 'a) ~(ok : 'a -> unit) ~(timeout : unit -> unit) =
+   requester fires [on_timeout] if the response has not arrived. [kind]
+   labels the request span for the netspan tracer; the response leg is
+   always a [Reply] (and a causal child of the request). *)
+let ask t ~kind ~src ~dst ~(service : pnode -> 'a) ~(ok : 'a -> unit) ~(timeout : unit -> unit) =
   let settled = ref false in
-  Engine.send t.eng ~src ~dst (fun () ->
+  Engine.send t.eng ~kind ~src ~dst (fun () ->
       match Hashtbl.find_opt t.nodes dst with
       | None -> ()
       | Some pn ->
           let response = service pn in
-          Engine.send t.eng ~src:dst ~dst:src (fun () ->
+          Engine.send t.eng ~kind:Netspan.Reply ~src:dst ~dst:src (fun () ->
               if not !settled then begin
                 settled := true;
                 ok response
@@ -257,27 +260,36 @@ let closest_preceding pn ~key =
 
 (* --- find_successor: recursive forwarding with direct reply ----------- *)
 
-let rec handle_find_successor t pn ~key ~hops ~reply_to ~(reply : peer -> int -> unit) =
+(* [kind] is the span kind of the next message this cascade sends: the
+   initiating site's RPC kind on the first send (so the tree's root always
+   carries it, even when the cascade is a single direct reply), [Forward]
+   on every recursive hop after that, [Reply] on the response leg. *)
+let rec handle_find_successor t pn ~kind ~key ~hops ~reply_to ~(reply : peer -> int -> unit) =
   let succ = current_successor pn in
   if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then
     (* reply travels straight back to the requester *)
-    Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () -> reply succ (hops + 1))
+    Engine.send t.eng
+      ~kind:(match kind with Netspan.Forward -> Netspan.Reply | k -> k)
+      ~src:pn.addr ~dst:reply_to
+      (fun () -> reply succ (hops + 1))
   else begin
     let next = closest_preceding pn ~key in
-    Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+    Engine.send t.eng ~kind ~src:pn.addr ~dst:next.paddr (fun () ->
         match Hashtbl.find_opt t.nodes next.paddr with
         | None -> ()
-        | Some pn' -> handle_find_successor t pn' ~key ~hops:(hops + 1) ~reply_to ~reply)
+        | Some pn' ->
+            handle_find_successor t pn' ~kind:Netspan.Forward ~key ~hops:(hops + 1) ~reply_to
+              ~reply)
   end
 
 (* find_successor issued from [src] with timeout/retry *)
-let find_successor t ~src ~key ~retries ~(ok : peer -> int -> unit) ~(failed : unit -> unit) =
+let find_successor t ~kind ~src ~key ~retries ~(ok : peer -> int -> unit) ~(failed : unit -> unit) =
   let rec attempt n =
     let settled = ref false in
     (match Hashtbl.find_opt t.nodes src with
     | None -> ()
     | Some pn ->
-        handle_find_successor t pn ~key ~hops:(-1) ~reply_to:src ~reply:(fun p h ->
+        handle_find_successor t pn ~kind ~key ~hops:(-1) ~reply_to:src ~reply:(fun p h ->
             if not !settled then begin
               settled := true;
               ok p h
@@ -318,12 +330,12 @@ let rec stabilize t pn =
     | _ ->
         if pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then begin
           maint t `Stabilize;
-          Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+          Engine.send t.eng ~kind:Netspan.Stabilize ~src:pn.addr ~dst:pn.anchor (fun () ->
               match Hashtbl.find_opt t.nodes pn.anchor with
               | None -> ()
               | Some apn ->
-                  handle_find_successor t apn ~key:pn.id ~hops:0 ~reply_to:pn.addr
-                    ~reply:(fun p _ ->
+                  handle_find_successor t apn ~kind:Netspan.Forward ~key:pn.id ~hops:0
+                    ~reply_to:pn.addr ~reply:(fun p _ ->
                       if (current_successor pn).paddr = pn.addr && p.paddr <> pn.addr then
                         pn.succs <- [ p ]))
         end);
@@ -331,7 +343,7 @@ let rec stabilize t pn =
   end
   else begin
     maint t `Stabilize;
-    ask t ~src:pn.addr ~dst:succ.paddr
+    ask t ~kind:Netspan.Stabilize ~src:pn.addr ~dst:succ.paddr
       ~service:(fun spn -> (spn.pred, self_peer spn :: spn.succs))
       ~ok:(fun (spred, slist) ->
         pn.succ_suspect <- 0;
@@ -349,12 +361,12 @@ let rec stabilize t pn =
           && Engine.is_alive t.eng pn.anchor
         then begin
           maint t `Stabilize;
-          Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+          Engine.send t.eng ~kind:Netspan.Stabilize ~src:pn.addr ~dst:pn.anchor (fun () ->
               match Hashtbl.find_opt t.nodes pn.anchor with
               | None -> ()
               | Some apn ->
-                  handle_find_successor t apn ~key:pn.id ~hops:0 ~reply_to:pn.addr
-                    ~reply:(fun p _ ->
+                  handle_find_successor t apn ~kind:Netspan.Forward ~key:pn.id ~hops:0
+                    ~reply_to:pn.addr ~reply:(fun p _ ->
                       let cur = current_successor pn in
                       if
                         p.paddr <> pn.addr
@@ -364,7 +376,7 @@ let rec stabilize t pn =
         let new_succ = current_successor pn in
         (* notify: we believe we are their predecessor *)
         maint t `Notify;
-        Engine.send t.eng ~src:pn.addr ~dst:new_succ.paddr (fun () ->
+        Engine.send t.eng ~kind:Netspan.Notify ~src:pn.addr ~dst:new_succ.paddr (fun () ->
             match Hashtbl.find_opt t.nodes new_succ.paddr with
             | None -> ()
             | Some spn -> (
@@ -402,7 +414,7 @@ let rec fix_fingers t pn =
       pn.next_finger <- (pn.next_finger + 1) mod bits;
       let start = Id.add_pow2 t.cfg.space pn.id i in
       maint t `Fix;
-      find_successor t ~src:pn.addr ~key:start ~retries:0
+      find_successor t ~kind:Netspan.Fix_fingers ~src:pn.addr ~key:start ~retries:0
         ~ok:(fun p _ -> pn.fingers.(i) <- Some p)
         ~failed:(fun () -> ());
       fix (k - 1)
@@ -419,7 +431,7 @@ let rec check_predecessor t pn =
   | Some p ->
       if p.paddr <> pn.addr then begin
         maint t `Check;
-        ask t ~src:pn.addr ~dst:p.paddr
+        ask t ~kind:Netspan.Check_pred ~src:pn.addr ~dst:p.paddr
           ~service:(fun _ -> ())
           ~ok:(fun () -> ())
           ~timeout:(fun () ->
@@ -474,11 +486,12 @@ let join t ~addr ~id ~bootstrap =
   let rec attempt n =
     (* route the join query through the bootstrap node *)
     let settled = ref false in
-    Engine.send t.eng ~src:addr ~dst:bootstrap (fun () ->
+    Engine.send t.eng ~kind:Netspan.Join ~src:addr ~dst:bootstrap (fun () ->
         match Hashtbl.find_opt t.nodes bootstrap with
         | None -> ()
         | Some bpn ->
-            handle_find_successor t bpn ~key:id ~hops:0 ~reply_to:addr ~reply:(fun p _ ->
+            handle_find_successor t bpn ~kind:Netspan.Forward ~key:id ~hops:0 ~reply_to:addr
+              ~reply:(fun p _ ->
                 if not !settled then begin
                   settled := true;
                   pn.succs <- [ p ];
@@ -507,7 +520,7 @@ type lookup_outcome = { owner_addr : int; owner_id : Id.t; hops : int; retries :
 
 let lookup t ~origin ~key k =
   let rec attempt budget tries =
-    find_successor t ~src:origin ~key ~retries:0
+    find_successor t ~kind:Netspan.Lookup ~src:origin ~key ~retries:0
       ~ok:(fun p hops ->
         k (Some { owner_addr = p.paddr; owner_id = p.pid; hops; retries = tries }))
       ~failed:(fun () -> if budget > 0 then attempt (budget - 1) (tries + 1) else k None)

@@ -1,5 +1,6 @@
 module Id = Hashid.Id
 module Engine = Simnet.Engine
+module Netspan = Obs.Netspan
 
 type config = {
   space : Id.space;
@@ -283,14 +284,16 @@ let live_members t =
 
 (* ---- generic request/response with timeout --------------------------- *)
 
-let ask t ~src ~dst ~service ~ok ~timeout =
+(* [kind] labels the request span for the netspan tracer; the response leg
+   is always a [Reply] (and a causal child of the request). *)
+let ask t ~kind ~src ~dst ~service ~ok ~timeout =
   let settled = ref false in
-  Engine.send t.eng ~src ~dst (fun () ->
+  Engine.send t.eng ~kind ~src ~dst (fun () ->
       match Hashtbl.find_opt t.nodes dst with
       | None -> ()
       | Some pn ->
           let response = service pn in
-          Engine.send t.eng ~src:dst ~dst:src (fun () ->
+          Engine.send t.eng ~kind:Netspan.Reply ~src:dst ~dst:src (fun () ->
               if not !settled then begin
                 settled := true;
                 ok response
@@ -325,26 +328,34 @@ let closest_preceding pn ls ~key =
 
 (* ---- per-layer find_successor (recursive forwarding) ------------------ *)
 
-let rec handle_find_successor t pn ~layer ~key ~hops ~reply_to ~reply =
+(* [kind] is the span kind of the next message this cascade sends: the
+   initiating site's RPC kind on the first send (so the tree's root always
+   carries it), [Forward] on recursive hops, [Reply] on the response. *)
+let rec handle_find_successor t pn ~kind ~layer ~key ~hops ~reply_to ~reply =
   let ls = layer_state pn ~layer in
   let succ = current_successor pn ls in
   if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then
-    Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () -> reply succ (hops + 1))
+    Engine.send t.eng
+      ~kind:(match kind with Netspan.Forward -> Netspan.Reply | k -> k)
+      ~src:pn.addr ~dst:reply_to
+      (fun () -> reply succ (hops + 1))
   else begin
     let next = closest_preceding pn ls ~key in
-    Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+    Engine.send t.eng ~kind ~src:pn.addr ~dst:next.paddr (fun () ->
         match Hashtbl.find_opt t.nodes next.paddr with
         | None -> ()
-        | Some pn' -> handle_find_successor t pn' ~layer ~key ~hops:(hops + 1) ~reply_to ~reply)
+        | Some pn' ->
+            handle_find_successor t pn' ~kind:Netspan.Forward ~layer ~key ~hops:(hops + 1)
+              ~reply_to ~reply)
   end
 
-let find_successor t ~src ~layer ~key ~retries ~ok ~failed =
+let find_successor t ~kind ~src ~layer ~key ~retries ~ok ~failed =
   let rec attempt n =
     let settled = ref false in
     (match Hashtbl.find_opt t.nodes src with
     | None -> ()
     | Some pn ->
-        handle_find_successor t pn ~layer ~key ~hops:(-1) ~reply_to:src ~reply:(fun p h ->
+        handle_find_successor t pn ~kind ~layer ~key ~hops:(-1) ~reply_to:src ~reply:(fun p h ->
             if not !settled then begin
               settled := true;
               ok p h
@@ -387,12 +398,12 @@ let rec stabilize t pn ~layer =
         (* global-layer self-ring with no predecessor: re-join via anchor *)
         if layer = 1 && pn.anchor <> pn.addr && Engine.is_alive t.eng pn.anchor then begin
           maint t `Stabilize;
-          Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+          Engine.send t.eng ~kind:Netspan.Stabilize ~src:pn.addr ~dst:pn.anchor (fun () ->
               match Hashtbl.find_opt t.nodes pn.anchor with
               | None -> ()
               | Some apn ->
-                  handle_find_successor t apn ~layer:1 ~key:pn.id ~hops:0 ~reply_to:pn.addr
-                    ~reply:(fun p _ ->
+                  handle_find_successor t apn ~kind:Netspan.Forward ~layer:1 ~key:pn.id ~hops:0
+                    ~reply_to:pn.addr ~reply:(fun p _ ->
                       let gls = layer_state pn ~layer:1 in
                       if (current_successor pn gls).paddr = pn.addr && p.paddr <> pn.addr then
                         gls.succs <- [ p ]))
@@ -401,7 +412,7 @@ let rec stabilize t pn ~layer =
   end
   else begin
     maint t `Stabilize;
-    ask t ~src:pn.addr ~dst:succ.paddr
+    ask t ~kind:Netspan.Stabilize ~src:pn.addr ~dst:succ.paddr
       ~service:(fun spn ->
         let sls = layer_state spn ~layer in
         (sls.pred, self_peer spn :: sls.succs))
@@ -419,12 +430,12 @@ let rec stabilize t pn ~layer =
             && Engine.is_alive t.eng pn.anchor
           then begin
             maint t `Stabilize;
-            Engine.send t.eng ~src:pn.addr ~dst:pn.anchor (fun () ->
+            Engine.send t.eng ~kind:Netspan.Stabilize ~src:pn.addr ~dst:pn.anchor (fun () ->
                 match Hashtbl.find_opt t.nodes pn.anchor with
                 | None -> ()
                 | Some apn ->
-                    handle_find_successor t apn ~layer:1 ~key:pn.id ~hops:0 ~reply_to:pn.addr
-                      ~reply:(fun p _ ->
+                    handle_find_successor t apn ~kind:Netspan.Forward ~layer:1 ~key:pn.id
+                      ~hops:0 ~reply_to:pn.addr ~reply:(fun p _ ->
                         let gls = layer_state pn ~layer:1 in
                         let cur = current_successor pn gls in
                         if
@@ -435,7 +446,7 @@ let rec stabilize t pn ~layer =
         end;
         let new_succ = current_successor pn ls in
         maint t `Notify;
-        Engine.send t.eng ~src:pn.addr ~dst:new_succ.paddr (fun () ->
+        Engine.send t.eng ~kind:Netspan.Notify ~src:pn.addr ~dst:new_succ.paddr (fun () ->
             match Hashtbl.find_opt t.nodes new_succ.paddr with
             | None -> ()
             | Some spn -> (
@@ -470,7 +481,7 @@ let rec fix_fingers t pn ~layer =
     ls.next_finger <- (ls.next_finger + 1) mod bits;
     let start = Id.add_pow2 t.cfg.space pn.id i in
     maint t `Fix;
-    find_successor t ~src:pn.addr ~layer ~key:start ~retries:0
+    find_successor t ~kind:Netspan.Fix_fingers ~src:pn.addr ~layer ~key:start ~retries:0
       ~ok:(fun p _ -> ls.fingers.(i) <- Some p)
       ~failed:(fun () -> ())
   done;
@@ -485,7 +496,7 @@ let rec check_predecessor t pn ~layer =
   | Some p ->
       if p.paddr <> pn.addr then begin
         maint t `Check;
-        ask t ~src:pn.addr ~dst:p.paddr
+        ask t ~kind:Netspan.Check_pred ~src:pn.addr ~dst:p.paddr
           ~service:(fun _ -> ())
           ~ok:(fun () -> ())
           ~timeout:(fun () ->
@@ -531,7 +542,7 @@ let rec ring_table_duty t pn =
         (fun e ->
           if e.Ring_table.node <> pn.addr then begin
             maint t `Ring;
-            ask t ~src:pn.addr ~dst:e.Ring_table.node
+            ask t ~kind:Netspan.Ring ~src:pn.addr ~dst:e.Ring_table.node
               ~service:(fun _ -> ())
               ~ok:(fun () -> ())
               ~timeout:(fun () ->
@@ -542,7 +553,7 @@ let rec ring_table_duty t pn =
                 | Some survivor ->
                     let layer = Ring_name.layer (Ring_table.name rt) in
                     maint t `Ring;
-                    ask t ~src:pn.addr ~dst:survivor.Ring_table.node
+                    ask t ~kind:Netspan.Ring ~src:pn.addr ~dst:survivor.Ring_table.node
                       ~service:(fun spn ->
                         let sls = layer_state spn ~layer in
                         self_peer spn :: sls.succs)
@@ -563,7 +574,7 @@ let rec ring_table_duty t pn =
        if succ.paddr <> pn.addr then begin
          let snapshot = Ring_table.copy rt in
          maint t `Ring;
-         Engine.send t.eng ~src:pn.addr ~dst:succ.paddr (fun () ->
+         Engine.send t.eng ~kind:Netspan.Ring ~src:pn.addr ~dst:succ.paddr (fun () ->
              match Hashtbl.find_opt t.nodes succ.paddr with
              | None -> ()
              | Some spn ->
@@ -573,10 +584,10 @@ let rec ring_table_duty t pn =
       (* migration: is this node still the rightful manager? *)
       let rid = Ring_table.ring_id rt in
       maint t `Ring;
-      find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:0
+      find_successor t ~kind:Netspan.Ring ~src:pn.addr ~layer:1 ~key:rid ~retries:0
         ~ok:(fun owner _ ->
           if owner.paddr <> pn.addr then begin
-            Engine.send t.eng ~src:pn.addr ~dst:owner.paddr (fun () ->
+            Engine.send t.eng ~kind:Netspan.Ring ~src:pn.addr ~dst:owner.paddr (fun () ->
                 match Hashtbl.find_opt t.nodes owner.paddr with
                 | None -> ()
                 | Some opn ->
@@ -610,10 +621,10 @@ let rec ring_refresh t pn =
     let key = Ring_name.to_string rname in
     let rid = Ring_name.ring_id t.cfg.space rname in
     maint t `Ring;
-    find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:0
+    find_successor t ~kind:Netspan.Ring ~src:pn.addr ~layer:1 ~key:rid ~retries:0
       ~ok:(fun manager _ ->
         maint t `Ring;
-        ask t ~src:pn.addr ~dst:manager.paddr
+        ask t ~kind:Netspan.Ring ~src:pn.addr ~dst:manager.paddr
           ~service:(fun mpn ->
             match stored_table mpn key with
             | Some rt ->
@@ -720,7 +731,7 @@ let join_lower_layer t pn ~layer ~and_then =
   let rid = Ring_name.ring_id t.cfg.space rname in
   let ls = layer_state pn ~layer in
   let register_with manager_addr =
-    Engine.send t.eng ~src:pn.addr ~dst:manager_addr (fun () ->
+    Engine.send t.eng ~kind:Netspan.Join ~src:pn.addr ~dst:manager_addr (fun () ->
         match Hashtbl.find_opt t.nodes manager_addr with
         | None -> ()
         | Some mpn -> (
@@ -734,9 +745,10 @@ let join_lower_layer t pn ~layer ~and_then =
                 store_ring_table t mpn rt))
   in
   (* route to the manager of this ring's table on the top layer *)
-  find_successor t ~src:pn.addr ~layer:1 ~key:rid ~retries:t.cfg.lookup_retries
+  find_successor t ~kind:Netspan.Join ~src:pn.addr ~layer:1 ~key:rid
+    ~retries:t.cfg.lookup_retries
     ~ok:(fun manager _ ->
-      ask t ~src:pn.addr ~dst:manager.paddr
+      ask t ~kind:Netspan.Join ~src:pn.addr ~dst:manager.paddr
         ~service:(fun mpn -> Option.map Ring_table.entries (stored_table mpn key))
         ~ok:(fun entries ->
           let members =
@@ -755,12 +767,13 @@ let join_lower_layer t pn ~layer ~and_then =
               (* ask a recorded member for our ring-level successor *)
               let rec try_members m ms =
                 let settled = ref false in
-                Engine.send t.eng ~src:pn.addr ~dst:m.Ring_table.node (fun () ->
+                Engine.send t.eng ~kind:Netspan.Join ~src:pn.addr ~dst:m.Ring_table.node
+                  (fun () ->
                     match Hashtbl.find_opt t.nodes m.Ring_table.node with
                     | None -> ()
                     | Some ppn ->
-                        handle_find_successor t ppn ~layer ~key:pn.id ~hops:0
-                          ~reply_to:pn.addr ~reply:(fun succ _ ->
+                        handle_find_successor t ppn ~kind:Netspan.Forward ~layer ~key:pn.id
+                          ~hops:0 ~reply_to:pn.addr ~reply:(fun succ _ ->
                             if not !settled then begin
                               settled := true;
                               ls.succs <- [ succ ];
@@ -809,19 +822,19 @@ let join t ~addr ~id ~bootstrap =
       (Binning.Landmark.routers t.landmarks)
   in
   let rec fetch_landmark_table () =
-    ask t ~src:addr ~dst:bootstrap
+    ask t ~kind:Netspan.Join ~src:addr ~dst:bootstrap
       ~service:(fun _ -> ())
       ~ok:(fun () ->
       Engine.timer t.eng ~node:addr ~delay:ping_delay (fun () ->
           (* step 3: top-layer Chord join through the bootstrap *)
           let rec attempt n =
             let settled = ref false in
-            Engine.send t.eng ~src:addr ~dst:bootstrap (fun () ->
+            Engine.send t.eng ~kind:Netspan.Join ~src:addr ~dst:bootstrap (fun () ->
                 match Hashtbl.find_opt t.nodes bootstrap with
                 | None -> ()
                 | Some bpn ->
-                    handle_find_successor t bpn ~layer:1 ~key:id ~hops:0 ~reply_to:addr
-                      ~reply:(fun p _ ->
+                    handle_find_successor t bpn ~kind:Netspan.Forward ~layer:1 ~key:id ~hops:0
+                      ~reply_to:addr ~reply:(fun p _ ->
                         if not !settled then begin
                           settled := true;
                           (layer_state pn ~layer:1).succs <- [ p ];
@@ -866,8 +879,11 @@ type lookup_outcome = { owner_addr : int; owner_id : Id.t; hops : int; lower_hop
 (* Route to the ring-level closest preceding node at [layer], then either
    early-exit through the global successor check or descend to the next
    layer. Runs as a chain of forwarded messages; the final owner replies
-   straight to the originator. *)
-let rec hroute t pn ~layer ~key ~hops ~lower_hops ~reply_to ~reply =
+   straight to the originator. [kind] follows the handle_find_successor
+   convention: the initiation kind until the first send, then [Forward] /
+   [Reply]; descending a layer sends nothing, so the kind rides along. *)
+let rec hroute t pn ~kind ~layer ~key ~hops ~lower_hops ~reply_to ~reply =
+  let reply_kind = match kind with Netspan.Forward -> Netspan.Reply | k -> k in
   if layer >= 2 then begin
     let ls = layer_state pn ~layer in
     let succ = current_successor pn ls in
@@ -877,32 +893,34 @@ let rec hroute t pn ~layer ~key ~hops ~lower_hops ~reply_to ~reply =
       let gls = layer_state pn ~layer:1 in
       let gsucc = current_successor pn gls in
       if gsucc.paddr <> pn.addr && Id.in_oc key ~lo:pn.id ~hi:gsucc.pid then
-        Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () ->
+        Engine.send t.eng ~kind:reply_kind ~src:pn.addr ~dst:reply_to (fun () ->
             reply gsucc (hops + 1) lower_hops)
-      else hroute t pn ~layer:(layer - 1) ~key ~hops ~lower_hops ~reply_to ~reply
+      else hroute t pn ~kind ~layer:(layer - 1) ~key ~hops ~lower_hops ~reply_to ~reply
     end
     else begin
       let next = closest_preceding pn ls ~key in
-      Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+      Engine.send t.eng ~kind ~src:pn.addr ~dst:next.paddr (fun () ->
           match Hashtbl.find_opt t.nodes next.paddr with
           | None -> ()
           | Some pn' ->
-              hroute t pn' ~layer ~key ~hops:(hops + 1) ~lower_hops:(lower_hops + 1)
-                ~reply_to ~reply)
+              hroute t pn' ~kind:Netspan.Forward ~layer ~key ~hops:(hops + 1)
+                ~lower_hops:(lower_hops + 1) ~reply_to ~reply)
     end
   end
   else begin
     let ls = layer_state pn ~layer:1 in
     let succ = current_successor pn ls in
     if Id.in_oc key ~lo:pn.id ~hi:succ.pid || succ.paddr = pn.addr then
-      Engine.send t.eng ~src:pn.addr ~dst:reply_to (fun () -> reply succ (hops + 1) lower_hops)
+      Engine.send t.eng ~kind:reply_kind ~src:pn.addr ~dst:reply_to (fun () ->
+          reply succ (hops + 1) lower_hops)
     else begin
       let next = closest_preceding pn ls ~key in
-      Engine.send t.eng ~src:pn.addr ~dst:next.paddr (fun () ->
+      Engine.send t.eng ~kind ~src:pn.addr ~dst:next.paddr (fun () ->
           match Hashtbl.find_opt t.nodes next.paddr with
           | None -> ()
           | Some pn' ->
-              hroute t pn' ~layer:1 ~key ~hops:(hops + 1) ~lower_hops ~reply_to ~reply)
+              hroute t pn' ~kind:Netspan.Forward ~layer:1 ~key ~hops:(hops + 1) ~lower_hops
+                ~reply_to ~reply)
     end
   end
 
@@ -912,7 +930,8 @@ let lookup t ~origin ~key k =
     (match Hashtbl.find_opt t.nodes origin with
     | None -> ()
     | Some pn ->
-        hroute t pn ~layer:t.cfg.depth ~key ~hops:(-1) ~lower_hops:0 ~reply_to:origin
+        hroute t pn ~kind:Netspan.Lookup ~layer:t.cfg.depth ~key ~hops:(-1) ~lower_hops:0
+          ~reply_to:origin
           ~reply:(fun p hops lower_hops ->
             if not !settled then begin
               settled := true;

@@ -166,8 +166,8 @@ let export_registry reg r =
       g (Printf.sprintf "resilience.hieras.f%03d.stretch" pct) p.hieras_stretch)
     r.points
 
-let run ?pool ?registry ?(trace = Obs.Trace.disabled) ?(timer = Obs.Timer.disabled)
-    ?(fractions = default_fractions) ?(kind = Crash) cfg =
+let run ?pool ?registry ?(trace = Obs.Trace.disabled) ?(net = Obs.Netspan.disabled)
+    ?(timer = Obs.Timer.disabled) ?(fractions = default_fractions) ?(kind = Crash) cfg =
   List.iter
     (fun f ->
       if f < 0.0 || f > 0.95 then
@@ -224,6 +224,12 @@ let run ?pool ?registry ?(trace = Obs.Trace.disabled) ?(timer = Obs.Timer.disabl
         let group_of node = Topology.Latency.router_of_host lat (Chord.Network.host chord node) in
         let events = Faults.compile ~group_of ~nodes:n specs srng in
         let eng = Simnet.Engine.create ~latency:(fun _ _ -> 0.0) ~nodes:n in
+        (* Points run sequentially on the calling domain, so they can share
+           one net-trace sink; the resilience engines carry only god-event
+           fault schedules (lookups here are analytic replays), so the
+           recorded span stream is exactly the fault traffic — usually
+           empty. *)
+        if Obs.Netspan.enabled net then Simnet.Engine.attach_netspan eng net;
         Faults.apply eng ~rng:(Prng.Rng.split srng) events;
         Simnet.Engine.run ~until:sample_at eng;
         let alive = Array.init n (Simnet.Engine.is_alive eng) in

@@ -57,6 +57,7 @@ val run :
   ?pool:Parallel.Pool.t ->
   ?registry:Obs.Metrics.t ->
   ?trace:Obs.Trace.t ->
+  ?net:Obs.Netspan.t ->
   ?timer:Obs.Timer.t ->
   ?fractions:float list ->
   ?kind:schedule ->
@@ -67,7 +68,11 @@ val run :
     (issued, succeeded, retries, timeouts, fallbacks, layer_escapes) and
     per-fraction [..fNNN.success_rate] / [..fNNN.stretch] gauges. [trace]
     receives every resilient lookup of every point (baseline lookups are
-    not traced) and forces the replay onto the calling domain. *)
+    not traced) and forces the replay onto the calling domain. [net]
+    attaches to each point's fault-schedule engine; the lookups here are
+    analytic replays, not engine sends, so it records only the fault
+    traffic (the points run sequentially, so one sink is safe and the
+    stream is deterministic for any [--jobs]). *)
 
 val export_registry : Obs.Metrics.t -> results -> unit
 

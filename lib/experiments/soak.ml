@@ -34,6 +34,7 @@ type spec = {
   adaptive : bool;
   fault : Resilience.schedule option;
   fault_frac : float;
+  net_sample : float option;
   seed : int;
 }
 
@@ -54,6 +55,7 @@ let default_spec =
     adaptive = false;
     fault = None;
     fault_frac = 0.2;
+    net_sample = None;
     seed = 2003;
   }
 
@@ -81,7 +83,11 @@ let validate spec =
     Error (Printf.sprintf "--landmarks must be >= 1 (got %d)" spec.landmarks)
   else if spec.fault_frac < 0.0 || spec.fault_frac > 0.95 then
     Error (Printf.sprintf "--fault-frac must be in [0, 0.95] (got %g)" spec.fault_frac)
-  else Ok ()
+  else
+    match spec.net_sample with
+    | Some r when r < 0.0 || r > 1.0 ->
+        Error (Printf.sprintf "--net-sample must be in [0, 1] (got %g)" r)
+    | _ -> Ok ()
 
 type cell = {
   algo : string;
@@ -102,6 +108,7 @@ type cell = {
   converged_at_end : bool;
   final_members : int;
   series_json : string;
+  net_trace : string;
 }
 
 type results = { spec : spec; cells : cell list }
@@ -167,6 +174,16 @@ let run_cell spec ~fi ~factor ~algo =
     Engine.set_loss eng ~rate:spec.loss ~rng:(Prng.Rng.create ~seed:(spec.seed + 13 + fi));
   let ts = Obs.Timeseries.create ~bucket_ms:spec.bucket_ms () in
   Engine.attach_timeseries eng ts;
+  (* Net tracing buffers into the cell (one writer per engine — workers
+     never share a sink); the ctx tag is the cell's registry prefix sans
+     "soak.", so lines stay attributable after the driver concatenates the
+     cells in fixed order. *)
+  let net_buf = Buffer.create (match spec.net_sample with Some _ -> 4096 | None -> 0) in
+  (match spec.net_sample with
+  | None -> ()
+  | Some r ->
+      let ctx = Printf.sprintf "%s.x%s" (algo_name algo) (Obs.Jsonu.float_repr factor) in
+      Engine.attach_netspan eng (Obs.Netspan.jsonl ~ctx ~sample:r (Buffer.add_string net_buf)));
   let p =
     match algo with
     | Chord_ring ->
@@ -334,6 +351,7 @@ let run_cell spec ~fi ~factor ~algo =
     converged_at_end = p.converged ();
     final_members = List.length (p.live ());
     series_json = Obs.Timeseries.to_json ts;
+    net_trace = Buffer.contents net_buf;
   }
 
 let export_registry reg r =
@@ -407,6 +425,11 @@ let results_json r =
     | Some k -> Printf.sprintf {|"%s"|} (Resilience.schedule_name k))
     (n s.fault_frac) s.seed
     (String.concat "," (List.map cell_json r.cells))
+
+(* Cells are already in fixed (factor-major) order, so the merged trace is
+   byte-identical for any --jobs; cell_json deliberately omits net_trace so
+   results_json bytes are unchanged whether or not tracing ran. *)
+let net_trace r = String.concat "" (List.map (fun c -> c.net_trace) r.cells)
 
 let rate ok total = if total = 0 then 0.0 else float_of_int ok /. float_of_int total
 

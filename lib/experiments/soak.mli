@@ -38,6 +38,11 @@ type spec = {
           the protocols are not told — the convergence probes must detect
           the damage *)
   fault_frac : float;  (** fraction for crash/restart faults, [0, 0.95] *)
+  net_sample : float option;
+      (** when [Some r], every cell records its engine's message-level
+          spans ({!Obs.Netspan}) at root-keyed sample rate [r] into the
+          cell's [net_trace]; [None] (the default) leaves the engines
+          untraced and every [net_trace] empty *)
   seed : int;
 }
 
@@ -69,6 +74,9 @@ type cell = {
   converged_at_end : bool;
   final_members : int;
   series_json : string;  (** the cell's {!Obs.Timeseries.to_json} *)
+  net_trace : string;
+      (** the cell's message-span JSONL, every line ctx-tagged
+          [<algo>.x<factor>]; [""] unless [spec.net_sample] was set *)
 }
 
 type results = { spec : spec; cells : cell list (** factor-major, chord then hieras *) }
@@ -89,7 +97,13 @@ val results_json : results -> string
 (** Deterministic single-line object, [{"schema":"hieras-soak",...}] with
     one member per spec field and a ["cells"] array embedding each cell's
     time series — the artifact `analyze compare` diffs and the soak golden
-    pins. *)
+    pins. The per-cell [net_trace] is deliberately {e not} embedded, so
+    the bytes do not depend on whether tracing ran. *)
+
+val net_trace : results -> string
+(** The cells' message-span JSONL concatenated in cell order (factor-major,
+    chord then hieras) — byte-identical for any [--jobs]; [""] when
+    [spec.net_sample] is [None]. *)
 
 val section : results -> Report.section
 (** Render as the report section [soak] (one row per cell). *)

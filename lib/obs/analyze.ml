@@ -35,17 +35,82 @@ type agg = {
   mutable penalty_ms : float; (* recover delay total, part of End latency *)
 }
 
+(* Net (message-level) accumulation: one entry per span keyed by (ctx, span)
+   — spans from different engines sharing a file are disjoint namespaces.
+   Parents are always emitted before their children (a send happens before
+   the delivery it causes), so root kind and depth resolve in one pass. *)
+type nspan = { nsp_root_kind : Netspan.kind; nsp_depth : int }
+
+type net = {
+  nspans : (string * int, nspan) Hashtbl.t;
+  kind_counts : int array; (* by Netspan.kind_index *)
+  kind_lat : Stats.Summary.t array;
+  nlat_hist : Stats.Histogram.t;
+  mutable node_msgs : int Imap.t; (* sender -> messages *)
+  mutable node_bytes : int Imap.t; (* sender -> nominal wire bytes *)
+  mutable nnodes : Iset.t; (* every node seen as src or dst *)
+  class_msgs : int array; (* by class index, see class_names *)
+  class_bytes : int array;
+  depth_sum : Stats.Summary.t;
+  mutable nroots : int;
+  mutable ndrops_dead : int;
+  mutable ndrops_loss : int;
+}
+
+(* Traffic classes, attributed by the *root* kind of each causal tree: a
+   forwarding hop or reply belongs to whatever RPC started the cascade. *)
+let class_names = [| "maint"; "lookup"; "join"; "other" |]
+
+let class_of_kind = function
+  | Netspan.Stabilize | Netspan.Notify | Netspan.Fix_fingers | Netspan.Check_pred | Netspan.Ring ->
+      0
+  | Netspan.Lookup -> 1
+  | Netspan.Join -> 2
+  | Netspan.Forward | Netspan.Reply | Netspan.Other -> 3
+
 type t = {
   top_k : int;
   aggs : (string, agg) Hashtbl.t;
   open_spans : (int, span) Hashtbl.t;
+  mutable net : net option; (* created on the first msg/drop event *)
   mutable events : int;
   mutable violations : int;
 }
 
 let create ?(top_k = 10) () =
   if top_k < 0 then invalid_arg "Analyze.create: top_k must be >= 0";
-  { top_k; aggs = Hashtbl.create 4; open_spans = Hashtbl.create 64; events = 0; violations = 0 }
+  {
+    top_k;
+    aggs = Hashtbl.create 4;
+    open_spans = Hashtbl.create 64;
+    net = None;
+    events = 0;
+    violations = 0;
+  }
+
+let net_of t =
+  match t.net with
+  | Some n -> n
+  | None ->
+      let n =
+        {
+          nspans = Hashtbl.create 1024;
+          kind_counts = Array.make Netspan.n_kinds 0;
+          kind_lat = Array.init Netspan.n_kinds (fun _ -> Stats.Summary.create ());
+          nlat_hist = Stats.Histogram.create ~lo:0.0 ~hi:2000.0 ~bins:80;
+          node_msgs = Imap.empty;
+          node_bytes = Imap.empty;
+          nnodes = Iset.empty;
+          class_msgs = Array.make (Array.length class_names) 0;
+          class_bytes = Array.make (Array.length class_names) 0;
+          depth_sum = Stats.Summary.create ();
+          nroots = 0;
+          ndrops_dead = 0;
+          ndrops_loss = 0;
+        }
+      in
+      t.net <- Some n;
+      n
 
 let agg_of t algo =
   match Hashtbl.find_opt t.aggs algo with
@@ -135,6 +200,53 @@ let feed_event t ev =
           a.finished <- bump a.finished finished_at_layer 1;
           a.nodes <- Iset.add destination a.nodes)
 
+(* Audited invariants of the net stream: span ids are unique per ctx, every
+   referenced parent was recorded earlier (root-keyed sampling keeps causal
+   trees whole, so this holds at any sample rate), and drops name a known
+   span. Breaches count into [violations] but still accumulate, so a report
+   over a damaged trace is flagged rather than silently partial. *)
+let feed_msg t ~ctx ~span ~parent ~kind ~src ~dst ~lat =
+  t.events <- t.events + 1;
+  let n = net_of t in
+  if Hashtbl.mem n.nspans (ctx, span) then t.violations <- t.violations + 1
+  else begin
+    let entry =
+      if parent < 0 then begin
+        n.nroots <- n.nroots + 1;
+        { nsp_root_kind = kind; nsp_depth = 0 }
+      end
+      else
+        match Hashtbl.find_opt n.nspans (ctx, parent) with
+        | Some p -> { nsp_root_kind = p.nsp_root_kind; nsp_depth = p.nsp_depth + 1 }
+        | None ->
+            (* orphan parent: flag it, then treat the span as a fresh root so
+               the rest of the statistics stay defined *)
+            t.violations <- t.violations + 1;
+            { nsp_root_kind = kind; nsp_depth = 0 }
+    in
+    Hashtbl.add n.nspans (ctx, span) entry;
+    let ki = Netspan.kind_index kind in
+    n.kind_counts.(ki) <- n.kind_counts.(ki) + 1;
+    Stats.Summary.add n.kind_lat.(ki) lat;
+    Stats.Histogram.add n.nlat_hist lat;
+    Stats.Summary.add n.depth_sum (float_of_int entry.nsp_depth);
+    let bytes = Netspan.wire_bytes kind in
+    n.node_msgs <- bump n.node_msgs src 1;
+    n.node_bytes <- bump n.node_bytes src bytes;
+    n.nnodes <- Iset.add src (Iset.add dst n.nnodes);
+    let c = class_of_kind entry.nsp_root_kind in
+    n.class_msgs.(c) <- n.class_msgs.(c) + 1;
+    n.class_bytes.(c) <- n.class_bytes.(c) + bytes
+  end
+
+let feed_drop t ~ctx ~span ~why =
+  t.events <- t.events + 1;
+  let n = net_of t in
+  if not (Hashtbl.mem n.nspans (ctx, span)) then t.violations <- t.violations + 1;
+  match why with
+  | `Dead -> n.ndrops_dead <- n.ndrops_dead + 1
+  | `Loss -> n.ndrops_loss <- n.ndrops_loss + 1
+
 (* ---- JSONL decoding ---------------------------------------------------- *)
 
 let field name j =
@@ -157,10 +269,8 @@ let str_field name j =
   | Some s -> s
   | None -> failwith (Printf.sprintf "trace event: field %S is not a string" name)
 
-let event_of_line line =
-  match Jsonu.parse line with
-  | Error msg -> failwith (Printf.sprintf "trace line: %s" msg)
-  | Ok j -> (
+let trace_event_of_json j =
+  (
       match str_field "ev" j with
       | "start" ->
           Trace.Start
@@ -207,8 +317,53 @@ let event_of_line line =
             }
       | ev -> failwith (Printf.sprintf "trace event: unknown kind %S" ev))
 
+(* Both event families share one streaming entry point: lookup traces carry
+   ev start/hop/recover/end, net traces carry ev msg/drop. A single file
+   (or stdin) can hold either; the accumulated state decides which report
+   is available. *)
+let feed_json t j =
+  match str_field "ev" j with
+  | "msg" ->
+      let ctx =
+        match Jsonu.member "ctx" j with
+        | Some v -> (
+            match Jsonu.to_string v with
+            | Some s -> s
+            | None -> failwith "net event: field \"ctx\" is not a string")
+        | None -> ""
+      in
+      let parent = match Jsonu.member "parent" j with Some _ -> int_field "parent" j | None -> -1 in
+      let kind_s = str_field "kind" j in
+      let kind =
+        match Netspan.kind_of_name kind_s with
+        | Some k -> k
+        | None -> failwith (Printf.sprintf "net event: unknown kind %S" kind_s)
+      in
+      ignore (float_field "at" j);
+      feed_msg t ~ctx ~span:(int_field "span" j) ~parent ~kind ~src:(int_field "src" j)
+        ~dst:(int_field "dst" j) ~lat:(float_field "lat" j)
+  | "drop" ->
+      let ctx =
+        match Jsonu.member "ctx" j with
+        | Some v -> Option.value ~default:"" (Jsonu.to_string v)
+        | None -> ""
+      in
+      let why =
+        match str_field "why" j with
+        | "dead" -> `Dead
+        | "loss" -> `Loss
+        | s -> failwith (Printf.sprintf "net event: unknown drop reason %S" s)
+      in
+      feed_drop t ~ctx ~span:(int_field "span" j) ~why
+  | _ -> feed_event t (trace_event_of_json j)
+
 let is_blank line = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) line
-let feed_line t line = if not (is_blank line) then feed_event t (event_of_line line)
+
+let feed_line t line =
+  if not (is_blank line) then
+    match Jsonu.parse line with
+    | Error msg -> failwith (Printf.sprintf "trace line: %s" msg)
+    | Ok j -> feed_json t j
 
 let of_file ?top_k path =
   let t = create ?top_k () in
@@ -350,6 +505,110 @@ let report t =
   in
   { events = t.events; spans_open = Hashtbl.length t.open_spans; violations = t.violations; algos }
 
+(* ---- net report -------------------------------------------------------- *)
+
+type kind_stat = { k_kind : string; k_count : int; k_lat_mean_ms : float; k_lat_max_ms : float }
+type class_stat = { c_class : string; c_msgs : int; c_bytes : int; c_byte_share : float }
+type band_node = { b_node : int; b_msgs : int; b_bytes : int; b_byte_share : float }
+
+type net_report = {
+  n_events : int;
+  n_violations : int;
+  n_msgs : int;
+  n_roots : int;
+  n_drops_dead : int;
+  n_drops_loss : int;
+  n_depth_mean : float;
+  n_depth_max : float;
+  n_kinds : kind_stat list;
+  n_lat_hist : Stats.Histogram.t;
+  n_classes : class_stat list;
+  n_nodes : int;
+  n_senders : int;
+  n_gini : float;
+  n_imbalance : float;
+  n_top : band_node list;
+}
+
+let net_report t =
+  match t.net with
+  | None -> None
+  | Some n ->
+      let msgs = Array.fold_left ( + ) 0 n.kind_counts in
+      let total_bytes = Array.fold_left ( + ) 0 n.class_bytes in
+      let kinds =
+        List.filter_map
+          (fun k ->
+            let i = Netspan.kind_index k in
+            let c = n.kind_counts.(i) in
+            if c = 0 then None
+            else
+              Some
+                {
+                  k_kind = Netspan.kind_name k;
+                  k_count = c;
+                  k_lat_mean_ms = Stats.Summary.mean n.kind_lat.(i);
+                  k_lat_max_ms = Stats.Summary.max_value n.kind_lat.(i);
+                })
+          Netspan.all_kinds
+      in
+      let classes =
+        List.init (Array.length class_names) (fun c ->
+            {
+              c_class = class_names.(c);
+              c_msgs = n.class_msgs.(c);
+              c_bytes = n.class_bytes.(c);
+              c_byte_share =
+                (if total_bytes > 0 then
+                   float_of_int n.class_bytes.(c) /. float_of_int total_bytes
+                 else 0.0);
+            })
+      in
+      (* Bandwidth distribution over every node seen as sender or receiver:
+         silent receivers count as zeros, same convention as the forwarding
+         hotspots of the lookup report. *)
+      let bytes_of node = Option.value ~default:0 (Imap.find_opt node n.node_bytes) in
+      let counts =
+        Iset.elements n.nnodes |> List.map (fun nd -> float_of_int (bytes_of nd)) |> Array.of_list
+      in
+      let nodes = Array.length counts in
+      let max_b = Array.fold_left Float.max 0.0 counts in
+      let mean_b = if nodes > 0 then float_of_int total_bytes /. float_of_int nodes else 0.0 in
+      let top =
+        Imap.bindings n.node_bytes
+        |> List.sort (fun (n1, b1) (n2, b2) ->
+               match compare b2 b1 with 0 -> compare n1 n2 | c -> c)
+        |> List.filteri (fun i _ -> i < t.top_k)
+        |> List.map (fun (node, bytes) ->
+               {
+                 b_node = node;
+                 b_msgs = Option.value ~default:0 (Imap.find_opt node n.node_msgs);
+                 b_bytes = bytes;
+                 b_byte_share =
+                   (if total_bytes > 0 then float_of_int bytes /. float_of_int total_bytes
+                    else 0.0);
+               })
+      in
+      Some
+        {
+          n_events = t.events;
+          n_violations = t.violations;
+          n_msgs = msgs;
+          n_roots = n.nroots;
+          n_drops_dead = n.ndrops_dead;
+          n_drops_loss = n.ndrops_loss;
+          n_depth_mean = Stats.Summary.mean n.depth_sum;
+          n_depth_max = (if msgs > 0 then Stats.Summary.max_value n.depth_sum else 0.0);
+          n_kinds = kinds;
+          n_lat_hist = n.nlat_hist;
+          n_classes = classes;
+          n_nodes = nodes;
+          n_senders = Imap.cardinal n.node_msgs;
+          n_gini = gini_of counts;
+          n_imbalance = (if mean_b > 0.0 then max_b /. mean_b else 0.0);
+          n_top = top;
+        }
+
 (* ---- text rendering ---------------------------------------------------- *)
 
 let fmt_f x = Printf.sprintf "%.3f" x
@@ -430,6 +689,49 @@ let report_text r =
     r.algos;
   Buffer.contents buf
 
+let net_report_text r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "net events: %d  violations: %d\n" r.n_events r.n_violations);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "msgs: %d  roots: %d  depth mean %s max %.0f  drops: %d dead, %d loss\n" r.n_msgs
+       r.n_roots (fmt_f r.n_depth_mean) r.n_depth_max r.n_drops_dead r.n_drops_loss);
+  if r.n_kinds <> [] then begin
+    let tbl = Stats.Text_table.create [ "kind"; "msgs"; "lat mean ms"; "lat max ms" ] in
+    List.iter
+      (fun k ->
+        Stats.Text_table.add_row tbl
+          [ k.k_kind; string_of_int k.k_count; fmt_f k.k_lat_mean_ms; fmt_f k.k_lat_max_ms ])
+      r.n_kinds;
+    Buffer.add_string buf "\nper-kind traffic\n";
+    Buffer.add_string buf (Stats.Text_table.render tbl)
+  end;
+  begin
+    let tbl = Stats.Text_table.create [ "class"; "msgs"; "bytes"; "byte share" ] in
+    List.iter
+      (fun c ->
+        Stats.Text_table.add_row tbl
+          [ c.c_class; string_of_int c.c_msgs; string_of_int c.c_bytes; fmt_pct c.c_byte_share ])
+      r.n_classes;
+    Buffer.add_string buf "\ntraffic classes (attributed by causal root)\n";
+    Buffer.add_string buf (Stats.Text_table.render tbl)
+  end;
+  if r.n_top <> [] then begin
+    let tbl = Stats.Text_table.create [ "node"; "msgs"; "bytes"; "byte share" ] in
+    List.iter
+      (fun b ->
+        Stats.Text_table.add_row tbl
+          [ string_of_int b.b_node; string_of_int b.b_msgs; string_of_int b.b_bytes;
+            fmt_pct b.b_byte_share ])
+      r.n_top;
+    Buffer.add_string buf
+      (Printf.sprintf "\nbandwidth hotspots (nodes %d, senders %d, gini %s, imbalance %s)\n"
+         r.n_nodes r.n_senders (fmt_f r.n_gini) (fmt_f r.n_imbalance));
+    Buffer.add_string buf (Stats.Text_table.render tbl)
+  end;
+  Buffer.contents buf
+
 (* ---- JSON rendering ---------------------------------------------------- *)
 
 let hist_json h =
@@ -500,6 +802,42 @@ let report_json r =
       Buffer.add_char buf '}')
     r.algos;
   Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let net_report_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"schema":"hieras-netspan","events":%d,"violations":%d,"msgs":%d,"roots":%d,"drops":{"dead":%d,"loss":%d},"depth":{"mean":%s,"max":%s}|}
+       r.n_events r.n_violations r.n_msgs r.n_roots r.n_drops_dead r.n_drops_loss
+       (Jsonu.number r.n_depth_mean) (Jsonu.number r.n_depth_max));
+  Buffer.add_string buf {|,"kinds":{|};
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|"%s":{"count":%d,"lat_mean_ms":%s,"lat_max_ms":%s}|}
+           (Jsonu.escape k.k_kind) k.k_count (Jsonu.number k.k_lat_mean_ms)
+           (Jsonu.number k.k_lat_max_ms)))
+    r.n_kinds;
+  Buffer.add_string buf (Printf.sprintf {|},"latency_ms_hist":%s,"classes":{|} (hist_json r.n_lat_hist));
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|"%s":{"msgs":%d,"bytes":%d,"byte_share":%s}|} c.c_class c.c_msgs
+           c.c_bytes (Jsonu.number c.c_byte_share)))
+    r.n_classes;
+  Buffer.add_string buf
+    (Printf.sprintf {|},"bandwidth":{"nodes":%d,"senders":%d,"gini":%s,"imbalance":%s,"top":[|}
+       r.n_nodes r.n_senders (Jsonu.number r.n_gini) (Jsonu.number r.n_imbalance));
+  List.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "[%d,%d,%d,%s]" b.b_node b.b_msgs b.b_bytes (Jsonu.number b.b_byte_share)))
+    r.n_top;
+  Buffer.add_string buf "]}}";
   Buffer.contents buf
 
 (* ---- compare mode ------------------------------------------------------ *)
@@ -712,9 +1050,48 @@ let metrics_of_tournament j =
         entries
   | _ -> []
 
+(* Netspan reports gate on maintenance traffic: per-kind message counts and
+   class byte shares are the "how much does upkeep cost" metrics — a change
+   that makes stabilization chattier shows up as a count regression at equal
+   run length. Everything extracted is lower-is-better. *)
+let metrics_of_netspan j =
+  let num label path acc =
+    let rec dig v = function
+      | [] -> Jsonu.to_float v
+      | k :: rest -> Option.bind (Jsonu.member k v) (fun v -> dig v rest)
+    in
+    match dig j path with Some f -> (label, f) :: acc | None -> acc
+  in
+  let acc = num "net.violations" [ "violations" ] [] in
+  let acc = num "net.drops.dead" [ "drops"; "dead" ] acc in
+  let acc = num "net.drops.loss" [ "drops"; "loss" ] acc in
+  let acc = num "net.depth.mean" [ "depth"; "mean" ] acc in
+  let acc = num "net.bandwidth.gini" [ "bandwidth"; "gini" ] acc in
+  let acc = num "net.bandwidth.imbalance" [ "bandwidth"; "imbalance" ] acc in
+  let acc =
+    List.fold_left
+      (fun acc cls ->
+        num (Printf.sprintf "net.classes.%s.byte_share" cls) [ "classes"; cls; "byte_share" ] acc)
+      acc
+      [ "maint"; "lookup"; "join"; "other" ]
+  in
+  let acc =
+    match Jsonu.member "kinds" j with
+    | Some (Jsonu.Obj kinds) ->
+        List.fold_left
+          (fun acc (kname, kj) ->
+            match Option.bind (Jsonu.member "count" kj) Jsonu.to_float with
+            | Some f -> (Printf.sprintf "net.kinds.%s.count" kname, f) :: acc
+            | None -> acc)
+          acc kinds
+    | _ -> acc
+  in
+  List.rev acc
+
 let classify j =
   match Jsonu.member "schema" j with
   | Some (Jsonu.Str "hieras-trace-report") -> Ok "trace-report"
+  | Some (Jsonu.Str "hieras-netspan") -> Ok "netspan"
   | Some (Jsonu.Str "hieras-soak") -> Ok "soak"
   | Some (Jsonu.Str "hieras-scale") | Some (Jsonu.Str "hieras-scale-bench") -> Ok "scale"
   | Some (Jsonu.Str "hieras-tournament") -> Ok "tournament"
@@ -742,6 +1119,7 @@ let compare_files ~base ~cand ~threshold =
             | "soak" -> metrics_of_soak
             | "scale" -> metrics_of_scale
             | "tournament" -> metrics_of_tournament
+            | "netspan" -> metrics_of_netspan
             | _ -> metrics_of_trace_report
           in
           let bm = extract bj and cm = extract cj in

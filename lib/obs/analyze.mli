@@ -33,9 +33,13 @@ val feed_event : t -> Trace.event -> unit
 (** Accumulate one already-decoded event (ring-buffer replays, tests). *)
 
 val feed_line : t -> string -> unit
-(** Parse one JSONL trace line and accumulate it. Blank lines are
-    ignored. Raises [Failure] on a line that is not a well-formed trace
-    event — a corrupt trace should fail loudly, not skew statistics. *)
+(** Parse one JSONL line and accumulate it. Both event families are
+    accepted: lookup-trace events ([ev] start/hop/recover/end, {!Trace})
+    and message-span events ([ev] msg/drop, {!Netspan}); the report to
+    render afterwards is {!report} for the former and {!net_report} for
+    the latter. Blank lines are ignored. Raises [Failure] on a line that
+    is not a well-formed event — a corrupt trace should fail loudly, not
+    skew statistics. *)
 
 val of_file : ?top_k:int -> string -> t
 (** Stream a JSONL trace file through {!feed_line}. *)
@@ -108,6 +112,62 @@ val report_json : report -> string
     reports over healthy traces are byte-identical to pre-resilience
     ones. *)
 
+(** {2 Net (message-span) reports}
+
+    The message-level stream of {!Netspan} analyzes into a different
+    shape: per-RPC-kind traffic, per-node bandwidth attribution under the
+    {!Netspan.wire_bytes} cost model, causal-tree depth, and a
+    maintenance-versus-lookup byte split where every forwarding hop and
+    reply is attributed to the {e root} kind of its causal tree. The
+    analyzer also audits the stream — duplicate span ids (per ctx),
+    parents that were never recorded (impossible under root-keyed
+    sampling, so any occurrence is a producer bug), and drops naming
+    unknown spans all count into [violations]. *)
+
+type kind_stat = {
+  k_kind : string;  (** {!Netspan.kind_name} *)
+  k_count : int;
+  k_lat_mean_ms : float;  (** link latency of this kind's messages *)
+  k_lat_max_ms : float;
+}
+
+type class_stat = {
+  c_class : string;  (** ["maint"], ["lookup"], ["join"] or ["other"] *)
+  c_msgs : int;
+  c_bytes : int;  (** nominal wire bytes ({!Netspan.wire_bytes}) *)
+  c_byte_share : float;  (** shares sum to 1 over the four classes *)
+}
+
+type band_node = { b_node : int; b_msgs : int; b_bytes : int; b_byte_share : float }
+
+type net_report = {
+  n_events : int;
+  n_violations : int;
+  n_msgs : int;  (** msg events (excludes drops) *)
+  n_roots : int;  (** causal trees — parentless spans *)
+  n_drops_dead : int;
+  n_drops_loss : int;
+  n_depth_mean : float;  (** mean causal depth over all messages *)
+  n_depth_max : float;
+  n_kinds : kind_stat list;  (** declaration order, zero-count kinds omitted *)
+  n_lat_hist : Stats.Histogram.t;  (** 25 ms bins over 0..2000 *)
+  n_classes : class_stat list;  (** maint, lookup, join, other — fixed order *)
+  n_nodes : int;  (** nodes seen as sender or receiver *)
+  n_senders : int;  (** nodes that sent at least one message *)
+  n_gini : float;  (** of per-node sent bytes over [n_nodes] *)
+  n_imbalance : float;  (** max / mean sent bytes over [n_nodes] *)
+  n_top : band_node list;  (** top-k senders by bytes, descending *)
+}
+
+val net_report : t -> net_report option
+(** [None] when no msg/drop event was fed (then use {!report}). *)
+
+val net_report_text : net_report -> string
+
+val net_report_json : net_report -> string
+(** Deterministic single-line JSON, ["schema":"hieras-netspan"]
+    (DESIGN.md §14). *)
+
 (** {2 Compare mode} *)
 
 type cmp_row = {
@@ -119,8 +179,8 @@ type cmp_row = {
 
 type comparison = {
   kind : string;
-      (** ["trace-report"], ["bench"], ["soak"], ["scale"] or
-          ["tournament"] *)
+      (** ["trace-report"], ["netspan"], ["bench"], ["soak"], ["scale"]
+          or ["tournament"] *)
   threshold : float;
   rows : cmp_row list;  (** every metric present in both inputs *)
   regressions : cmp_row list;
@@ -145,7 +205,10 @@ val compare_files : base:string -> cand:string -> threshold:float -> (comparison
     never wall clock or RSS), or tournament matrices
     (["hieras-tournament"] — compared per contestant on baseline
     hops/latency/stretch plus per-schedule lookup {e failure} rates and
-    recovery penalty, all lower-is-better). *)
+    recovery penalty, all lower-is-better), or netspan reports
+    (["hieras-netspan"] — compared on violations, drops, causal depth,
+    bandwidth gini/imbalance, class byte shares and per-kind message
+    counts: the maintenance-rate gate). *)
 
 val comparison_text : comparison -> string
 (** Aligned table of metric, base, candidate, delta — regressions

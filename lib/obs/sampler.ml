@@ -1,0 +1,20 @@
+(* Pure integer-hash sampling. The multiplicative constants fit OCaml's
+   63-bit native int range; all arithmetic wraps deterministically, so the
+   predicate is a function of the id alone — no RNG, no state, identical on
+   every domain and every run. *)
+
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x27D4EB2F165667C5 in
+  let x = x lxor (x lsr 32) in
+  x land max_int
+
+let bucket_bits = 30
+let bucket_mask = (1 lsl bucket_bits) - 1
+
+let keep ~rate id =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else mix id land bucket_mask < int_of_float (rate *. float_of_int (1 lsl bucket_bits))

@@ -1,0 +1,25 @@
+(** Deterministic trace sampling.
+
+    Sampling decisions must not depend on runtime state (worker count,
+    arrival order, wall clock): a sampled trace has to be a stable subset
+    of the full trace, byte-identical for any [--jobs]. The decision is
+    therefore a pure function of the span id being sampled and the rate —
+    an integer hash of the id compared against a fixed-point threshold.
+
+    Used by {!Trace} ([?sample] on the sinks, keyed on the lookup id) and
+    {!Netspan} (keyed on the {e root} span id, so a causal tree is kept or
+    dropped as a whole and no sampled event ever references a missing
+    parent). *)
+
+val mix : int -> int
+(** Avalanching integer hash (splitmix-style finalizer over OCaml's native
+    63-bit integers): every input bit affects every output bit. The result
+    is non-negative. Deterministic across runs and platforms with 63-bit
+    native ints. *)
+
+val keep : rate:float -> int -> bool
+(** Pure sampling predicate: keep id [i] iff
+    [mix i land 0x3FFF_FFFF < rate * 2^30]. [rate >= 1.0] keeps
+    everything, [rate <= 0.0] keeps nothing. Monotone in [rate]: the set
+    kept at a lower rate is a subset of the set kept at any higher rate —
+    which is what makes a sampled trace a subset of the full one. *)

@@ -7,6 +7,7 @@ type kind = Counter | Gauge
 type series_state = {
   skind : kind;
   buckets : (int, float) Hashtbl.t;
+  mutable last_at : float; (* newest stamp written; -inf before the first *)
 }
 
 type state = {
@@ -39,7 +40,7 @@ let register t name kind =
             (Printf.sprintf "Timeseries: %s is already registered as a %s" name
                (kind_name s.skind))
       | None ->
-          let s = { skind = kind; buckets = Hashtbl.create 64 } in
+          let s = { skind = kind; buckets = Hashtbl.create 64; last_at = Float.neg_infinity } in
           Hashtbl.add st.tbl name s;
           On (s, st))
 
@@ -48,11 +49,22 @@ let gauge t name = register t name Gauge
 
 let bucket_of st at = int_of_float (Float.floor (at /. st.width))
 
+(* Bucketing assumes stamps arrive in time order (gauges keep the *last*
+   write per bucket); a producer stamping backwards would silently corrupt
+   that, so regressions fail loudly. Equal stamps are fine — many events
+   share one simulated instant. The kind check comes first: a kind clash is
+   the more fundamental misuse and must not be masked by a stale clock. *)
+let check_monotone fn s at =
+  if at < s.last_at then
+    invalid_arg (Printf.sprintf "Timeseries.%s: stamp %g regresses behind %g" fn at s.last_at);
+  s.last_at <- at
+
 let add series ~at v =
   match series with
   | Off -> ()
   | On (s, st) ->
       if s.skind <> Counter then invalid_arg "Timeseries.add: gauge series";
+      check_monotone "add" s at;
       let b = bucket_of st at in
       let cur = Option.value ~default:0.0 (Hashtbl.find_opt s.buckets b) in
       Hashtbl.replace s.buckets b (cur +. v)
@@ -62,6 +74,7 @@ let set series ~at v =
   | Off -> ()
   | On (s, st) ->
       if s.skind <> Gauge then invalid_arg "Timeseries.set: counter series";
+      check_monotone "set" s at;
       Hashtbl.replace s.buckets (bucket_of st at) v
 
 (* ---- rendering --------------------------------------------------------- *)

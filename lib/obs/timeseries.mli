@@ -39,11 +39,15 @@ val gauge : t -> string -> series
 
 val add : series -> at:float -> float -> unit
 (** Counter semantics: add to the bucket containing [at]. On a gauge series
-    raises [Invalid_argument]. *)
+    raises [Invalid_argument]. Stamps must be non-decreasing per series
+    (equal stamps are fine — simulated time quantises); a regressed [at]
+    raises [Invalid_argument], because gauge buckets keep the {e last}
+    write and out-of-order stamps would corrupt that silently. *)
 
 val set : series -> at:float -> float -> unit
 (** Gauge semantics: overwrite the bucket containing [at] (last write
-    wins). On a counter series raises [Invalid_argument]. *)
+    wins). On a counter series raises [Invalid_argument], as does a
+    stamp older than the series' newest (see {!add}). *)
 
 type point = { t_ms : float;  (** bucket start time *) v : float }
 

@@ -36,15 +36,24 @@ let rkind_of_name = function
 
 type ring = { buf : event option array; cap : int; mutable head : int; mutable len : int }
 type sink = Null | Ring of ring | Writer of (string -> unit)
-type t = { sink : sink; mutable next_id : int }
+type t = { sink : sink; sample : float; mutable next_id : int }
 
-let disabled = { sink = Null; next_id = 0 }
+let check_sample sample =
+  if sample < 0.0 || sample > 1.0 then invalid_arg "Trace: sample must be in [0, 1]"
+
+let disabled = { sink = Null; sample = 1.0; next_id = 0 }
 
 let ring ~capacity =
   if capacity < 1 then invalid_arg "Trace.ring: capacity must be >= 1";
-  { sink = Ring { buf = Array.make capacity None; cap = capacity; head = 0; len = 0 }; next_id = 0 }
+  {
+    sink = Ring { buf = Array.make capacity None; cap = capacity; head = 0; len = 0 };
+    sample = 1.0;
+    next_id = 0;
+  }
 
-let jsonl write = { sink = Writer write; next_id = 0 }
+let jsonl ?(sample = 1.0) write =
+  check_sample sample;
+  { sink = Writer write; sample; next_id = 0 }
 let enabled t = match t.sink with Null -> false | Ring _ | Writer _ -> true
 
 let event_to_json = function
@@ -63,9 +72,16 @@ let event_to_json = function
         {|{"ev":"end","lookup":%d,"dest":%d,"hops":%d,"lat_ms":%s,"finished_at_layer":%d}|}
         lookup destination hops (Jsonu.number latency_ms) finished_at_layer
 
+(* Sampling is keyed on the span id, which is allocated for every lookup
+   whether or not its events are kept — so the sampled stream is a stable
+   subset of the full one (same ids, Sampler.keep is pure). *)
+let lookup_of = function
+  | Start { lookup; _ } | Hop { lookup; _ } | Recover { lookup; _ } | End { lookup; _ } -> lookup
+
 let emit t ev =
   match t.sink with
   | Null -> ()
+  | _ when t.sample < 1.0 && not (Sampler.keep ~rate:t.sample (lookup_of ev)) -> ()
   | Writer w -> w (event_to_json ev ^ "\n")
   | Ring r ->
       r.buf.((r.head + r.len) mod r.cap) <- Some ev;

@@ -79,13 +79,20 @@ val disabled : t
 
 val ring : capacity:int -> t
 (** In-memory ring buffer keeping the most recent [capacity] events —
-    the test-suite and flight-recorder sink. Raises [Invalid_argument] if
-    [capacity < 1]. *)
+    the test-suite and flight-recorder sink (never sampled: it is already
+    bounded). Raises [Invalid_argument] if [capacity < 1]. *)
 
-val jsonl : (string -> unit) -> t
+val jsonl : ?sample:float -> (string -> unit) -> t
 (** Streaming JSONL sink: each event is rendered with {!event_to_json} and
     passed to the writer as one line terminated by ['\n']. Pass
-    [output_string oc] for a file, [Buffer.add_string buf] for memory. *)
+    [output_string oc] for a file, [Buffer.add_string buf] for memory.
+
+    [sample] (default 1) keeps the events of a deterministic subset of
+    lookups: ids are allocated for {e every} lookup and the keep decision
+    is {!Sampler.keep} on the id, so the sampled stream is a stable
+    subset of the full trace — identical for any [--jobs], and identical
+    across runs of the same seed. Raises [Invalid_argument] when outside
+    [0, 1]. *)
 
 val enabled : t -> bool
 

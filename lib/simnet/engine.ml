@@ -12,6 +12,14 @@ type t = {
   mutable deaths : int;
   mutable revivals : int;
   mutable live : int;
+  mutable timers_set : int;
+  mutable timers_fired : int;
+  mutable ns : Obs.Netspan.t;
+  (* span of the message currently being delivered (and the root of its
+     causal tree); -1 outside a delivery, so sends from timers or driver
+     code start fresh trees *)
+  mutable cur_span : int;
+  mutable cur_root : int;
   mutable ts_sent : Obs.Timeseries.series;
   mutable ts_delivered : Obs.Timeseries.series;
   mutable ts_dropped : Obs.Timeseries.series;
@@ -38,6 +46,11 @@ let create ~latency ~nodes =
     deaths = 0;
     revivals = 0;
     live = nodes;
+    timers_set = 0;
+    timers_fired = 0;
+    ns = Obs.Netspan.disabled;
+    cur_span = -1;
+    cur_root = -1;
     ts_sent = ts_off;
     ts_delivered = ts_off;
     ts_dropped = ts_off;
@@ -49,6 +62,9 @@ let attach_timeseries ?(prefix = "net") t ts =
   t.ts_delivered <- Obs.Timeseries.counter ts (prefix ^ ".delivered");
   t.ts_dropped <- Obs.Timeseries.counter ts (prefix ^ ".dropped");
   t.ts_live <- Obs.Timeseries.gauge ts (prefix ^ ".live")
+
+let attach_netspan t ns = t.ns <- ns
+let netspan t = t.ns
 
 let now t = t.clock
 let node_count t = Array.length t.alive
@@ -84,11 +100,47 @@ let lost t =
   | None -> false
   | Some rng -> t.loss_rate > 0.0 && Prng.Rng.float rng 1.0 < t.loss_rate
 
-let send t ~src ~dst f =
+(* Traced variant of [send]: allocate a span, record the message (parent =
+   the span being delivered right now, if any), and wrap the delivery so
+   sends made while handling it are recorded as its children. The loss
+   draw happens at the same point as on the untraced path, so attaching a
+   netspan never shifts the RNG stream. *)
+let send_traced t ~kind ~src ~dst f =
+  let ns = t.ns in
+  let span = Obs.Netspan.next_span ns in
+  let parent = t.cur_span in
+  let root = if parent < 0 then span else t.cur_root in
+  let lat = t.latency src dst in
+  Obs.Netspan.msg ns ~span ~parent ~root ~kind ~src ~dst ~at:t.clock ~lat;
+  if lost t then begin
+    t.dropped_loss <- t.dropped_loss + 1;
+    Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0;
+    Obs.Netspan.drop ns ~span ~root ~at:t.clock ~why:`Loss
+  end
+  else
+    Event_heap.push t.heap ~time:(t.clock +. lat) (fun () ->
+        if t.alive.(dst) then begin
+          t.delivered <- t.delivered + 1;
+          Obs.Timeseries.add t.ts_delivered ~at:t.clock 1.0;
+          let ps = t.cur_span and pr = t.cur_root in
+          t.cur_span <- span;
+          t.cur_root <- root;
+          f ();
+          t.cur_span <- ps;
+          t.cur_root <- pr
+        end
+        else begin
+          t.dropped_dead <- t.dropped_dead + 1;
+          Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0;
+          Obs.Netspan.drop ns ~span ~root ~at:t.clock ~why:`Dead
+        end)
+
+let send ?(kind = Obs.Netspan.Other) t ~src ~dst f =
   if not t.alive.(src) then invalid_arg "Engine.send: source node is dead";
   t.sent <- t.sent + 1;
   Obs.Timeseries.add t.ts_sent ~at:t.clock 1.0;
-  if lost t then begin
+  if Obs.Netspan.enabled t.ns then send_traced t ~kind ~src ~dst f
+  else if lost t then begin
     t.dropped_loss <- t.dropped_loss + 1;
     Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0
   end
@@ -108,8 +160,12 @@ let send t ~src ~dst f =
 
 let timer t ~node ~delay f =
   if delay < 0.0 then invalid_arg "Engine.timer: negative delay";
+  t.timers_set <- t.timers_set + 1;
   Event_heap.push t.heap ~time:(t.clock +. delay) (fun () ->
-      if t.alive.(node) then f ()
+      if t.alive.(node) then begin
+        t.timers_fired <- t.timers_fired + 1;
+        f ()
+      end
       else begin
         t.dropped_dead <- t.dropped_dead + 1;
         Obs.Timeseries.add t.ts_dropped ~at:t.clock 1.0
@@ -150,6 +206,8 @@ let dropped_loss t = t.dropped_loss
 let deaths t = t.deaths
 let revivals t = t.revivals
 let live_count t = t.live
+let timers_set t = t.timers_set
+let timers_fired t = t.timers_fired
 
 let export_metrics ?(prefix = "simnet") t m =
   let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
@@ -157,6 +215,8 @@ let export_metrics ?(prefix = "simnet") t m =
   c "delivered" t.delivered;
   c "dropped_dead" t.dropped_dead;
   c "dropped_loss" t.dropped_loss;
+  c "timers_set" t.timers_set;
+  c "timers_fired" t.timers_fired;
   c "deaths" t.deaths;
   c "revivals" t.revivals;
   c "pending_events" (Event_heap.size t.heap);

@@ -35,14 +35,25 @@ val revive : t -> int -> unit
 val set_loss : t -> rate:float -> rng:Prng.Rng.t -> unit
 (** Drop each message independently with probability [rate] (0 disables). *)
 
-val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+val send : ?kind:Obs.Netspan.kind -> t -> src:int -> dst:int -> (unit -> unit) -> unit
 (** Deliver the closure at [now + latency src dst], unless the destination is
     dead at delivery time or the message is lost. The source must be alive
     when sending (a dead source raises [Invalid_argument] — protocols must
-    not act from beyond the grave). *)
+    not act from beyond the grave).
+
+    [kind] (default [Other]) labels the message for the attached
+    {!Obs.Netspan} tracer; it is ignored — without even an allocation —
+    when no tracer is attached. When one is, the send records a span whose
+    parent is the message being delivered right now (sends from timers,
+    god-events and driver code start fresh causal trees), and the loss
+    draw happens at the same point in the RNG stream as on the untraced
+    path, so tracing never changes simulation behavior. *)
 
 val timer : t -> node:int -> delay:float -> (unit -> unit) -> unit
-(** Local timer: fires after [delay] ms unless the node is dead by then. *)
+(** Local timer: fires after [delay] ms unless the node is dead by then
+    (then it counts into {!dropped_dead}). Sets and fires are counted
+    ({!timers_set} / {!timers_fired}) so the conservation law stays
+    checkable in runs that use timers. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** God-event: fires unconditionally — used by test harnesses to inject
@@ -77,6 +88,14 @@ val revivals : t -> int
 val live_count : t -> int
 (** Nodes currently alive. *)
 
+val timers_set : t -> int
+(** Timers armed by {!timer} ({!schedule} god-events are not counted). *)
+
+val timers_fired : t -> int
+(** Timers that fired on a live node. A timer set but not yet due stays in
+    the queue ([pending_events]); one due on a dead node counts into
+    {!dropped_dead} instead. *)
+
 val attach_timeseries : ?prefix:string -> t -> Obs.Timeseries.t -> unit
 (** Stream per-bucket traffic into a time-series collector from now on:
     counter series [<prefix>.sent], [.delivered] and [.dropped] (dead-node
@@ -85,12 +104,25 @@ val attach_timeseries : ?prefix:string -> t -> Obs.Timeseries.t -> unit
     (default prefix ["net"]). Attaching the disabled collector detaches.
     Events already processed are not back-filled. *)
 
+val attach_netspan : t -> Obs.Netspan.t -> unit
+(** Record every subsequent send as a message-level span (see
+    {!Obs.Netspan}): kind, src/dst, send time, link latency and causal
+    parent, plus a drop record when the message is lost or its destination
+    dead at arrival. Attaching {!Obs.Netspan.disabled} (the initial state)
+    detaches; the disabled path is the pre-tracing code, branch-for-branch.
+    Messages already sent are not back-filled. *)
+
+val netspan : t -> Obs.Netspan.t
+(** The currently attached tracer (for end-of-run accounting audits). *)
+
 val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
 (** Mirror the engine's cumulative state into a metrics registry: counters
     [<prefix>.sent], [.delivered], [.dropped_dead], [.dropped_loss],
-    [.deaths], [.revivals] and [.pending_events], gauges [<prefix>.live]
-    and [<prefix>.clock_ms] (default prefix ["simnet"]). The conservation law [sent = delivered + dropped_dead +
-    dropped_loss] holds whenever the event queue has drained and no timers
-    were used ([timer] drops on dead nodes also count into [dropped_dead],
-    [schedule] god-events are never counted). Idempotent: re-exporting
+    [.timers_set], [.timers_fired], [.deaths], [.revivals] and
+    [.pending_events], gauges [<prefix>.live] and [<prefix>.clock_ms]
+    (default prefix ["simnet"]). The conservation law
+    [sent + timers_set = delivered + timers_fired + dropped_dead +
+    dropped_loss] holds whenever the event queue has drained ([timer]
+    drops on dead nodes count into [dropped_dead]; [schedule] god-events
+    are never counted on either side). Idempotent: re-exporting
     overwrites the same series. *)

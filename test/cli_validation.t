@@ -36,7 +36,7 @@ mask a bad value.
   [2]
 
   $ ../bin/hieras_sim.exe analyze
-  hieras-sim: usage: analyze TRACE [--json] [--top K] | analyze compare BASE CAND
+  hieras-sim: usage: analyze TRACE|- [--json] [--top K] | analyze compare BASE CAND
   [2]
 
   $ ../bin/hieras_sim.exe analyze compare only-one

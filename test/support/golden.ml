@@ -82,6 +82,23 @@ let soak_spec =
 let build_soak () =
   Experiments.Soak.results_json (Experiments.Soak.run soak_spec) ^ "\n"
 
+(* The golden netspan trace: a shrunk single-factor soak (10 s horizon)
+   with message-level span recording at a 10% root-keyed sample rate. Pins
+   the span schema, the RPC kind taxonomy at every send site of both
+   protocols, the causal parent threading, and the deterministic sampler —
+   any change to protocol message flow, kind labels or the sampling hash
+   moves these bytes. Byte-identical for any --jobs (per-cell buffers,
+   fixed merge order), which test_netspan.ml separately enforces. *)
+let netspan_spec =
+  {
+    soak_spec with
+    Experiments.Soak.horizon_ms = 10_000.0;
+    factors = [ 1.0 ];
+    net_sample = Some 0.1;
+  }
+
+let build_netspan () = Experiments.Soak.net_trace (Experiments.Soak.run netspan_spec)
+
 (* The golden scale results: the million-node scale experiment shrunk to 64
    nodes, every lookup cross-checked against the full simulated route,
    rendered as the deterministic single-line results JSON. Pins the packed

@@ -1,0 +1,361 @@
+(* Tests for message-level causal tracing (Obs.Netspan + engine plumbing):
+   the deterministic sampler, the exact-count contract, causal-tree
+   integrity at every sample rate, the engine accounting reconciliation,
+   the netspan golden regression with its --jobs independence, and the
+   per-lookup trace sampling that rides on the same sampler. *)
+
+module Id = Hashid.Id
+module Engine = Simnet.Engine
+module CP = Chord.Protocol
+module Netspan = Obs.Netspan
+module Sampler = Obs.Sampler
+module Analyze = Obs.Analyze
+
+let space = Id.space ~bits:32
+
+(* --- sampler ----------------------------------------------------------------- *)
+
+let test_sampler_pure_and_bounded () =
+  for i = 0 to 999 do
+    Alcotest.(check bool) "deterministic" (Sampler.keep ~rate:0.5 i) (Sampler.keep ~rate:0.5 i);
+    Alcotest.(check bool) "mix non-negative" true (Sampler.mix i >= 0);
+    Alcotest.(check bool) "rate 1 keeps all" true (Sampler.keep ~rate:1.0 i);
+    Alcotest.(check bool) "rate 0 keeps none" false (Sampler.keep ~rate:0.0 i)
+  done;
+  (* out-of-range rates clamp rather than misbehave *)
+  Alcotest.(check bool) "rate > 1" true (Sampler.keep ~rate:2.0 17);
+  Alcotest.(check bool) "rate < 0" false (Sampler.keep ~rate:(-1.0) 17)
+
+let sampler_monotone_prop seed =
+  let rng = Prng.Rng.create ~seed in
+  let r1 = Prng.Rng.float rng 1.0 in
+  let r2 = r1 +. Prng.Rng.float rng (1.0 -. r1) in
+  for _ = 1 to 200 do
+    let id = Prng.Rng.int rng 1_000_000 in
+    if Sampler.keep ~rate:r1 id && not (Sampler.keep ~rate:r2 id) then
+      QCheck.Test.fail_reportf "id %d kept at %g but dropped at %g >= it" id r1 r2
+  done;
+  true
+
+let test_sampler_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"lower-rate sample is a subset of higher-rate" ~count:50
+       QCheck.(int_range 0 100_000)
+       sampler_monotone_prop)
+
+let test_sampler_rate_roughly_honoured () =
+  let kept = ref 0 in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    if Sampler.keep ~rate:0.25 i then incr kept
+  done;
+  let frac = float_of_int !kept /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "kept fraction %g within 0.25 +- 0.02" frac)
+    true
+    (Float.abs (frac -. 0.25) < 0.02)
+
+(* --- sink basics ------------------------------------------------------------- *)
+
+let test_disabled_sink () =
+  let t = Netspan.disabled in
+  Alcotest.(check bool) "disabled" false (Netspan.enabled t);
+  Alcotest.(check int) "next_span is 0" 0 (Netspan.next_span t);
+  Alcotest.(check int) "and does not advance" 0 (Netspan.next_span t);
+  Netspan.msg t ~span:0 ~parent:(-1) ~root:0 ~kind:Netspan.Lookup ~src:0 ~dst:1 ~at:0.0 ~lat:1.0;
+  Netspan.drop t ~span:0 ~root:0 ~at:0.0 ~why:`Loss;
+  Alcotest.(check int) "nothing counted" 0 (Netspan.messages t)
+
+let test_kind_taxonomy () =
+  Alcotest.(check int) "n_kinds" (List.length Netspan.all_kinds) Netspan.n_kinds;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check int) "declaration order" i (Netspan.kind_index k);
+      (match Netspan.kind_of_name (Netspan.kind_name k) with
+      | Some k' -> Alcotest.(check int) "name round-trips" i (Netspan.kind_index k')
+      | None -> Alcotest.fail ("kind_of_name fails on " ^ Netspan.kind_name k));
+      Alcotest.(check bool) "wire bytes positive" true (Netspan.wire_bytes k > 0))
+    Netspan.all_kinds;
+  Alcotest.(check (option reject)) "unknown name" None (Netspan.kind_of_name "frobnicate")
+
+(* --- a small protocol world with the tracer attached ------------------------- *)
+
+let ids n = Array.init n (fun i -> Id.of_hash space (Printf.sprintf "nspan-%d" i))
+
+(* 12 chord nodes joining, stabilizing, three failing, then 20 lookups under
+   2% loss — every span kind family and both drop paths get traffic. The
+   whole scenario is a deterministic function of [seed]. *)
+let run_world ?(sample = 1.0) ~seed sink_of =
+  let rng = Prng.Rng.create ~seed in
+  let hosts = 12 in
+  let lat = Topology.Transit_stub.generate ~hosts rng in
+  let eng = Engine.create ~latency:(fun a b -> Topology.Latency.host_latency lat a b) ~nodes:hosts in
+  let net = sink_of ~sample in
+  if Netspan.enabled net then Engine.attach_netspan eng net;
+  let p = CP.create (CP.default_config space) eng in
+  let id = ids hosts in
+  CP.spawn p ~addr:0 ~id:id.(0);
+  for i = 1 to hosts - 1 do
+    Engine.schedule eng ~delay:(float_of_int i *. 250.0) (fun () ->
+        CP.join p ~addr:i ~id:id.(i) ~bootstrap:0)
+  done;
+  Engine.run ~until:30_000.0 eng;
+  Engine.set_loss eng ~rate:0.02 ~rng:(Prng.Rng.create ~seed:(seed + 1));
+  List.iter (CP.fail_node p) [ 3; 7 ];
+  let krng = Prng.Rng.create ~seed:(seed + 2) in
+  for _ = 1 to 20 do
+    let key = Id.random space krng in
+    let origin = if Prng.Rng.int krng 2 = 0 then 0 else 1 in
+    CP.lookup p ~origin ~key (fun _ -> ())
+  done;
+  Engine.run ~until:90_000.0 eng;
+  eng
+
+let traced_world ~sample ~seed =
+  let buf = Buffer.create 65536 in
+  let eng = run_world ~sample ~seed (fun ~sample -> Netspan.jsonl ~sample (Buffer.add_string buf)) in
+  (eng, Buffer.contents buf)
+
+let nonblank_lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_accounting_reconciles () =
+  let eng, out = traced_world ~sample:1.0 ~seed:42 in
+  let net = Engine.netspan eng in
+  (* the tracer was attached before the first send, so its exact counters
+     mirror the engine's own *)
+  Alcotest.(check int) "messages = engine sent" (Engine.sent eng) (Netspan.messages net);
+  Alcotest.(check int) "kind counts sum to messages" (Netspan.messages net)
+    (List.fold_left (fun acc k -> acc + Netspan.kind_count net k) 0 Netspan.all_kinds);
+  (* loss only ever hits messages, so that counter matches exactly; the
+     engine's dropped_dead additionally counts timers expiring on dead
+     nodes, which are not messages and leave no span *)
+  Alcotest.(check int) "drops loss" (Engine.dropped_loss eng) (Netspan.drops_loss net);
+  Alcotest.(check bool) "dead drops bounded by the engine's" true
+    (Netspan.drops_dead net <= Engine.dropped_dead eng);
+  Alcotest.(check bool) "scenario exercises dead drops" true (Netspan.drops_dead net > 0);
+  Alcotest.(check bool) "scenario exercises loss drops" true (Netspan.drops_loss net > 0);
+  (* at rate 1 every send is a line: msg lines = messages, drop lines = drops *)
+  let lines = nonblank_lines out in
+  let msgs = List.filter (fun l -> String.length l > 10 && String.sub l 0 11 = {|{"ev":"msg"|}) lines in
+  Alcotest.(check int) "one msg line per send" (Netspan.messages net) (List.length msgs);
+  Alcotest.(check int) "one drop line per drop"
+    (Netspan.drops_dead net + Netspan.drops_loss net)
+    (List.length lines - List.length msgs);
+  (* registry export mirrors the same counters *)
+  let m = Obs.Metrics.create () in
+  Netspan.export_metrics net m;
+  let snap = Obs.Metrics.snapshot m in
+  match Obs.Metrics.find snap "netspan.msgs.total" with
+  | Some (Obs.Metrics.Counter c) -> Alcotest.(check int) "exported total" (Netspan.messages net) c
+  | _ -> Alcotest.fail "netspan.msgs.total missing"
+
+let test_tracing_does_not_change_simulation () =
+  let bare = run_world ~seed:42 (fun ~sample:_ -> Netspan.disabled) in
+  let traced, _ = traced_world ~sample:1.0 ~seed:42 in
+  Alcotest.(check int) "sent" (Engine.sent bare) (Engine.sent traced);
+  Alcotest.(check int) "delivered" (Engine.delivered bare) (Engine.delivered traced);
+  Alcotest.(check int) "dropped_dead" (Engine.dropped_dead bare) (Engine.dropped_dead traced);
+  Alcotest.(check int) "dropped_loss" (Engine.dropped_loss bare) (Engine.dropped_loss traced)
+
+let test_sampled_stream_is_stable_subset () =
+  let _, full = traced_world ~sample:1.0 ~seed:42 in
+  let _, sampled = traced_world ~sample:0.4 ~seed:42 in
+  let full_lines = nonblank_lines full in
+  let sampled_lines = nonblank_lines sampled in
+  Alcotest.(check bool) "strictly smaller" true
+    (List.length sampled_lines < List.length full_lines);
+  Alcotest.(check bool) "non-empty" true (sampled_lines <> []);
+  let full_set = Hashtbl.create 4096 in
+  List.iter (fun l -> Hashtbl.replace full_set l ()) full_lines;
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem full_set l) then
+        Alcotest.fail ("sampled line not in the full trace: " ^ l))
+    sampled_lines;
+  (* exact counters do not depend on the rate *)
+  let exact sample =
+    let eng, _ = traced_world ~sample ~seed:42 in
+    Netspan.messages (Engine.netspan eng)
+  in
+  Alcotest.(check int) "counts rate-independent" (exact 1.0) (exact 0.05)
+
+(* the analyzer is the causality auditor: no duplicate span ids, no orphan
+   parents, no drops of unknown spans — at any sample rate, because trees
+   are kept or dropped whole *)
+let audit_violations out =
+  let an = Analyze.create () in
+  List.iter (Analyze.feed_line an) (nonblank_lines out);
+  match Analyze.net_report an with
+  | None -> Alcotest.fail "no net report from a netspan stream"
+  | Some nr -> nr.Analyze.n_violations
+
+let test_causal_trees_never_orphaned () =
+  List.iter
+    (fun sample ->
+      let _, out = traced_world ~sample ~seed:42 in
+      Alcotest.(check int)
+        (Printf.sprintf "0 violations at rate %g" sample)
+        0 (audit_violations out))
+    [ 1.0; 0.6; 0.25; 0.05 ]
+
+let test_analyzer_counts_match_sink () =
+  let eng, out = traced_world ~sample:1.0 ~seed:42 in
+  let net = Engine.netspan eng in
+  let an = Analyze.create () in
+  List.iter (Analyze.feed_line an) (nonblank_lines out);
+  match Analyze.net_report an with
+  | None -> Alcotest.fail "no net report"
+  | Some nr ->
+      Alcotest.(check int) "msgs" (Netspan.messages net) nr.Analyze.n_msgs;
+      Alcotest.(check int) "drops dead" (Netspan.drops_dead net) nr.Analyze.n_drops_dead;
+      Alcotest.(check int) "drops loss" (Netspan.drops_loss net) nr.Analyze.n_drops_loss;
+      List.iter
+        (fun (ks : Analyze.kind_stat) ->
+          match Netspan.kind_of_name ks.Analyze.k_kind with
+          | None -> Alcotest.fail ("report names unknown kind " ^ ks.Analyze.k_kind)
+          | Some k ->
+              Alcotest.(check int) ("kind " ^ ks.Analyze.k_kind) (Netspan.kind_count net k)
+                ks.Analyze.k_count)
+        nr.Analyze.n_kinds;
+      (* byte attribution closes: shares sum to 1 over the classes *)
+      let share = List.fold_left (fun a (c : Analyze.class_stat) -> a +. c.Analyze.c_byte_share) 0.0 nr.Analyze.n_classes in
+      Alcotest.(check bool) (Printf.sprintf "class shares sum to %g" share) true
+        (Float.abs (share -. 1.0) < 1e-9);
+      Alcotest.(check bool) "gini in [0,1]" true
+        (nr.Analyze.n_gini >= 0.0 && nr.Analyze.n_gini <= 1.0)
+
+(* --- golden ------------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let json_valid s =
+  match Obs.Jsonu.parse s with Ok _ -> true | Error _ -> false
+
+let golden_path = Filename.concat "golden" "netspan_ts64.jsonl"
+
+let test_golden_netspan () =
+  let want = read_file golden_path in
+  let got = Obs_test_support.Golden.build_netspan () in
+  Alcotest.(check int)
+    "line count (regenerate with: dune exec test/support/gen_golden.exe -- --netspan > test/golden/netspan_ts64.jsonl)"
+    (List.length (nonblank_lines want))
+    (List.length (nonblank_lines got));
+  Alcotest.(check string) "byte-identical" want got;
+  Alcotest.(check int) "golden audits clean" 0 (audit_violations want)
+
+let test_golden_netspan_is_valid_jsonl () =
+  nonblank_lines (read_file golden_path)
+  |> List.iteri (fun i line ->
+         if not (json_valid line) then
+           Alcotest.fail (Printf.sprintf "golden line %d does not parse: %s" (i + 1) line))
+
+let test_netspan_jobs_independent () =
+  let spec = Obs_test_support.Golden.netspan_spec in
+  let seq = Experiments.Soak.net_trace (Experiments.Soak.run spec) in
+  let par =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Experiments.Soak.net_trace (Experiments.Soak.run ~pool spec))
+  in
+  Alcotest.(check string) "net trace bytes independent of --jobs" seq par
+
+(* --- per-lookup trace sampling (Trace.jsonl ?sample) -------------------------- *)
+
+let lookup_ids_of lines =
+  (* collect the distinct "lookup":N ids appearing in a jsonl trace *)
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      match Obs.Jsonu.parse l with
+      | Ok j -> (
+          match Option.bind (Obs.Jsonu.member "lookup" j) Obs.Jsonu.to_float with
+          | Some f -> Hashtbl.replace ids (int_of_float f) ()
+          | None -> ())
+      | Error _ -> Alcotest.fail ("unparseable trace line: " ^ l))
+    lines;
+  ids
+
+let test_trace_sampling_subset () =
+  let route ~sample =
+    let buf = Buffer.create 8192 in
+    let tr = Obs.Trace.jsonl ~sample (Buffer.add_string buf) in
+    let rng = Prng.Rng.create ~seed:7 in
+    let lat = Topology.Transit_stub.generate ~hosts:48 rng in
+    let net =
+      Chord.Network.build ~space:Hashid.Id.sha1_space ~hosts:(Array.init 48 (fun i -> i)) ()
+    in
+    for _ = 1 to 40 do
+      let key = Id.random Hashid.Id.sha1_space rng in
+      let origin = Prng.Rng.int rng 48 in
+      ignore (Chord.Lookup.route ~trace:tr net lat ~origin ~key)
+    done;
+    Buffer.contents buf
+  in
+  let full = nonblank_lines (route ~sample:1.0) in
+  let sampled = nonblank_lines (route ~sample:0.5) in
+  Alcotest.(check bool) "sampling drops lines" true (List.length sampled < List.length full);
+  (* id allocation is sampling-independent, so the sampled stream is a
+     line-for-line subset of the full one *)
+  let full_set = Hashtbl.create 4096 in
+  List.iter (fun l -> Hashtbl.replace full_set l ()) full;
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem full_set l) then Alcotest.fail ("sampled line not in full trace: " ^ l))
+    sampled;
+  (* kept lookups are complete: the analyzer sees no violations and no
+     open spans, because the keep decision is per lookup id *)
+  let an = Analyze.create () in
+  List.iter (Analyze.feed_line an) sampled;
+  let r = Analyze.report an in
+  Alcotest.(check int) "no violations" 0 r.Analyze.violations;
+  Alcotest.(check int) "no open spans" 0 r.Analyze.spans_open;
+  (* the kept set is exactly the sampler's verdict on the id space *)
+  let kept = lookup_ids_of sampled and all = lookup_ids_of full in
+  Hashtbl.iter
+    (fun id () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lookup %d kept iff sampler keeps it" id)
+        (Sampler.keep ~rate:0.5 id) (Hashtbl.mem kept id))
+    all
+
+let () =
+  Alcotest.run "netspan"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "pure, bounded, clamped" `Quick test_sampler_pure_and_bounded;
+          test_sampler_monotone;
+          Alcotest.test_case "rate roughly honoured" `Quick test_sampler_rate_roughly_honoured;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "disabled sink is inert" `Quick test_disabled_sink;
+          Alcotest.test_case "kind taxonomy closed" `Quick test_kind_taxonomy;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "exact counters reconcile with the engine" `Quick
+            test_accounting_reconciles;
+          Alcotest.test_case "tracing never changes the simulation" `Quick
+            test_tracing_does_not_change_simulation;
+          Alcotest.test_case "sampled stream is a stable subset" `Quick
+            test_sampled_stream_is_stable_subset;
+        ] );
+      ( "causality",
+        [
+          Alcotest.test_case "no orphans at any rate" `Quick test_causal_trees_never_orphaned;
+          Alcotest.test_case "analyzer agrees with the sink" `Quick test_analyzer_counts_match_sink;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "fixed-seed soak netspan is byte-identical" `Quick test_golden_netspan;
+          Alcotest.test_case "golden file is valid JSONL" `Quick test_golden_netspan_is_valid_jsonl;
+          Alcotest.test_case "bytes independent of --jobs" `Quick test_netspan_jobs_independent;
+        ] );
+      ( "trace-sampling",
+        [ Alcotest.test_case "per-lookup jsonl sampling" `Quick test_trace_sampling_subset ] );
+    ]

@@ -409,12 +409,17 @@ let engine_prop (seed, loss_centi, nodes, ops) =
   in
   let rate = float_of_int loss_centi /. 100.0 in
   if rate > 0.0 then Simnet.Engine.set_loss eng ~rate ~rng:(Prng.Rng.create ~seed:(seed + 1));
-  (* interleave sends from node 0 (kept alive) with kills/revives of others,
-     plus scheduled mid-flight kills — every drop path gets exercised *)
+  (* interleave sends from node 0 (kept alive) with local timers,
+     kills/revives of others, plus scheduled mid-flight kills — every drop
+     path (message loss, dead destination, dead timer owner) is exercised *)
   for op = 1 to ops do
-    match Prng.Rng.int rng 4 with
+    match Prng.Rng.int rng 5 with
     | 0 | 1 -> Simnet.Engine.send eng ~src:0 ~dst:(Prng.Rng.int rng nodes) (fun () -> ())
     | 2 ->
+        Simnet.Engine.timer eng ~node:(Prng.Rng.int rng nodes)
+          ~delay:(float_of_int (op mod 11))
+          (fun () -> ())
+    | 3 ->
         if nodes > 1 then
           let victim = 1 + Prng.Rng.int rng (nodes - 1) in
           if Prng.Rng.int rng 2 = 0 then Simnet.Engine.kill eng victim
@@ -429,10 +434,13 @@ let engine_prop (seed, loss_centi, nodes, ops) =
   let sent = Simnet.Engine.sent eng
   and delivered = Simnet.Engine.delivered eng
   and dead = Simnet.Engine.dropped_dead eng
-  and loss = Simnet.Engine.dropped_loss eng in
-  if sent <> delivered + dead + loss then
-    QCheck.Test.fail_reportf "sent %d <> delivered %d + dropped_dead %d + dropped_loss %d" sent
-      delivered dead loss;
+  and loss = Simnet.Engine.dropped_loss eng
+  and tset = Simnet.Engine.timers_set eng
+  and tfired = Simnet.Engine.timers_fired eng in
+  if sent + tset <> delivered + tfired + dead + loss then
+    QCheck.Test.fail_reportf
+      "sent %d + timers_set %d <> delivered %d + timers_fired %d + dropped_dead %d + dropped_loss %d"
+      sent tset delivered tfired dead loss;
   (* the registry export mirrors the engine's own fields exactly *)
   let m = Metrics.create () in
   Simnet.Engine.export_metrics eng m;
@@ -447,12 +455,16 @@ let engine_prop (seed, loss_centi, nodes, ops) =
   check "simnet.delivered" delivered;
   check "simnet.dropped_dead" dead;
   check "simnet.dropped_loss" loss;
+  check "simnet.timers_set" tset;
+  check "simnet.timers_fired" tfired;
   check "simnet.pending_events" 0;
   true
 
 let test_engine_conservation =
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~name:"sent = delivered + dropped_dead + dropped_loss" ~count:100
+    (QCheck.Test.make
+       ~name:"sent + timers_set = delivered + timers_fired + dropped_dead + dropped_loss"
+       ~count:100
        QCheck.(
          quad (int_range 0 1_000_000) (int_range 0 90) (int_range 1 24) (int_range 0 400))
        engine_prop)
@@ -821,6 +833,54 @@ let test_timeseries_bucketing () =
   | Some (Metrics.Gauge g) -> Alcotest.(check (float 0.0)) "gauge last" 9.0 g
   | _ -> Alcotest.fail "ts.lvl.last missing"
 
+let test_timeseries_bucket_edges () =
+  let ts = Ts.create ~bucket_ms:100.0 () in
+  let c = Ts.counter ts "ev" in
+  (* a stamp exactly on a bucket edge opens the new bucket, never pads the
+     old one *)
+  Ts.add c ~at:0.0 1.0;
+  Ts.add c ~at:100.0 1.0;
+  Ts.add c ~at:200.0 1.0;
+  Alcotest.(check (list (float 0.0)))
+    "edge stamps open their own buckets" [ 0.0; 100.0; 200.0 ]
+    (List.map (fun p -> p.Ts.t_ms) (Ts.points ts "ev"));
+  (* equal stamps are fine: same bucket, values accumulate *)
+  Ts.add c ~at:200.0 2.0;
+  Alcotest.(check (float 0.0)) "equal stamp accumulates" 3.0
+    (List.nth (Ts.points ts "ev") 2).Ts.v;
+  (* a single-point series has a well-defined horizon *)
+  let ts1 = Ts.create ~bucket_ms:100.0 () in
+  Ts.set (Ts.gauge ts1 "g") ~at:42.0 1.0;
+  Alcotest.(check (list (float 0.0))) "single point" [ 0.0 ]
+    (List.map (fun p -> p.Ts.t_ms) (Ts.points ts1 "g"));
+  Alcotest.(check bool) ("single-point json parses: " ^ Ts.to_json ts1) true
+    (json_valid (Ts.to_json ts1))
+
+let test_timeseries_monotone_stamps () =
+  let ts = Ts.create ~bucket_ms:100.0 () in
+  let c = Ts.counter ts "ev" in
+  let g = Ts.gauge ts "lvl" in
+  Ts.add c ~at:250.0 1.0;
+  Ts.set g ~at:300.0 5.0;
+  (* regressing stamps raise per series, not globally: "ev" is at 250 *)
+  Alcotest.check_raises "add regresses"
+    (Invalid_argument "Timeseries.add: stamp 249 regresses behind 250") (fun () ->
+      Ts.add c ~at:249.0 1.0);
+  Alcotest.check_raises "set regresses"
+    (Invalid_argument "Timeseries.set: stamp 299 regresses behind 300") (fun () ->
+      Ts.set g ~at:299.0 1.0);
+  (* equal stamps are allowed, and an independent series has its own clock *)
+  Ts.add c ~at:250.0 1.0;
+  Ts.set g ~at:300.0 6.0;
+  Ts.add (Ts.counter ts "other") ~at:10.0 1.0;
+  (* kind discipline is checked before monotonicity: a stale-stamped write
+     of the wrong kind reports the kind clash *)
+  Alcotest.(check bool) "kind check first" true
+    (try
+       Ts.set c ~at:0.0 1.0;
+       false
+     with Invalid_argument m -> m = "Timeseries.set: counter series")
+
 (* --- registry export from the runner ----------------------------------------- *)
 
 let test_runner_registry_export () =
@@ -894,6 +954,9 @@ let () =
         [
           Alcotest.test_case "disabled collector records nothing" `Quick test_timeseries_disabled;
           Alcotest.test_case "bucketing, kinds, renderings" `Quick test_timeseries_bucketing;
+          Alcotest.test_case "bucket edges and single points" `Quick test_timeseries_bucket_edges;
+          Alcotest.test_case "regressing stamps fail loudly" `Quick
+            test_timeseries_monotone_stamps;
         ] );
       ("engine", [ test_engine_conservation ]);
       ("runner", [ Alcotest.test_case "registry export" `Quick test_runner_registry_export ]);
