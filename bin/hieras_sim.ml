@@ -10,6 +10,7 @@
      analyze  analyze a JSONL trace / compare two reports
      churn    protocol-level churn run with time-series telemetry
      soak     long-horizon churn soak: maintenance bandwidth vs churn rate
+     cache    replicated key-value store + web-cache scenario over the overlay
      scale    million-node packed-network run with analytic hop counts
      resilience  lookup success/stretch vs failed-node fraction
      tournament  every algorithm x flat/layered on one seeded matrix
@@ -931,6 +932,160 @@ let soak_cmd =
           (bit-identical for any --jobs)")
     term
 
+(* ---- cache -------------------------------------------------------------- *)
+
+let cache_cmd =
+  let module Cache = Experiments.Cache in
+  let d = Cache.default_spec in
+  let pool_t =
+    Arg.(
+      value
+      & opt int d.Cache.pool
+      & info [ "pool" ] ~docv:"N" ~doc:"Nodes in the ring (all join before the store populates).")
+  in
+  let objects_t =
+    Arg.(
+      value
+      & opt int d.Cache.objects
+      & info [ "objects" ] ~docv:"N" ~doc:"Catalogue size — one put each.")
+  in
+  let requests_t =
+    Arg.(
+      value
+      & opt int d.Cache.requests
+      & info [ "requests" ] ~docv:"R" ~doc:"Zipf read-stream length.")
+  in
+  let replication_t =
+    Arg.(
+      value
+      & opt (list int) d.Cache.replication
+      & info [ "replication" ] ~docv:"R,..."
+          ~doc:"Store replication factors to sweep (owner + R-1 successor replicas).")
+  in
+  let alphas_t =
+    Arg.(
+      value
+      & opt (list float) d.Cache.alphas
+      & info [ "alphas" ] ~docv:"A,..." ~doc:"Zipf skews to sweep (0 = uniform popularity).")
+  in
+  let fault_t =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "fault" ] ~docv:"KIND"
+          ~doc:
+            "Fault schedule landing between populate and read: none, crash \
+             (uniform random kills) or spaced (victims spread through \
+             identifier order so every key loses fewer than R replicas).")
+  in
+  let fault_frac_t =
+    Arg.(
+      value
+      & opt float d.Cache.fault_frac
+      & info [ "fault-frac" ] ~docv:"F" ~doc:"Fraction of the pool killed by the fault schedule.")
+  in
+  let cache_entries_t =
+    Arg.(
+      value
+      & opt int d.Cache.cache_entries
+      & info [ "cache-entries" ] ~docv:"N" ~doc:"Per-node cache entry budget.")
+  in
+  let cache_bytes_t =
+    Arg.(
+      value
+      & opt int d.Cache.cache_bytes
+      & info [ "cache-bytes" ] ~docv:"B" ~doc:"Per-node cache byte budget.")
+  in
+  let ttl_t =
+    Arg.(
+      value
+      & opt float d.Cache.ttl_ms
+      & info [ "ttl" ] ~docv:"MS" ~doc:"Cache TTL in simulated ms (<= 0 disables expiry).")
+  in
+  let loss_t =
+    Arg.(
+      value
+      & opt float d.Cache.loss
+      & info [ "loss" ] ~docv:"P" ~doc:"Message loss probability.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the cache results (schema hieras-cache, one summary per \
+             algo x replication x skew cell) as one JSON object to $(docv) — \
+             comparable with `analyze compare`.")
+  in
+  let run pool_n objects requests replication alphas fault fault_frac cache_entries
+      cache_bytes ttl loss landmarks depth seed jobs out net_trace_out net_sample metrics =
+    let net_rate = net_sample_rate ~net_out:net_trace_out net_sample in
+    let fault =
+      match Cache.fault_of_name fault with
+      | Some f -> f
+      | None -> exit_usage (Printf.sprintf "unknown fault %S (none | crash | spaced)" fault)
+    in
+    let spec =
+      {
+        Cache.pool = pool_n;
+        objects;
+        requests;
+        replication;
+        alphas;
+        fault;
+        fault_frac;
+        cache_entries;
+        cache_bytes;
+        ttl_ms = ttl;
+        loss;
+        depth;
+        landmarks;
+        net_sample = Option.map (fun _ -> net_rate) net_trace_out;
+        seed;
+      }
+    in
+    (match Cache.validate spec with Ok () -> () | Error e -> exit_usage e);
+    with_jobs jobs (fun pool ->
+        let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+        let r = Cache.run ~pool ?registry spec in
+        Experiments.Report.print (Cache.section r);
+        (match out with
+        | None -> ()
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc (Cache.results_json r);
+                output_char oc '\n');
+            Printf.printf "wrote %d cache cells to %s\n" (List.length r.Cache.cells) file);
+        (match net_trace_out with
+        | None -> ()
+        | Some file ->
+            let tr = Cache.net_trace r in
+            Out_channel.with_open_text file (fun oc -> output_string oc tr);
+            let lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 tr in
+            Printf.printf "wrote %d net span events to %s\n" lines file);
+        match registry with
+        | None -> ()
+        | Some reg ->
+            Parallel.Pool.export_metrics pool reg;
+            print_newline ();
+            print_metrics reg)
+  in
+  let term =
+    Term.(
+      const run $ pool_t $ objects_t $ requests_t $ replication_t $ alphas_t $ fault_t
+      $ fault_frac_t $ cache_entries_t $ cache_bytes_t $ ttl_t $ loss_t $ landmarks_t
+      $ depth_t $ seed_t $ jobs_t $ out_t $ net_trace_out_t $ net_sample_t $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Replicated key-value store under a zipf web-cache workload: \
+          availability, cache hit rate and fetch latency per replication \
+          factor x skew x algorithm cell, with optional fault schedules \
+          landing between populate and read (bit-identical for any --jobs)")
+    term
+
 (* ---- scale -------------------------------------------------------------- *)
 
 let scale_cmd =
@@ -1209,6 +1364,7 @@ let main =
       analyze_cmd;
       churn_cmd;
       soak_cmd;
+      cache_cmd;
       scale_cmd;
       resilience_cmd;
       tournament_cmd;

@@ -305,20 +305,25 @@ let find_successor t ~kind ~src ~key ~retries ~(ok : peer -> int -> unit) ~(fail
 (* --- periodic maintenance --------------------------------------------- *)
 
 (* Successor-list hygiene: drop ourselves, dedup by address (keeping the
-   first = closest occurrence), cap at the configured length. *)
-let truncate_succs cfg pn l =
+   first = closest occurrence), cap at the configured length. Entries that
+   are already gone are dropped at adoption (a quick liveness ping in a
+   real deployment): a dead entry adopted from a neighbour's stale list
+   would poison closest_preceding from the tail, where no stabilize
+   timeout ever examines it — lists heal head-first only. *)
+let truncate_succs t pn l =
   let seen = Hashtbl.create 8 in
   let deduped =
     List.filter
       (fun p ->
         if p.paddr = pn.addr || Hashtbl.mem seen p.paddr then false
+        else if not (Engine.is_alive t.eng p.paddr) then false
         else begin
           Hashtbl.replace seen p.paddr ();
           true
         end)
       l
   in
-  List.filteri (fun i _ -> i < cfg.succ_list_len) deduped
+  List.filteri (fun i _ -> i < t.cfg.succ_list_len) deduped
 
 let rec stabilize t pn =
   let succ = current_successor pn in
@@ -350,10 +355,10 @@ let rec stabilize t pn =
         (match spred with
         | Some x when x.paddr <> pn.addr && Id.in_oo x.pid ~lo:pn.id ~hi:succ.pid ->
             (* a closer successor exists between us and our successor *)
-            pn.succs <- truncate_succs t.cfg pn (x :: slist)
+            pn.succs <- truncate_succs t pn (x :: slist)
         | _ ->
             (* refresh our successor list from the successor's *)
-            pn.succs <- truncate_succs t.cfg pn slist);
+            pn.succs <- truncate_succs t pn slist);
         pn.stabilize_rounds <- pn.stabilize_rounds + 1;
         if
           pn.stabilize_rounds mod anchor_crosscheck_period = 0
@@ -371,7 +376,7 @@ let rec stabilize t pn =
                       if
                         p.paddr <> pn.addr
                         && (cur.paddr = pn.addr || Id.in_oo p.pid ~lo:pn.id ~hi:cur.pid)
-                      then pn.succs <- truncate_succs t.cfg pn (p :: pn.succs)))
+                      then pn.succs <- truncate_succs t pn (p :: pn.succs)))
         end;
         let new_succ = current_successor pn in
         (* notify: we believe we are their predecessor *)
@@ -416,7 +421,12 @@ let rec fix_fingers t pn =
       maint t `Fix;
       find_successor t ~kind:Netspan.Fix_fingers ~src:pn.addr ~key:start ~retries:0
         ~ok:(fun p _ -> pn.fingers.(i) <- Some p)
-        ~failed:(fun () -> ());
+        ~failed:(fun () ->
+          (* unresolvable finger: clear it rather than keep a possibly-dead
+             entry steering closest_preceding into a black hole — with the
+             slot empty, routing falls back to lower fingers and the
+             successor list until a later round re-resolves it *)
+          pn.fingers.(i) <- None);
       fix (k - 1)
     end
   in

@@ -374,19 +374,26 @@ let find_successor t ~kind ~src ~layer ~key ~retries ~ok ~failed =
    the global ring merges parallel rings that stabilize alone cannot *)
 let anchor_crosscheck_period = 8
 
-let truncate_succs cfg pn l =
+(* Successor-list hygiene, per layer: drop ourselves, dedup, cap. Entries
+   that are already gone are dropped at adoption (a quick liveness ping in
+   a real deployment): a dead entry adopted from a neighbour's stale list
+   poisons closest_preceding from the tail, where no stabilize timeout
+   ever examines it — and in a small lower-layer ring that can wedge
+   routing permanently (see Chord.Protocol.truncate_succs). *)
+let truncate_succs t pn l =
   let seen = Hashtbl.create 8 in
   let deduped =
     List.filter
       (fun p ->
         if p.paddr = pn.addr || Hashtbl.mem seen p.paddr then false
+        else if not (Engine.is_alive t.eng p.paddr) then false
         else begin
           Hashtbl.replace seen p.paddr ();
           true
         end)
       l
   in
-  List.filteri (fun i _ -> i < cfg.succ_list_len) deduped
+  List.filteri (fun i _ -> i < t.cfg.succ_list_len) deduped
 
 let rec stabilize t pn ~layer =
   let ls = layer_state pn ~layer in
@@ -420,8 +427,8 @@ let rec stabilize t pn ~layer =
         ls.succ_suspect <- 0;
         (match spred with
         | Some x when x.paddr <> pn.addr && Id.in_oo x.pid ~lo:pn.id ~hi:succ.pid ->
-            ls.succs <- truncate_succs t.cfg pn (x :: slist)
-        | _ -> ls.succs <- truncate_succs t.cfg pn slist);
+            ls.succs <- truncate_succs t pn (x :: slist)
+        | _ -> ls.succs <- truncate_succs t pn slist);
         if layer = 1 then begin
           pn.stabilize_rounds <- pn.stabilize_rounds + 1;
           if
@@ -441,7 +448,7 @@ let rec stabilize t pn ~layer =
                         if
                           p.paddr <> pn.addr
                           && (cur.paddr = pn.addr || Id.in_oo p.pid ~lo:pn.id ~hi:cur.pid)
-                        then gls.succs <- truncate_succs t.cfg pn (p :: gls.succs)))
+                        then gls.succs <- truncate_succs t pn (p :: gls.succs)))
           end
         end;
         let new_succ = current_successor pn ls in
@@ -483,7 +490,12 @@ let rec fix_fingers t pn ~layer =
     maint t `Fix;
     find_successor t ~kind:Netspan.Fix_fingers ~src:pn.addr ~layer ~key:start ~retries:0
       ~ok:(fun p _ -> ls.fingers.(i) <- Some p)
-      ~failed:(fun () -> ())
+      ~failed:(fun () ->
+        (* unresolvable finger: clear it rather than keep a possibly-dead
+           entry steering closest_preceding into a black hole — with the
+           slot empty, routing falls back to lower fingers and the
+           successor list until a later round re-resolves it *)
+        ls.fingers.(i) <- None)
   done;
   Engine.timer t.eng ~node:pn.addr
     ~delay:(t.cfg.fix_fingers_every *. t.scale)
@@ -644,14 +656,19 @@ let rec ring_refresh t pn =
             let ls = layer_state pn ~layer in
             List.iter
               (fun e ->
-                if e.Ring_table.node <> pn.addr then begin
+                (* skip recorded members that are gone: a stale table entry
+                   re-adopted here would seize the successor slot faster
+                   than stabilize can expunge it, wedging the ring (the
+                   anchor re-join applies the same liveness shortcut) *)
+                if e.Ring_table.node <> pn.addr && Engine.is_alive t.eng e.Ring_table.node
+                then begin
                   let succ = current_successor pn ls in
                   if
                     succ.paddr = pn.addr
                     || Id.in_oo e.Ring_table.id ~lo:pn.id ~hi:succ.pid
                   then
                     ls.succs <-
-                      truncate_succs t.cfg pn
+                      truncate_succs t pn
                         ({ paddr = e.Ring_table.node; pid = e.Ring_table.id } :: ls.succs)
                 end)
               entries)

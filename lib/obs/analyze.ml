@@ -51,6 +51,7 @@ type net = {
   mutable nnodes : Iset.t; (* every node seen as src or dst *)
   class_msgs : int array; (* by class index, see class_names *)
   class_bytes : int array;
+  kind_bytes_seen : int array; (* first declared "bytes" per kind, -1 = none yet *)
   depth_sum : Stats.Summary.t;
   mutable nroots : int;
   mutable ndrops_dead : int;
@@ -59,14 +60,17 @@ type net = {
 
 (* Traffic classes, attributed by the *root* kind of each causal tree: a
    forwarding hop or reply belongs to whatever RPC started the cascade. *)
-let class_names = [| "maint"; "lookup"; "join"; "other" |]
+let class_names = [| "maint"; "lookup"; "join"; "store"; "other" |]
 
 let class_of_kind = function
   | Netspan.Stabilize | Netspan.Notify | Netspan.Fix_fingers | Netspan.Check_pred | Netspan.Ring ->
       0
   | Netspan.Lookup -> 1
   | Netspan.Join -> 2
-  | Netspan.Forward | Netspan.Reply | Netspan.Other -> 3
+  | Netspan.Store_put | Netspan.Store_get | Netspan.Store_delete | Netspan.Store_replicate
+  | Netspan.Store_repair | Netspan.Store_reply ->
+      3
+  | Netspan.Forward | Netspan.Reply | Netspan.Other -> 4
 
 type t = {
   top_k : int;
@@ -103,6 +107,7 @@ let net_of t =
           nnodes = Iset.empty;
           class_msgs = Array.make (Array.length class_names) 0;
           class_bytes = Array.make (Array.length class_names) 0;
+          kind_bytes_seen = Array.make Netspan.n_kinds (-1);
           depth_sum = Stats.Summary.create ();
           nroots = 0;
           ndrops_dead = 0;
@@ -202,10 +207,13 @@ let feed_event t ev =
 
 (* Audited invariants of the net stream: span ids are unique per ctx, every
    referenced parent was recorded earlier (root-keyed sampling keeps causal
-   trees whole, so this holds at any sample rate), and drops name a known
-   span. Breaches count into [violations] but still accumulate, so a report
-   over a damaged trace is flagged rather than silently partial. *)
-let feed_msg t ~ctx ~span ~parent ~kind ~src ~dst ~lat =
+   trees whole, so this holds at any sample rate), drops name a known
+   span, and declared wire bytes are positive and consistent per kind (the
+   cost model is a function of the kind; two lines of one kind declaring
+   different sizes mean a corrupt or mixed-producer trace). Breaches count
+   into [violations] but still accumulate, so a report over a damaged
+   trace is flagged rather than silently partial. *)
+let feed_msg t ~ctx ~span ~parent ~kind ~src ~dst ~lat ~declared_bytes =
   t.events <- t.events + 1;
   let n = net_of t in
   if Hashtbl.mem n.nspans (ctx, span) then t.violations <- t.violations + 1
@@ -230,7 +238,18 @@ let feed_msg t ~ctx ~span ~parent ~kind ~src ~dst ~lat =
     Stats.Summary.add n.kind_lat.(ki) lat;
     Stats.Histogram.add n.nlat_hist lat;
     Stats.Summary.add n.depth_sum (float_of_int entry.nsp_depth);
-    let bytes = Netspan.wire_bytes kind in
+    let bytes =
+      match declared_bytes with
+      | None -> Netspan.wire_bytes kind (* pre-bytes-field traces: fall back to the model *)
+      | Some b when b <= 0 ->
+          t.violations <- t.violations + 1;
+          Netspan.wire_bytes kind (* don't let a bad line skew byte sums *)
+      | Some b ->
+          let seen = n.kind_bytes_seen.(ki) in
+          if seen < 0 then n.kind_bytes_seen.(ki) <- b
+          else if seen <> b then t.violations <- t.violations + 1;
+          b
+    in
     n.node_msgs <- bump n.node_msgs src 1;
     n.node_bytes <- bump n.node_bytes src bytes;
     n.nnodes <- Iset.add src (Iset.add dst n.nnodes);
@@ -340,8 +359,11 @@ let feed_json t j =
         | None -> failwith (Printf.sprintf "net event: unknown kind %S" kind_s)
       in
       ignore (float_field "at" j);
+      let declared_bytes =
+        match Jsonu.member "bytes" j with Some _ -> Some (int_field "bytes" j) | None -> None
+      in
       feed_msg t ~ctx ~span:(int_field "span" j) ~parent ~kind ~src:(int_field "src" j)
-        ~dst:(int_field "dst" j) ~lat:(float_field "lat" j)
+        ~dst:(int_field "dst" j) ~lat:(float_field "lat" j) ~declared_bytes
   | "drop" ->
       let ctx =
         match Jsonu.member "ctx" j with
@@ -1073,7 +1095,7 @@ let metrics_of_netspan j =
       (fun acc cls ->
         num (Printf.sprintf "net.classes.%s.byte_share" cls) [ "classes"; cls; "byte_share" ] acc)
       acc
-      [ "maint"; "lookup"; "join"; "other" ]
+      [ "maint"; "lookup"; "join"; "store"; "other" ]
   in
   let acc =
     match Jsonu.member "kinds" j with
@@ -1088,11 +1110,50 @@ let metrics_of_netspan j =
   in
   List.rev acc
 
+(* Cache runs compare per cell, keyed by algo × replication factor × zipf
+   skew. Unavailability is the headline gate (an acknowledged object that a
+   get cannot reach is the regression the storage layer exists to prevent);
+   miss rate and lookup latency ride along. All lower-is-better. *)
+let metrics_of_cache j =
+  match Jsonu.member "cells" j with
+  | Some (Jsonu.Arr cells) ->
+      List.concat_map
+        (fun cell ->
+          match
+            ( Option.bind (Jsonu.member "algo" cell) Jsonu.to_string,
+              Option.bind (Jsonu.member "replication" cell) Jsonu.to_float,
+              Option.bind (Jsonu.member "alpha" cell) Jsonu.to_float )
+          with
+          | Some algo, Some r, Some alpha ->
+              let prefix =
+                Printf.sprintf "cache.%s.r%d.a%s" algo (int_of_float r) (Jsonu.float_repr alpha)
+              in
+              let num name = Option.bind (Jsonu.member name cell) Jsonu.to_float in
+              let direct =
+                List.filter_map
+                  (fun name -> Option.map (fun v -> (prefix ^ "." ^ name, v)) (num name))
+                  [ "latency_mean_ms" ]
+              in
+              let failure_rate ~ok ~total name =
+                match (num ok, num total) with
+                | Some ok, Some total when total > 0.0 ->
+                    [ (prefix ^ "." ^ name, 1.0 -. (ok /. total)) ]
+                | _ -> []
+              in
+              direct
+              @ failure_rate ~ok:"served" ~total:"requests" "unavailability"
+              @ failure_rate ~ok:"hits" ~total:"requests" "miss_rate"
+              @ failure_rate ~ok:"puts_acked" ~total:"puts" "put_failure_rate"
+          | _ -> [])
+        cells
+  | _ -> []
+
 let classify j =
   match Jsonu.member "schema" j with
   | Some (Jsonu.Str "hieras-trace-report") -> Ok "trace-report"
   | Some (Jsonu.Str "hieras-netspan") -> Ok "netspan"
   | Some (Jsonu.Str "hieras-soak") -> Ok "soak"
+  | Some (Jsonu.Str "hieras-cache") -> Ok "cache"
   | Some (Jsonu.Str "hieras-scale") | Some (Jsonu.Str "hieras-scale-bench") -> Ok "scale"
   | Some (Jsonu.Str "hieras-tournament") -> Ok "tournament"
   | _ -> if Jsonu.member "micro" j <> None then Ok "bench" else Error "unrecognised report"
@@ -1117,6 +1178,7 @@ let compare_files ~base ~cand ~threshold =
             match kind with
             | "bench" -> metrics_of_bench
             | "soak" -> metrics_of_soak
+            | "cache" -> metrics_of_cache
             | "scale" -> metrics_of_scale
             | "tournament" -> metrics_of_tournament
             | "netspan" -> metrics_of_netspan

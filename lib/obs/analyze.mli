@@ -121,8 +121,12 @@ val report_json : report -> string
     reply is attributed to the {e root} kind of its causal tree. The
     analyzer also audits the stream — duplicate span ids (per ctx),
     parents that were never recorded (impossible under root-keyed
-    sampling, so any occurrence is a producer bug), and drops naming
-    unknown spans all count into [violations]. *)
+    sampling, so any occurrence is a producer bug), drops naming
+    unknown spans, and declared ["bytes"] that are non-positive or
+    inconsistent within a kind (the {!Netspan.wire_bytes} cost model is
+    a function of the kind alone) all count into [violations]. Lines
+    without a ["bytes"] field — pre-bytes-field traces — fall back to
+    the analyzer's own cost model and are not audited. *)
 
 type kind_stat = {
   k_kind : string;  (** {!Netspan.kind_name} *)
@@ -132,10 +136,10 @@ type kind_stat = {
 }
 
 type class_stat = {
-  c_class : string;  (** ["maint"], ["lookup"], ["join"] or ["other"] *)
+  c_class : string;  (** ["maint"], ["lookup"], ["join"], ["store"] or ["other"] *)
   c_msgs : int;
   c_bytes : int;  (** nominal wire bytes ({!Netspan.wire_bytes}) *)
-  c_byte_share : float;  (** shares sum to 1 over the four classes *)
+  c_byte_share : float;  (** shares sum to 1 over the five classes *)
 }
 
 type band_node = { b_node : int; b_msgs : int; b_bytes : int; b_byte_share : float }
@@ -151,7 +155,7 @@ type net_report = {
   n_depth_max : float;
   n_kinds : kind_stat list;  (** declaration order, zero-count kinds omitted *)
   n_lat_hist : Stats.Histogram.t;  (** 25 ms bins over 0..2000 *)
-  n_classes : class_stat list;  (** maint, lookup, join, other — fixed order *)
+  n_classes : class_stat list;  (** maint, lookup, join, store, other — fixed order *)
   n_nodes : int;  (** nodes seen as sender or receiver *)
   n_senders : int;  (** nodes that sent at least one message *)
   n_gini : float;  (** of per-node sent bytes over [n_nodes] *)
@@ -179,8 +183,8 @@ type cmp_row = {
 
 type comparison = {
   kind : string;
-      (** ["trace-report"], ["netspan"], ["bench"], ["soak"], ["scale"]
-          or ["tournament"] *)
+      (** ["trace-report"], ["netspan"], ["bench"], ["soak"], ["cache"],
+          ["scale"] or ["tournament"] *)
   threshold : float;
   rows : cmp_row list;  (** every metric present in both inputs *)
   regressions : cmp_row list;
@@ -208,7 +212,10 @@ val compare_files : base:string -> cand:string -> threshold:float -> (comparison
     recovery penalty, all lower-is-better), or netspan reports
     (["hieras-netspan"] — compared on violations, drops, causal depth,
     bandwidth gini/imbalance, class byte shares and per-kind message
-    counts: the maintenance-rate gate). *)
+    counts: the maintenance-rate gate), or cache runs
+    (["hieras-cache"] — compared per algo × replication × skew cell on
+    unavailability, miss rate, put failure rate and lookup latency, all
+    lower-is-better: the data-availability gate). *)
 
 val comparison_text : comparison -> string
 (** Aligned table of metric, base, candidate, delta — regressions

@@ -8,6 +8,12 @@ type kind =
   | Lookup
   | Forward
   | Reply
+  | Store_put
+  | Store_get
+  | Store_delete
+  | Store_replicate
+  | Store_repair
+  | Store_reply
   | Other
 
 let kind_name = function
@@ -20,6 +26,12 @@ let kind_name = function
   | Lookup -> "lookup"
   | Forward -> "forward"
   | Reply -> "reply"
+  | Store_put -> "store_put"
+  | Store_get -> "store_get"
+  | Store_delete -> "store_delete"
+  | Store_replicate -> "store_replicate"
+  | Store_repair -> "store_repair"
+  | Store_reply -> "store_reply"
   | Other -> "other"
 
 let kind_of_name = function
@@ -32,11 +44,20 @@ let kind_of_name = function
   | "lookup" -> Some Lookup
   | "forward" -> Some Forward
   | "reply" -> Some Reply
+  | "store_put" -> Some Store_put
+  | "store_get" -> Some Store_get
+  | "store_delete" -> Some Store_delete
+  | "store_replicate" -> Some Store_replicate
+  | "store_repair" -> Some Store_repair
+  | "store_reply" -> Some Store_reply
   | "other" -> Some Other
   | _ -> None
 
 let all_kinds =
-  [ Stabilize; Notify; Fix_fingers; Check_pred; Join; Ring; Lookup; Forward; Reply; Other ]
+  [
+    Stabilize; Notify; Fix_fingers; Check_pred; Join; Ring; Lookup; Forward; Reply; Store_put;
+    Store_get; Store_delete; Store_replicate; Store_repair; Store_reply; Other;
+  ]
 
 let kind_index = function
   | Stabilize -> 0
@@ -48,9 +69,15 @@ let kind_index = function
   | Lookup -> 6
   | Forward -> 7
   | Reply -> 8
-  | Other -> 9
+  | Store_put -> 9
+  | Store_get -> 10
+  | Store_delete -> 11
+  | Store_replicate -> 12
+  | Store_repair -> 13
+  | Store_reply -> 14
+  | Other -> 15
 
-let n_kinds = 10
+let n_kinds = 16
 
 (* Nominal per-kind wire sizes: a fixed header (~32 bytes of addressing,
    span id, kind tag) plus a typical payload. Replies carry peer lists,
@@ -66,6 +93,12 @@ let wire_bytes = function
   | Lookup -> 52
   | Forward -> 52
   | Reply -> 96
+  | Store_put -> 192 (* key + value payload + version *)
+  | Store_get -> 48 (* key only *)
+  | Store_delete -> 48 (* key only *)
+  | Store_replicate -> 192 (* full entry push to a replica *)
+  | Store_repair -> 64 (* version probe / lease refresh *)
+  | Store_reply -> 160 (* value-bearing response leg *)
   | Other -> 40
 
 type sink = Null | Writer of (string -> unit)
@@ -125,13 +158,16 @@ let msg t ~span ~parent ~root ~kind ~src ~dst ~at ~lat =
       if Sampler.keep ~rate:t.sample root then
         w
           (if parent < 0 then
-             Printf.sprintf {|{"ev":"msg",%s"span":%d,"kind":"%s","src":%d,"dst":%d,"at":%s,"lat":%s}|}
-               t.ctx_json span (kind_name kind) src dst (Jsonu.number at) (Jsonu.number lat)
+             Printf.sprintf
+               {|{"ev":"msg",%s"span":%d,"kind":"%s","bytes":%d,"src":%d,"dst":%d,"at":%s,"lat":%s}|}
+               t.ctx_json span (kind_name kind) (wire_bytes kind) src dst (Jsonu.number at)
+               (Jsonu.number lat)
              ^ "\n"
            else
              Printf.sprintf
-               {|{"ev":"msg",%s"span":%d,"parent":%d,"kind":"%s","src":%d,"dst":%d,"at":%s,"lat":%s}|}
-               t.ctx_json span parent (kind_name kind) src dst (Jsonu.number at) (Jsonu.number lat)
+               {|{"ev":"msg",%s"span":%d,"parent":%d,"kind":"%s","bytes":%d,"src":%d,"dst":%d,"at":%s,"lat":%s}|}
+               t.ctx_json span parent (kind_name kind) (wire_bytes kind) src dst (Jsonu.number at)
+               (Jsonu.number lat)
              ^ "\n")
 
 let drop t ~span ~root ~at ~why =

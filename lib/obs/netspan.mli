@@ -32,10 +32,12 @@
     {2 Event schema (JSONL)}
 
     One line per message, emitted at send time:
-    [{"ev":"msg","ctx":C,"span":N,"parent":P,"kind":K,"src":S,"dst":D,
-    "at":T,"lat":L}] — ["ctx"] omitted when empty, ["parent"] omitted on
-    roots; [T] is the send instant, [L] the link latency the message will
-    incur. A message that fails to arrive additionally emits
+    [{"ev":"msg","ctx":C,"span":N,"parent":P,"kind":K,"bytes":B,"src":S,
+    "dst":D,"at":T,"lat":L}] — ["ctx"] omitted when empty, ["parent"]
+    omitted on roots; [B] is {!wire_bytes} of the kind, recorded
+    explicitly so the analyzer can audit the producer's cost model
+    against its own; [T] is the send instant, [L] the link latency the
+    message will incur. A message that fails to arrive additionally emits
     [{"ev":"drop","ctx":C,"span":N,"at":T,"why":"dead"|"loss"}] ([T] is
     the send instant for losses, the arrival instant for dead
     destinations). Field-by-field description in DESIGN.md §14. *)
@@ -50,12 +52,19 @@ type kind =
   | Lookup  (** application lookup initiation *)
   | Forward  (** recursive forwarding hop of any cascade *)
   | Reply  (** response leg of any request *)
+  | Store_put  (** client-to-owner put request (key + value) *)
+  | Store_get  (** client-to-owner get request (key only) *)
+  | Store_delete  (** client-to-owner delete request *)
+  | Store_replicate  (** owner pushing a full entry to a replica (also handoff) *)
+  | Store_repair  (** version probe of a replica during read-repair *)
+  | Store_reply  (** value-bearing response leg of a store RPC *)
   | Other  (** untyped sends (engine default) *)
 
 val kind_name : kind -> string
 (** Lowercase JSON name: ["stabilize"], ["notify"], ["fix_fingers"],
     ["check_pred"], ["join"], ["ring"], ["lookup"], ["forward"],
-    ["reply"], ["other"]. *)
+    ["reply"], ["store_put"], ["store_get"], ["store_delete"],
+    ["store_replicate"], ["store_repair"], ["store_reply"], ["other"]. *)
 
 val kind_of_name : string -> kind option
 

@@ -1,0 +1,177 @@
+module Id = Hashid.Id
+
+type config = {
+  capacity_entries : int;
+  capacity_bytes : int;
+  ttl_ms : float;
+  hot_threshold : float;
+  decay_half_life_ms : float;
+}
+
+let default_config =
+  {
+    capacity_entries = 64;
+    capacity_bytes = 256 * 1024;
+    ttl_ms = 30_000.0;
+    hot_threshold = 4.0;
+    decay_half_life_ms = 5_000.0;
+  }
+
+let validate cfg =
+  if cfg.capacity_entries < 1 then Error "cache entry capacity must be >= 1"
+  else if cfg.capacity_bytes < 1 then Error "cache byte capacity must be >= 1"
+  else if cfg.decay_half_life_ms <= 0.0 then Error "decay half-life must be positive"
+  else Ok ()
+
+type slot = {
+  mutable value : string;
+  mutable bytes : int;
+  mutable inserted : float;  (* TTL clock *)
+  mutable used : int;  (* recency: global touch sequence, strictly increasing *)
+  mutable rate : float;  (* decayed access rate *)
+  mutable rate_at : float;  (* instant [rate] was last decayed to *)
+  mutable was_hot : bool;
+}
+
+type t = {
+  cfg : config;
+  slots : (Id.t, slot) Hashtbl.t;
+  mutable seq : int;  (* touch/insertion counter — the deterministic tiebreak *)
+  mutable used_bytes : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+  mutable n_expirations : int;
+  mutable n_hot_ever : int;
+}
+
+let create cfg =
+  (match validate cfg with Ok () -> () | Error msg -> invalid_arg ("Cache.create: " ^ msg));
+  {
+    cfg;
+    slots = Hashtbl.create 64;
+    seq = 0;
+    used_bytes = 0;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+    n_expirations = 0;
+    n_hot_ever = 0;
+  }
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let expired t ~now slot = t.cfg.ttl_ms > 0.0 && now -. slot.inserted > t.cfg.ttl_ms
+
+let remove t key slot =
+  t.used_bytes <- t.used_bytes - slot.bytes;
+  Hashtbl.remove t.slots key
+
+let decayed_rate t ~now slot =
+  slot.rate *. Float.exp (-.Float.log 2.0 *. (now -. slot.rate_at) /. t.cfg.decay_half_life_ms)
+
+let touch_rate t ~now slot =
+  slot.rate <- decayed_rate t ~now slot +. 1.0;
+  slot.rate_at <- now;
+  if t.cfg.hot_threshold > 0.0 && slot.rate > t.cfg.hot_threshold && not slot.was_hot then begin
+    slot.was_hot <- true;
+    t.n_hot_ever <- t.n_hot_ever + 1
+  end
+
+let find t ~now key =
+  match Hashtbl.find_opt t.slots key with
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      None
+  | Some slot ->
+      if expired t ~now slot then begin
+        remove t key slot;
+        t.n_expirations <- t.n_expirations + 1;
+        t.n_misses <- t.n_misses + 1;
+        None
+      end
+      else begin
+        slot.used <- next_seq t;
+        touch_rate t ~now slot;
+        t.n_hits <- t.n_hits + 1;
+        Some (slot.value, slot.bytes)
+      end
+
+(* The LRU victim: smallest touch sequence. The sequence is globally unique,
+   so the scan has a single minimum — no hash-order dependence. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match acc with
+        | Some (_, best) when best.used <= slot.used -> acc
+        | _ -> Some (key, slot))
+      t.slots None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, slot) ->
+      remove t key slot;
+      t.n_evictions <- t.n_evictions + 1
+
+let insert t ~now key ~value ~bytes =
+  if bytes <= t.cfg.capacity_bytes then begin
+    (match Hashtbl.find_opt t.slots key with Some old -> remove t key old | None -> ());
+    (* make room: sweep expired entries first, then LRU-evict *)
+    if t.cfg.ttl_ms > 0.0 then begin
+      let dead =
+        Hashtbl.fold (fun k s acc -> if expired t ~now s then (k, s) :: acc else acc) t.slots []
+      in
+      List.iter
+        (fun (k, s) ->
+          remove t k s;
+          t.n_expirations <- t.n_expirations + 1)
+        dead
+    end;
+    while Hashtbl.length t.slots >= t.cfg.capacity_entries || t.used_bytes + bytes > t.cfg.capacity_bytes do
+      evict_lru t
+    done;
+    Hashtbl.add t.slots key
+      {
+        value;
+        bytes;
+        inserted = now;
+        used = next_seq t;
+        rate = 1.0;
+        rate_at = now;
+        was_hot = false;
+      };
+    t.used_bytes <- t.used_bytes + bytes
+  end
+
+let invalidate t key =
+  match Hashtbl.find_opt t.slots key with None -> () | Some slot -> remove t key slot
+
+let entries t = Hashtbl.length t.slots
+let bytes_used t = t.used_bytes
+let hits t = t.n_hits
+let misses t = t.n_misses
+let evictions t = t.n_evictions
+let expirations t = t.n_expirations
+
+let hot_now t ~now =
+  if t.cfg.hot_threshold <= 0.0 then 0
+  else
+    Hashtbl.fold
+      (fun _ slot acc -> if decayed_rate t ~now slot > t.cfg.hot_threshold then acc + 1 else acc)
+      t.slots 0
+
+let hot_ever t = t.n_hot_ever
+
+let export_metrics ?(prefix = "cache") t m =
+  let c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m (prefix ^ "." ^ name)) v in
+  c "hits" t.n_hits;
+  c "misses" t.n_misses;
+  c "evictions" t.n_evictions;
+  c "expirations" t.n_expirations;
+  c "hot_ever" t.n_hot_ever;
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".entries")) (float_of_int (entries t));
+  Obs.Metrics.set (Obs.Metrics.gauge m (prefix ^ ".bytes")) (float_of_int t.used_bytes)

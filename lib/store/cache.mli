@@ -1,0 +1,69 @@
+(** Per-node web-cache tier over the store (DESIGN.md §15).
+
+    The ROADMAP's web-cache target, in miniature: each node keeps a
+    bounded cache of recently fetched objects so that zipf-skewed
+    request streams are served locally instead of re-routing every get
+    across the overlay. Bounded twice — by entry count and by byte
+    budget (object sizes come from the workload) — with TTL expiry and
+    LRU eviction, all deterministic: recency ties break on insertion
+    order, never on hashing or wall clock.
+
+    Hotspot detection keeps an exponentially decayed access rate per
+    cached object: each hit multiplies the stored rate by
+    [0.5^(dt / half_life)] before adding 1, so a burst fades with a
+    configurable half-life instead of being remembered forever. Objects
+    whose decayed rate crosses [hot_threshold] are the hot set — the
+    cache statistic the experiment reports to show skew concentrating
+    load, the phenomenon the hierarchical overlay is meant to absorb. *)
+
+type config = {
+  capacity_entries : int;  (** max cached objects (>= 1) *)
+  capacity_bytes : int;  (** max total object bytes (>= 1) *)
+  ttl_ms : float;  (** entry lifetime; [<= 0] disables expiry *)
+  hot_threshold : float;  (** decayed rate above which an object is hot; [<= 0] disables *)
+  decay_half_life_ms : float;  (** half-life of the access rate (> 0) *)
+}
+
+val default_config : config
+(** 64 entries, 256 KiB, 30 s TTL, hot at rate 4 with a 5 s half-life. *)
+
+val validate : config -> (unit, string) result
+
+type t
+
+val create : config -> t
+
+val find : t -> now:float -> Hashid.Id.t -> (string * int) option
+(** Serve [(value, bytes)] from cache, bumping recency and the decayed
+    access rate. Expired entries are evicted on touch and count as
+    misses. *)
+
+val insert : t -> now:float -> Hashid.Id.t -> value:string -> bytes:int -> unit
+(** Cache an object fetched from the store, evicting LRU entries until
+    both budgets hold. An object larger than the byte budget is not
+    cached at all. Re-inserting an existing key refreshes value, TTL and
+    recency. *)
+
+val invalidate : t -> Hashid.Id.t -> unit
+(** Drop one key (a delete observed by the client). *)
+
+val entries : t -> int
+val bytes_used : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+(** LRU evictions (capacity pressure, either budget). *)
+
+val expirations : t -> int
+(** TTL evictions (on touch or while making room). *)
+
+val hot_now : t -> now:float -> int
+(** Cached objects whose decayed rate currently exceeds the threshold. *)
+
+val hot_ever : t -> int
+(** Distinct objects that ever crossed the threshold while cached. *)
+
+val export_metrics : ?prefix:string -> t -> Obs.Metrics.t -> unit
+(** Counters [<prefix>.hits], [.misses], [.evictions], [.expirations],
+    [.hot_ever]; gauges [.entries] and [.bytes] (default prefix
+    ["cache"]). Idempotent. *)

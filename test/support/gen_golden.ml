@@ -11,7 +11,9 @@
      dune exec test/support/gen_golden.exe -- --scale \
        > test/golden/scale_ts64.json
      dune exec test/support/gen_golden.exe -- --tournament \
-       > test/golden/tournament_ts64.json *)
+       > test/golden/tournament_ts64.json
+     dune exec test/support/gen_golden.exe -- --cache \
+       > test/golden/cache_ts64.json *)
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> print_string (Obs_test_support.Golden.build_trace ())
@@ -21,7 +23,9 @@ let () =
   | [ _; "--netspan" ] -> print_string (Obs_test_support.Golden.build_netspan ())
   | [ _; "--scale" ] -> print_string (Obs_test_support.Golden.build_scale ())
   | [ _; "--tournament" ] -> print_string (Obs_test_support.Golden.build_tournament ())
+  | [ _; "--cache" ] -> print_string (Obs_test_support.Golden.build_cache ())
   | _ ->
       prerr_endline
-        "usage: gen_golden [--report | --resilience | --soak | --netspan | --scale | --tournament]";
+        "usage: gen_golden [--report | --resilience | --soak | --netspan | --scale | \
+         --tournament | --cache]";
       exit 2

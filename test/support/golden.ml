@@ -119,6 +119,27 @@ let scale_spec =
 let build_scale () =
   Experiments.Scale.results_json (Experiments.Scale.run scale_spec) ^ "\n"
 
+(* The golden cache results: a shrunk storage scenario — 16-node pool, 12
+   objects, 120 zipf requests, replication 2 and 3, a spaced fault killing
+   a quarter of the pool — rendered as the single-line cache JSON. Pins
+   the replicated store's put/replicate/repair flows, the per-node cache
+   tier's hit/evict arithmetic, the zipf stream draw, the fault schedule
+   and the cache result schema for both message protocols — byte-identical
+   for any --jobs, which test_store.ml and the cram suite enforce. *)
+let cache_spec =
+  {
+    Experiments.Cache.default_spec with
+    Experiments.Cache.pool = 16;
+    objects = 12;
+    requests = 120;
+    replication = [ 2; 3 ];
+    fault = Experiments.Cache.Spaced;
+    fault_frac = 0.25;
+  }
+
+let build_cache () =
+  Experiments.Cache.results_json (Experiments.Cache.run cache_spec) ^ "\n"
+
 (* The golden tournament matrix: every substrate (Chord, Pastry, CAN,
    Tapestry) flat and HIERAS-layered on the canonical 64-node scenario with
    200 requests, rendered as the deterministic single-line tournament JSON.
